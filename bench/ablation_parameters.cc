@@ -1,0 +1,69 @@
+// Parameter ablations the paper's Sec. 4.3.2 fixes by choice: the line
+// aggregation coverage cov (chosen as 0.7 for the best average F1) and the
+// sliding-window size (fixed at 10 "to cover the majority of the difference,
+// division and relative change aggregations"). This harness regenerates the
+// evidence behind both choices.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace aggrecol;
+
+  constexpr int kFileCount = 150;
+  std::vector<eval::AnnotatedFile> files(
+      bench::ValidationFiles().begin(),
+      bench::ValidationFiles().begin() + kFileCount);
+
+  std::printf(
+      "Coverage-threshold sweep (full pipeline, %d VALIDATION files):\n\n",
+      kFileCount);
+  util::TablePrinter coverage_table;
+  coverage_table.SetHeader({"cov", "precision", "recall", "F1"});
+  for (double cov : {0.3, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    core::AggreColConfig config;
+    config.coverage = cov;
+    const auto total = eval::Accumulate(bench::ScoreCorpus(files, config));
+    coverage_table.AddRow({bench::Num(cov, 1), bench::Num(total.precision),
+                           bench::Num(total.recall), bench::Num(total.F1())});
+  }
+  coverage_table.Print(std::cout);
+  std::printf(
+      "(paper: the average F1 across functions peaks around cov = 0.7)\n\n");
+
+  std::printf("Window-size sweep (pairwise functions only):\n\n");
+  util::TablePrinter window_table;
+  window_table.SetHeader({"window", "precision", "recall", "F1"});
+  for (int window : {2, 4, 6, 10, 14}) {
+    core::AggreColConfig config;
+    config.window_size = window;
+    config.functions = {core::AggregationFunction::kDivision,
+                        core::AggregationFunction::kRelativeChange,
+                        core::AggregationFunction::kDifference};
+    core::AggreCol detector(config);
+    std::vector<eval::Scores> per_file;
+    for (const auto& file : files) {
+      const auto result = detector.Detect(file.grid);
+      // Score only the pairwise classes: filter division + relative change
+      // (difference folds into sum and would be diluted by undetected sums).
+      const auto division = eval::Score(result.aggregations, file.annotations,
+                                        core::AggregationFunction::kDivision);
+      const auto relchange =
+          eval::Score(result.aggregations, file.annotations,
+                      core::AggregationFunction::kRelativeChange);
+      per_file.push_back(division);
+      per_file.push_back(relchange);
+    }
+    const auto total = eval::Accumulate(per_file);
+    window_table.AddRow({std::to_string(window), bench::Num(total.precision),
+                         bench::Num(total.recall), bench::Num(total.F1())});
+  }
+  window_table.Print(std::cout);
+  std::printf(
+      "(paper: a window of 10 covers the majority of the pairwise ranges;\n"
+      "smaller windows miss operands placed farther from their aggregate —\n"
+      "the Sec. 4.5.2 fixed-window false-negative mode)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation of the pruning machinery (DESIGN.md design-choice index): each
+// stage-1 rule is disabled in isolation and the corpus-level precision /
+// recall / F1 are compared against the full configuration, quantifying what
+// every heuristic of Sec. 3.1 contributes. The stage-level ablation (I/C/S)
+// lives in bench/fig8_stages.
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace aggrecol;
+
+  // A corpus slice keeps the 7 full detection passes affordable.
+  constexpr int kFileCount = 150;
+  std::vector<eval::AnnotatedFile> files(
+      bench::ValidationFiles().begin(),
+      bench::ValidationFiles().begin() + kFileCount);
+
+  struct Variant {
+    const char* label;
+    std::function<void(core::AggreColConfig*)> tweak;
+  };
+  const std::vector<Variant> variants = {
+      {"all rules (paper configuration)", [](core::AggreColConfig*) {}},
+      {"- coverage threshold",
+       [](core::AggreColConfig* c) { c->pruning_rules.coverage_threshold = false; }},
+      {"- same-aggregate dedup",
+       [](core::AggreColConfig* c) { c->pruning_rules.same_aggregate_dedup = false; }},
+      {"- same-range dedup",
+       [](core::AggreColConfig* c) { c->pruning_rules.same_range_dedup = false; }},
+      {"- directional disagreement",
+       [](core::AggreColConfig* c) {
+         c->pruning_rules.directional_disagreement = false;
+       }},
+      {"- complete inclusion",
+       [](core::AggreColConfig* c) { c->pruning_rules.complete_inclusion = false; }},
+      {"- mutual inclusion",
+       [](core::AggreColConfig* c) { c->pruning_rules.mutual_inclusion = false; }},
+  };
+
+  std::printf(
+      "Pruning-rule ablation over %d VALIDATION files (full pipeline, each\n"
+      "stage-1 rule disabled in isolation):\n\n",
+      kFileCount);
+  util::TablePrinter printer;
+  printer.SetHeader({"configuration", "precision", "recall", "F1"});
+  for (const auto& variant : variants) {
+    core::AggreColConfig config;
+    variant.tweak(&config);
+    const auto per_file = bench::ScoreCorpus(files, config);
+    const auto total = eval::Accumulate(per_file);
+    printer.AddRow({variant.label, bench::Num(total.precision),
+                    bench::Num(total.recall), bench::Num(total.F1())});
+  }
+  printer.Print(std::cout);
+  std::printf(
+      "\nExpected shape: the coverage threshold carries most of the\n"
+      "precision (it removes per-row coincidences); the dedup and inclusion\n"
+      "rules each remove a smaller share of structured false positives, and\n"
+      "disabling them never improves F1.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "bench/bench_util.h"
+
+#include <iostream>
+
+#include "util/table_printer.h"
+
+namespace aggrecol::bench {
+
+void PrintFileLevelHistograms(const std::vector<eval::AnnotatedFile>& files,
+                              const char* corpus_name) {
+  core::AggreCol detector;
+  std::vector<std::vector<eval::Scores>> per_class(EvaluatedClasses().size());
+  std::vector<eval::Scores> overall;
+  for (const auto& file : files) {
+    const auto result = detector.Detect(file.grid);
+    for (size_t k = 0; k < EvaluatedClasses().size(); ++k) {
+      per_class[k].push_back(eval::Score(result.aggregations, file.annotations,
+                                         EvaluatedClasses()[k].canonical));
+    }
+    overall.push_back(eval::Score(result.aggregations, file.annotations));
+  }
+
+  enum class Metric { kPrecision, kRecall };
+  auto print_metric = [&](const char* label, Metric metric) {
+    util::TablePrinter printer;
+    std::vector<std::string> header = {"function"};
+    for (int bin = 0; bin < eval::kFileLevelBins; ++bin) {
+      header.push_back(eval::FileLevelBinLabel(bin));
+    }
+    printer.SetHeader(header);
+    auto add = [&](const std::string& name, const std::vector<eval::Scores>& scores) {
+      const auto result = eval::BuildFileLevel(scores);
+      const eval::FileLevelHistogram& histogram =
+          metric == Metric::kPrecision ? result.precision : result.recall;
+      std::vector<std::string> row = {name};
+      for (int bin = 0; bin < eval::kFileLevelBins; ++bin) {
+        row.push_back(Pct(histogram.Fraction(bin)));
+      }
+      printer.AddRow(row);
+    };
+    for (size_t k = 0; k < EvaluatedClasses().size(); ++k) {
+      add(EvaluatedClasses()[k].label, per_class[k]);
+    }
+    add("overall", overall);
+    std::printf("-- file-level %s --\n", label);
+    printer.Print(std::cout);
+    std::printf("\n");
+  };
+
+  std::printf("File-level results of AggreCol on %s (%zu files):\n\n", corpus_name,
+              files.size());
+  print_metric("precision", Metric::kPrecision);
+  print_metric("recall", Metric::kRecall);
+}
+
+}  // namespace aggrecol::bench

@@ -1,0 +1,78 @@
+#ifndef AGGRECOL_BENCH_BENCH_UTIL_H_
+#define AGGRECOL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/aggrecol.h"
+#include "datagen/corpus.h"
+#include "eval/annotations.h"
+#include "eval/file_level.h"
+#include "eval/metrics.h"
+#include "util/string_util.h"
+
+namespace aggrecol::bench {
+
+/// Lazily generated singleton corpora shared by the experiment binaries.
+inline const std::vector<eval::AnnotatedFile>& ValidationFiles() {
+  static const auto* const kFiles = new std::vector<eval::AnnotatedFile>(
+      datagen::GenerateCorpus(datagen::ValidationCorpus()));
+  return *kFiles;
+}
+
+inline const std::vector<eval::AnnotatedFile>& UnseenFiles() {
+  static const auto* const kFiles = new std::vector<eval::AnnotatedFile>(
+      datagen::GenerateCorpus(datagen::UnseenCorpus()));
+  return *kFiles;
+}
+
+/// Runs a detector over a corpus and returns one Scores entry per file for
+/// the given function filter (std::nullopt = all functions).
+inline std::vector<eval::Scores> ScoreCorpus(
+    const std::vector<eval::AnnotatedFile>& files, const core::AggreColConfig& config,
+    eval::FunctionFilter filter = std::nullopt) {
+  core::AggreCol detector(config);
+  std::vector<eval::Scores> per_file;
+  per_file.reserve(files.size());
+  for (const auto& file : files) {
+    const auto result = detector.Detect(file.grid);
+    per_file.push_back(eval::Score(result.aggregations, file.annotations, filter));
+  }
+  return per_file;
+}
+
+/// The function classes reported by the paper's evaluation (difference is
+/// merged into sum, Sec. 4.3.2).
+struct FunctionClass {
+  const char* label;
+  core::AggregationFunction canonical;
+};
+
+inline const std::vector<FunctionClass>& EvaluatedClasses() {
+  static const auto* const kClasses = new std::vector<FunctionClass>{
+      {"sum (incl. difference)", core::AggregationFunction::kSum},
+      {"average", core::AggregationFunction::kAverage},
+      {"division", core::AggregationFunction::kDivision},
+      {"relative change", core::AggregationFunction::kRelativeChange},
+  };
+  return *kClasses;
+}
+
+inline std::string Pct(double fraction) {
+  return util::FormatDouble(100.0 * fraction, 1) + "%";
+}
+
+inline std::string Num(double value, int precision = 3) {
+  return util::FormatDouble(value, precision);
+}
+
+/// Runs AggreCol over `files` and prints the file-level precision and recall
+/// histograms per function class and overall — the shared body of the
+/// Fig. 9 (VALIDATION) and Fig. 10 (UNSEEN) binaries.
+void PrintFileLevelHistograms(const std::vector<eval::AnnotatedFile>& files,
+                              const char* corpus_name);
+
+}  // namespace aggrecol::bench
+
+#endif  // AGGRECOL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// Extension experiment (the paper's Sec. 6 future work): detection quality of
+// composite sum-then-divide aggregations — "the percentage of population
+// holding at least a university degree is the sum of bachelor, master, and
+// doctor degrees divided by the total population" — on a corpus where half
+// the aggregated files carry such a block and no intermediate sum column.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/composite_detector.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace aggrecol;
+
+  datagen::CorpusSpec spec = datagen::ValidationCorpus();
+  spec.name = "COMPOSITE";
+  spec.file_count = 120;
+  spec.seed = 0xC0117051ULL;
+  spec.profile.p_composite = 0.5;
+  const auto files = datagen::GenerateCorpus(spec);
+
+  core::AggreColConfig config;
+  config.detect_composites = true;
+  core::AggreCol detector(config);
+
+  long long correct = 0;
+  long long incorrect = 0;
+  long long missed = 0;
+  std::vector<eval::Scores> core_scores;
+  int files_with_composites = 0;
+  for (const auto& file : files) {
+    if (!file.composites.empty()) ++files_with_composites;
+    const auto result = detector.Detect(file.grid);
+    for (const auto& detected : result.composites) {
+      if (std::find(file.composites.begin(), file.composites.end(), detected) !=
+          file.composites.end()) {
+        ++correct;
+      } else {
+        ++incorrect;
+      }
+    }
+    for (const auto& truth : file.composites) {
+      if (std::find(result.composites.begin(), result.composites.end(), truth) ==
+          result.composites.end()) {
+        ++missed;
+      }
+    }
+    // The five core functions must be unaffected by the extension.
+    core_scores.push_back(eval::Score(result.aggregations, file.annotations));
+  }
+
+  const double precision =
+      correct + incorrect > 0 ? static_cast<double>(correct) / (correct + incorrect)
+                              : 1.0;
+  const double recall =
+      correct + missed > 0 ? static_cast<double>(correct) / (correct + missed) : 1.0;
+  const double f1 =
+      precision + recall > 0 ? 2 * precision * recall / (precision + recall) : 0.0;
+  const auto core_total = eval::Accumulate(core_scores);
+
+  std::printf(
+      "Composite (sum-then-divide) detection on %zu files, %d of which carry\n"
+      "a composite block without an intermediate sum column:\n\n",
+      files.size(), files_with_composites);
+  util::TablePrinter printer;
+  printer.SetHeader({"metric", "value"});
+  printer.AddRow({"composite precision", bench::Num(precision)});
+  printer.AddRow({"composite recall", bench::Num(recall)});
+  printer.AddRow({"composite F1", bench::Num(f1)});
+  printer.AddRow({"core 5-function F1 (same run)", bench::Num(core_total.F1())});
+  printer.Print(std::cout);
+  std::printf(
+      "\nThe paper's core pipeline treats only single-function aggregations\n"
+      "(Sec. 2.1) and misses all of these by design; the opt-in extension\n"
+      "recovers them with the same pattern-coverage discipline while leaving\n"
+      "the five core functions untouched.\n");
+  return 0;
+}

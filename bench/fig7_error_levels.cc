@@ -1,0 +1,62 @@
+// Reproduces Fig. 7: per-function recall and F1 under different error levels
+// (line aggregation coverage fixed at 0.7), using the individual detectors of
+// Sec. 3.1 as the paper does when selecting the per-function optima.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace aggrecol;
+  using core::AggregationFunction;
+
+  const auto& files = bench::ValidationFiles();
+  const std::vector<double> error_levels = {0.0,  1e-6, 1e-4, 1e-3,
+                                            0.01, 0.03, 0.05, 0.1};
+
+  std::printf(
+      "Fig. 7: per-function recall and F1 at aggregation level under\n"
+      "different error levels (cov = 0.7, individual detectors only,\n"
+      "%zu VALIDATION files).\n\n",
+      files.size());
+
+  for (const auto& function_class : bench::EvaluatedClasses()) {
+    util::TablePrinter printer;
+    printer.SetHeader({"error level", "precision", "recall", "F1"});
+    double best_f1 = -1.0;
+    double best_level = 0.0;
+    for (double level : error_levels) {
+      core::AggreColConfig config;
+      config.error_levels.fill(level);
+      config.run_collective = false;
+      config.run_supplemental = false;
+      config.functions = {function_class.canonical};
+      if (function_class.canonical == AggregationFunction::kSum) {
+        config.functions.push_back(AggregationFunction::kDifference);
+      }
+      const auto per_file =
+          bench::ScoreCorpus(files, config, function_class.canonical);
+      const auto total = eval::Accumulate(per_file);
+      printer.AddRow({bench::Num(level, 6), bench::Num(total.precision),
+                      bench::Num(total.recall), bench::Num(total.F1())});
+      if (total.F1() > best_f1) {
+        best_f1 = total.F1();
+        best_level = level;
+      }
+    }
+    std::printf("== %s ==\n", function_class.label);
+    printer.Print(std::cout);
+    std::printf("best F1 %s at error level %s\n\n", bench::Num(best_f1).c_str(),
+                bench::Num(best_level, 6).c_str());
+  }
+  std::printf(
+      "Paper shape check: F1 first rises with the error level (rounded\n"
+      "aggregations become detectable) and falls once spurious matches\n"
+      "dominate; optima differ per function.\n"
+      "Note: at stage I the relative-change numbers are dominated by the\n"
+      "circular ratio artifact (share = B/C implies relchange(share->B) ~= C)\n"
+      "that the collective stage removes — see bench/fig8_stages for the\n"
+      "post-pruning quality at the shipped default levels.\n");
+  return 0;
+}

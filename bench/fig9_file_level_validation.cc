@@ -1,0 +1,15 @@
+// Reproduces Fig. 9: file-level precision and recall histograms of AggreCol
+// on the VALIDATION corpus, per function class and overall.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  aggrecol::bench::PrintFileLevelHistograms(aggrecol::bench::ValidationFiles(),
+                                            "VALIDATION");
+  std::printf(
+      "Paper shape check (Fig. 9): >90%% of files reach the (0.95, 1] bin for\n"
+      "average, division and relative change; sum is the hardest function;\n"
+      "failures concentrate in few files.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Component micro-benchmarks (google-benchmark): CSV parsing, dialect
+// sniffing, number-format election, numeric normalization, the individual
+// detection strategies, and the full three-stage pipeline per table size.
+#include <benchmark/benchmark.h>
+
+#include "baselines/adjacent_only_detector.h"
+#include "core/aggrecol.h"
+#include "core/individual_detector.h"
+#include "csv/parser.h"
+#include "csv/sniffer.h"
+#include "csv/writer.h"
+#include "datagen/file_generator.h"
+#include "numfmt/numeric_grid.h"
+
+namespace {
+
+using namespace aggrecol;
+
+// A deterministic mid-size file for component benchmarks.
+const eval::AnnotatedFile& BenchFile() {
+  static const auto* const kFile = [] {
+    datagen::GeneratorProfile profile;
+    profile.min_data_rows = 30;
+    profile.max_data_rows = 30;
+    profile.p_big_file = 0.0;
+    return new eval::AnnotatedFile(datagen::GenerateFile(profile, 4242, "bench.csv"));
+  }();
+  return *kFile;
+}
+
+const std::string& BenchCsvText() {
+  static const auto* const kText =
+      new std::string(csv::WriteGrid(BenchFile().grid, csv::Dialect{',', '"'}));
+  return *kText;
+}
+
+void BM_CsvParse(benchmark::State& state) {
+  const csv::Dialect dialect{',', '"'};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csv::ParseGrid(BenchCsvText(), dialect));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(BenchCsvText().size()));
+}
+BENCHMARK(BM_CsvParse);
+
+void BM_DialectSniff(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csv::SniffDialect(BenchCsvText()));
+  }
+}
+BENCHMARK(BM_DialectSniff);
+
+void BM_FormatElection(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numfmt::ElectFormat(BenchFile().grid));
+  }
+}
+BENCHMARK(BM_FormatElection);
+
+void BM_NumericNormalization(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numfmt::NumericGrid::FromGrid(BenchFile().grid));
+  }
+}
+BENCHMARK(BM_NumericNormalization);
+
+void BM_IndividualSumDetector(benchmark::State& state) {
+  const auto numeric = numfmt::NumericGrid::FromGrid(BenchFile().grid);
+  core::IndividualConfig config;
+  config.error_level = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::DetectIndividualRowwise(numeric, core::AggregationFunction::kSum, config));
+  }
+}
+BENCHMARK(BM_IndividualSumDetector);
+
+void BM_IndividualDivisionDetector(benchmark::State& state) {
+  const auto numeric = numfmt::NumericGrid::FromGrid(BenchFile().grid);
+  core::IndividualConfig config;
+  config.error_level = 0.03;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::DetectIndividualRowwise(
+        numeric, core::AggregationFunction::kDivision, config));
+  }
+}
+BENCHMARK(BM_IndividualDivisionDetector);
+
+void BM_AdjacentOnlyBaseline(benchmark::State& state) {
+  const auto numeric = numfmt::NumericGrid::FromGrid(BenchFile().grid);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::DetectAdjacentOnly(numeric, 0.01));
+  }
+}
+BENCHMARK(BM_AdjacentOnlyBaseline);
+
+void BM_FullPipeline(benchmark::State& state) {
+  datagen::GeneratorProfile profile;
+  profile.min_data_rows = static_cast<int>(state.range(0));
+  profile.max_data_rows = static_cast<int>(state.range(0));
+  profile.p_big_file = 0.0;
+  const auto file = datagen::GenerateFile(profile, 99, "pipeline.csv");
+  const auto numeric = numfmt::NumericGrid::FromGrid(file.grid);
+  core::AggreCol detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(numeric));
+  }
+  state.SetLabel(std::to_string(file.grid.rows()) + "x" +
+                 std::to_string(file.grid.columns()) + " cells");
+}
+BENCHMARK(BM_FullPipeline)->Arg(10)->Arg(40)->Arg(160);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Reproduces the Sec. 4.4 runtime analysis: per-stage wall-clock share of
+// AggreCol (the paper reports Phase 3 at ~85% of the workflow), per-file
+// runtime distribution, and the eager baseline's inability to finish wide
+// files within a budget.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/eager_baseline.h"
+#include "bench/bench_util.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace aggrecol;
+
+  const auto& files = bench::ValidationFiles();
+
+  core::AggreCol detector;
+  double seconds_individual = 0.0;
+  double seconds_collective = 0.0;
+  double seconds_supplemental = 0.0;
+  std::vector<double> per_file_seconds;
+  per_file_seconds.reserve(files.size());
+  util::Stopwatch stopwatch;
+  for (const auto& file : files) {
+    util::Stopwatch file_watch;
+    const auto result = detector.Detect(file.grid);
+    per_file_seconds.push_back(file_watch.ElapsedSeconds());
+    seconds_individual += result.seconds_individual;
+    seconds_collective += result.seconds_collective;
+    seconds_supplemental += result.seconds_supplemental;
+  }
+  const double total_seconds = stopwatch.ElapsedSeconds();
+  const double stage_total =
+      seconds_individual + seconds_collective + seconds_supplemental;
+
+  std::sort(per_file_seconds.begin(), per_file_seconds.end());
+  auto quantile = [&per_file_seconds](double q) {
+    const size_t index = static_cast<size_t>(q * (per_file_seconds.size() - 1));
+    return per_file_seconds[index];
+  };
+
+  std::printf("AggreCol runtime over %zu VALIDATION files: %.2f s total\n\n",
+              files.size(), total_seconds);
+  util::TablePrinter stages;
+  stages.SetHeader({"stage", "seconds", "share"});
+  stages.AddRow({"individual (phase 1)", bench::Num(seconds_individual, 2),
+                 bench::Pct(seconds_individual / stage_total)});
+  stages.AddRow({"collective (phase 2)", bench::Num(seconds_collective, 2),
+                 bench::Pct(seconds_collective / stage_total)});
+  stages.AddRow({"supplemental (phase 3)", bench::Num(seconds_supplemental, 2),
+                 bench::Pct(seconds_supplemental / stage_total)});
+  stages.Print(std::cout);
+  std::printf(
+      "\nper-file seconds: median %.4f, p90 %.4f, max %.4f\n"
+      "(paper: Phase 3 costs ~85%% of the workflow; the longest file takes\n"
+      "the bulk of the time)\n\n",
+      quantile(0.5), quantile(0.9), per_file_seconds.back());
+
+  // Eager baseline on the widest files with a small budget.
+  std::vector<const eval::AnnotatedFile*> widest;
+  for (const auto& file : files) widest.push_back(&file);
+  std::sort(widest.begin(), widest.end(),
+            [](const eval::AnnotatedFile* a, const eval::AnnotatedFile* b) {
+              return a->grid.columns() > b->grid.columns();
+            });
+  widest.resize(std::min<size_t>(widest.size(), 15));
+
+  constexpr double kBudgetSeconds = 0.5;
+  int finished = 0;
+  for (const auto* file : widest) {
+    const auto numeric = numfmt::NumericGrid::FromGrid(file->grid);
+    baselines::EagerBaselineConfig config;
+    config.function = core::AggregationFunction::kSum;
+    config.error_level = 0.01;
+    config.budget_seconds = kBudgetSeconds;
+    const auto result = baselines::RunEagerBaseline(numeric, config);
+    if (result.finished) ++finished;
+  }
+  std::printf(
+      "Eager sum baseline on the 15 widest files with a %.1f s budget:\n"
+      "finished %d/15 (paper: the O(n * 2^(n-1)) enumeration cannot finish\n"
+      "many files even in 20 minutes, while AggreCol handles all of them).\n",
+      kBudgetSeconds, finished);
+  return 0;
+}

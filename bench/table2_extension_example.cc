@@ -1,0 +1,53 @@
+// Reproduces Table 2: the row-wise sum aggregations detected on the Figure 5
+// example table after the extension step, grouped by column pattern, with
+// their compliant rows (e = 0).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "core/adjacency_strategy.h"
+#include "core/extension.h"
+#include "numfmt/numeric_grid.h"
+#include "tests/test_support.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace aggrecol;
+  using core::AggregationFunction;
+
+  const auto numeric = numfmt::NumericGrid::FromGrid(
+      testing::Figure5Grid(), numfmt::NumberFormat::kCommaDot);
+  const std::vector<bool> active(numeric.columns(), true);
+
+  std::vector<core::Aggregation> detected;
+  for (int row = 0; row < numeric.rows(); ++row) {
+    const auto found = core::DetectAdjacentCommutative(numeric, active, row,
+                                                       AggregationFunction::kSum, 0.0);
+    detected.insert(detected.end(), found.begin(), found.end());
+  }
+  const auto extended = core::ExtendAggregations(numeric, active, detected, 0.0);
+
+  std::map<core::Pattern, std::vector<int>> by_pattern;
+  for (const auto& aggregation : extended) {
+    by_pattern[core::PatternOf(aggregation)].push_back(aggregation.line);
+  }
+
+  std::printf(
+      "Table 2: detected row-wise sum aggregations after extension on the\n"
+      "Figure 5 table, grouped by column pattern (e = 0).\n\n");
+  util::TablePrinter printer;
+  printer.SetHeader({"Column pattern", "Compliant rows"});
+  for (auto& [pattern, rows] : by_pattern) {
+    std::sort(rows.begin(), rows.end());
+    std::ostringstream row_list;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) row_list << ", ";
+      row_list << rows[i];
+    }
+    printer.AddRow({ToString(pattern), row_list.str()});
+  }
+  printer.Print(std::cout);
+  return 0;
+}

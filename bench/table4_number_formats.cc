@@ -1,0 +1,70 @@
+// Reproduces Table 4: the five valid number formats, their occurrence in the
+// corpus (the generator mirrors the Troy distribution), and additionally
+// measures how often the per-file format election recovers a format that
+// parses every cell to the written value (Sec. 4.2).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "numfmt/number_format.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace aggrecol;
+
+  const auto& files = bench::ValidationFiles();
+  std::array<int, numfmt::kAllNumberFormats.size()> written{};
+  std::array<int, numfmt::kAllNumberFormats.size()> elected_counts{};
+  int value_agreements = 0;
+  int decimal_agreements = 0;
+
+  for (const auto& file : files) {
+    ++written[static_cast<size_t>(file.format)];
+    const auto elected = numfmt::ElectFormat(file.grid);
+    ++elected_counts[static_cast<size_t>(elected)];
+    if (numfmt::DecimalSeparator(elected) == numfmt::DecimalSeparator(file.format)) {
+      ++decimal_agreements;
+    }
+    bool all_match = true;
+    for (int i = 0; i < file.grid.rows() && all_match; ++i) {
+      for (int j = 0; j < file.grid.columns(); ++j) {
+        const auto as_written = numfmt::ParseNumber(file.grid.at(i, j), file.format);
+        if (!as_written.has_value()) continue;
+        const auto as_elected = numfmt::ParseNumber(file.grid.at(i, j), elected);
+        if (!as_elected.has_value() || *as_elected != *as_written) {
+          all_match = false;
+          break;
+        }
+      }
+    }
+    if (all_match) ++value_agreements;
+  }
+
+  std::printf(
+      "Table 4: number formats, their Troy priors, their occurrence in the\n"
+      "synthetic VALIDATION corpus, and how often election recovers them.\n\n");
+  util::TablePrinter printer;
+  printer.SetHeader({"Digit group sep.", "Decimal sep.", "Example", "Troy prior",
+                     "Written", "Elected"});
+  const char* const kGroupNames[] = {"Space", "Space", "Comma", "None", "None"};
+  const char* const kDecimalNames[] = {"Comma", "Dot", "Dot", "Comma", "Dot"};
+  const char* const kExamples[] = {"12 345,67", "12 345.67", "12,345.67", "12345,67",
+                                   "12345.67"};
+  for (size_t f = 0; f < numfmt::kAllNumberFormats.size(); ++f) {
+    printer.AddRow({kGroupNames[f], kDecimalNames[f], kExamples[f],
+                    bench::Pct(numfmt::OccurrencePrior(numfmt::kAllNumberFormats[f])),
+                    std::to_string(written[f]), std::to_string(elected_counts[f])});
+  }
+  printer.Print(std::cout);
+
+  std::printf(
+      "\nElection quality over %zu files:\n"
+      "  decimal separator recovered:          %s\n"
+      "  every numeric cell parses identically: %s\n"
+      "(No-group formats are subsumed by the grouped ones for group-free\n"
+      "content, so electing a different format with the same decimal\n"
+      "separator is value-preserving.)\n",
+      files.size(), bench::Pct(static_cast<double>(decimal_agreements) / files.size()).c_str(),
+      bench::Pct(static_cast<double>(value_agreements) / files.size()).c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table 5 (Sec. 4.6): per-cell-type F1 of a Strudel-style cell
+// classifier whose binary is-aggregate feature comes either from the original
+// adjacency-only detector (Strudel^O) or from AggreCol (Strudel^A).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "cellclass/strudel_experiment.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace aggrecol;
+
+  // A corpus slice keeps the cross-validated forest training affordable.
+  constexpr int kFileCount = 120;
+  constexpr int kFolds = 3;
+  std::vector<eval::AnnotatedFile> files(
+      bench::ValidationFiles().begin(),
+      bench::ValidationFiles().begin() + kFileCount);
+
+  cellclass::ForestConfig forest;
+  forest.tree_count = 16;
+  forest.max_depth = 12;
+
+  std::printf(
+      "Table 5: per-type F1 of the cell classifier with the is-aggregate\n"
+      "feature from the adjacency-only detector (Strudel^O) vs AggreCol\n"
+      "(Strudel^A); %d files, %d-fold cross-validation.\n\n",
+      kFileCount, kFolds);
+
+  const auto original = cellclass::RunStrudelExperiment(
+      files, cellclass::AggregateFeatureSource::kAdjacentOnly, kFolds, forest);
+  const auto aggrecol_result = cellclass::RunStrudelExperiment(
+      files, cellclass::AggregateFeatureSource::kAggreCol, kFolds, forest);
+
+  util::TablePrinter printer;
+  printer.SetHeader({"Cell type", "Strudel^O F1", "Strudel^A F1"});
+  for (eval::CellRole role : eval::kAllCellRoles) {
+    if (role == eval::CellRole::kEmpty) continue;
+    printer.AddRow({ToString(role),
+                    bench::Num(original.per_role[eval::IndexOf(role)].F1()),
+                    bench::Num(aggrecol_result.per_role[eval::IndexOf(role)].F1())});
+  }
+  printer.Print(std::cout);
+  std::printf("\noverall accuracy: Strudel^O %s, Strudel^A %s over %d cells\n",
+              bench::Num(original.accuracy).c_str(),
+              bench::Num(aggrecol_result.accuracy).c_str(), original.cells);
+  std::printf(
+      "\nPaper shape check: the aggregation-type F1 rises substantially with\n"
+      "AggreCol's feature, and most other types improve slightly as fewer\n"
+      "cells are misclassified as aggregation.\n");
+  return 0;
+}

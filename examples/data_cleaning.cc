@@ -1,0 +1,70 @@
+// Numeric error detection and cleaning (Sec. 1): use detected aggregations to
+// find aggregate cells whose value deviates from what their range computes,
+// and propose the recalculated value. This is how a data scientist would
+// surface rounding damage or data-entry errors before loading the file.
+#include <cstdio>
+#include <vector>
+
+#include "core/aggrecol.h"
+#include "csv/parser.h"
+#include "csv/sniffer.h"
+#include "numfmt/numeric_grid.h"
+
+int main() {
+  using namespace aggrecol;
+
+  // A budget table where two totals were rounded/typed sloppily.
+  const std::string csv_text =
+      "Department,Staff,Equipment,Travel,Total\n"
+      "Sales,120.50,30.25,18.00,168.75\n"
+      "Engineering,310.40,95.10,12.30,417.80\n"
+      "Support,75.00,22.60,5.40,103.00\n"
+      "Marketing,88.20,41.00,27.50,157.00\n"   // true total: 156.70
+      "Research,150.75,60.25,9.00,220.10\n";   // true total: 220.00
+
+  core::AggreColConfig config;
+  // Tolerate up to 1% so sloppy totals are still matched to their ranges.
+  config.error_levels.fill(0.01);
+  core::AggreCol detector(config);
+  const auto result = detector.DetectText(csv_text);
+
+  const auto sniffed = csv::SniffDialect(csv_text);
+  const auto grid = csv::ParseGrid(csv_text, sniffed.dialect);
+  const auto numeric = numfmt::NumericGrid::FromGrid(grid);
+
+  std::printf("input:\n%s\n", csv_text.c_str());
+  std::printf("detected %zu aggregations; checking for numeric errors...\n\n",
+              result.aggregations.size());
+
+  int issues = 0;
+  for (const auto& aggregation : result.aggregations) {
+    if (aggregation.error <= core::kErrorSlack) continue;
+    const bool row_wise = aggregation.axis == core::Axis::kRow;
+    const int row = row_wise ? aggregation.line : aggregation.aggregate;
+    const int col = row_wise ? aggregation.aggregate : aggregation.line;
+    std::vector<double> values;
+    for (int index : aggregation.range) {
+      values.push_back(row_wise ? numeric.value(aggregation.line, index)
+                                : numeric.value(index, aggregation.line));
+    }
+    const auto calculated = core::Apply(aggregation.function, values);
+    if (!calculated.has_value()) continue;
+    ++issues;
+    std::printf(
+        "  cell (%d,%d) '%s': observed %.2f but its %s range computes %.2f\n"
+        "      (error level %.4f) -> suggested correction: %.2f\n",
+        row, col, grid.at(row, col).c_str(), numeric.value(row, col),
+        ToString(aggregation.function).c_str(), *calculated, aggregation.error,
+        *calculated);
+  }
+  if (issues == 0) {
+    std::printf("  no numeric errors found.\n");
+  } else {
+    std::printf(
+        "\n%d aggregate cell(s) deviate from their ranges — either rounding\n"
+        "artifacts (the paper observes errors in ~29%% of real aggregations)\n"
+        "or genuine data-entry mistakes worth fixing.\n",
+        issues);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Enriching files with metadata (Sec. 1): verbose CSV cannot embed metadata,
+// so the detected aggregations are exported as a sidecar annotation file that
+// downstream tools (cell classifiers, formula-smell detectors, extraction
+// pipelines) can consume. The sidecar round-trips through the library's
+// annotation parser.
+#include <cstdio>
+
+#include "core/aggrecol.h"
+#include "eval/annotations.h"
+
+int main() {
+  using namespace aggrecol;
+
+  const std::string csv_text =
+      "Year,Europe,Bulgaria,France,Germany,Africa,Kenya,Ethiopia,Kenya share\n"
+      "2017,4944,378,1669,2897,22,8,14,0.364\n"
+      "2018,5791,900,2583,2308,34,21,13,0.618\n"
+      "2019,8266,364,4155,3747,33,14,19,0.424\n"
+      "2020,7105,512,3400,3193,41,18,23,0.439\n";
+
+  core::AggreCol detector;
+  const auto result = detector.DetectText(csv_text);
+
+  // Export the detections in the sidecar annotation format:
+  // axis,line,aggregate,function,range,error per line.
+  const std::string sidecar = eval::SerializeAnnotations(result.aggregations);
+  std::printf("detected aggregation metadata (sidecar format):\n%s\n",
+              sidecar.c_str());
+
+  // Any tool using this library can load it back losslessly.
+  const auto reloaded = eval::ParseAnnotations(sidecar);
+  if (!reloaded.has_value() || reloaded->size() != result.aggregations.size()) {
+    std::printf("sidecar round-trip FAILED\n");
+    return 1;
+  }
+  std::printf("sidecar round-trip OK: %zu aggregations reloaded\n\n",
+              reloaded->size());
+
+  // Summarize per function, the way a catalog would index the file.
+  for (core::AggregationFunction function : core::kAllFunctions) {
+    int count = 0;
+    for (const auto& aggregation : result.aggregations) {
+      if (aggregation.function == function) ++count;
+    }
+    if (count > 0) {
+      std::printf("  %-16s %d cell(s) aggregate other cells\n",
+                  ToString(function).c_str(), count);
+    }
+  }
+  std::printf(
+      "\nDownstream uses (paper Sec. 1): feeding the binary is-aggregate\n"
+      "feature of cell classifiers (see bench/table5_cell_classification),\n"
+      "seeding formula-smell detectors, and normalizing tables by stripping\n"
+      "derived columns before loading into a database.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "baselines/adjacent_only_detector.h"
+
+#include "core/adjacency_strategy.h"
+
+namespace aggrecol::baselines {
+
+std::vector<core::Aggregation> DetectAdjacentOnly(const numfmt::NumericGrid& grid,
+                                                  double error_level) {
+  std::vector<core::Aggregation> out;
+  const std::vector<core::AggregationFunction> functions = {
+      core::AggregationFunction::kSum, core::AggregationFunction::kAverage};
+
+  const std::vector<bool> all_rows(grid.columns(), true);
+  for (core::AggregationFunction function : functions) {
+    for (int row = 0; row < grid.rows(); ++row) {
+      auto found =
+          core::DetectAdjacentCommutative(grid, all_rows, row, function, error_level);
+      out.insert(out.end(), found.begin(), found.end());
+    }
+  }
+
+  const numfmt::NumericGrid transposed = grid.Transposed();
+  const std::vector<bool> all_cols(transposed.columns(), true);
+  for (core::AggregationFunction function : functions) {
+    for (int row = 0; row < transposed.rows(); ++row) {
+      auto found = core::DetectAdjacentCommutative(transposed, all_cols, row, function,
+                                                   error_level);
+      for (auto& aggregation : found) {
+        aggregation.axis = core::Axis::kColumn;
+        out.push_back(std::move(aggregation));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aggrecol::baselines

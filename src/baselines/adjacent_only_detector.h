@@ -1,0 +1,22 @@
+#ifndef AGGRECOL_BASELINES_ADJACENT_ONLY_DETECTOR_H_
+#define AGGRECOL_BASELINES_ADJACENT_ONLY_DETECTOR_H_
+
+#include <vector>
+
+#include "core/aggregation.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::baselines {
+
+/// Strudel-style aggregate detection (Sec. 4.6 / Sec. 5): a single pass of
+/// the adjacency-list strategy for sum and average, row- and column-wise,
+/// without extension, pruning, cumulative iteration, or the collective and
+/// supplemental stages. This is the "original" source of Strudel's binary
+/// is-aggregate cell feature; it finds only adjacent aggregations (Fig. 3a)
+/// and misses all cumulative and interrupt cases.
+std::vector<core::Aggregation> DetectAdjacentOnly(const numfmt::NumericGrid& grid,
+                                                  double error_level);
+
+}  // namespace aggrecol::baselines
+
+#endif  // AGGRECOL_BASELINES_ADJACENT_ONLY_DETECTOR_H_

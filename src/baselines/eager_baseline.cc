@@ -1,0 +1,157 @@
+#include "baselines/eager_baseline.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace aggrecol::baselines {
+namespace {
+
+using core::Aggregation;
+using core::AggregationFunction;
+using core::Axis;
+using core::ErrorLevel;
+
+// Shared enumeration state with a periodically-checked deadline.
+struct Enumeration {
+  const EagerBaselineConfig* config;
+  util::Stopwatch stopwatch;
+  long long checks = 0;
+  long long results = 0;
+  bool expired = false;
+
+  bool Expired() {
+    if (expired) return true;
+    if ((++checks & 0xFFF) == 0 &&
+        stopwatch.ElapsedSeconds() > config->budget_seconds) {
+      expired = true;
+    }
+    return expired;
+  }
+
+  // Called after recording a match; enforces the result cap.
+  void CountResult() {
+    if (++results >= config->max_results) expired = true;
+  }
+};
+
+// Enumerates subsets (size >= 2) of `cells` excluding position `skip`,
+// recording every subset whose aggregate matches `observed`.
+void EnumerateSubsets(const numfmt::NumericGrid& grid, int line,
+                      const std::vector<int>& cells, size_t skip, double observed,
+                      Enumeration* state, std::vector<Aggregation>* out) {
+  const AggregationFunction function = state->config->function;
+  const size_t n = cells.size();
+  std::vector<int> chosen;
+  double running_sum = 0.0;
+
+  // Recursive lambda over positions, skipping `skip`.
+  auto recurse = [&](auto&& self, size_t pos) -> void {
+    if (state->Expired()) return;
+    if (chosen.size() >= 2) {
+      const double calculated =
+          function == AggregationFunction::kAverage
+              ? running_sum / static_cast<double>(chosen.size())
+              : running_sum;
+      const double error = ErrorLevel(observed, calculated);
+      if (core::WithinErrorLevel(error, state->config->error_level)) {
+        Aggregation aggregation;
+        aggregation.axis = Axis::kRow;
+        aggregation.line = line;
+        aggregation.aggregate = cells[skip];
+        aggregation.range = chosen;
+        aggregation.function = function;
+        aggregation.error = error;
+        out->push_back(std::move(aggregation));
+        state->CountResult();
+      }
+    }
+    for (size_t next = pos; next < n; ++next) {
+      if (next == skip) continue;
+      chosen.push_back(cells[next]);
+      running_sum += grid.value(line, cells[next]);
+      self(self, next + 1);
+      running_sum -= grid.value(line, cells[next]);
+      chosen.pop_back();
+      if (state->Expired()) return;
+    }
+  };
+  recurse(recurse, 0);
+}
+
+// Enumerates ordered pairs from `cells` for pairwise functions.
+void EnumeratePairs(const numfmt::NumericGrid& grid, int line,
+                    const std::vector<int>& cells, size_t skip, double observed,
+                    Enumeration* state, std::vector<Aggregation>* out) {
+  const AggregationFunction function = state->config->function;
+  for (size_t b = 0; b < cells.size(); ++b) {
+    if (b == skip) continue;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c == skip || c == b) continue;
+      if (state->Expired()) return;
+      const auto calculated = core::ApplyPairwise(function, grid.value(line, cells[b]),
+                                                  grid.value(line, cells[c]));
+      if (!calculated.has_value()) continue;
+      const double error = ErrorLevel(observed, *calculated);
+      if (core::WithinErrorLevel(error, state->config->error_level)) {
+        Aggregation aggregation;
+        aggregation.axis = Axis::kRow;
+        aggregation.line = line;
+        aggregation.aggregate = cells[skip];
+        aggregation.range = {cells[b], cells[c]};
+        aggregation.function = function;
+        aggregation.error = error;
+        out->push_back(std::move(aggregation));
+        state->CountResult();
+      }
+    }
+  }
+}
+
+void ScanRowwise(const numfmt::NumericGrid& grid, Axis axis, Enumeration* state,
+                 std::vector<Aggregation>* out) {
+  const bool pairwise = core::TraitsOf(state->config->function).pairwise;
+  for (int line = 0; line < grid.rows(); ++line) {
+    // All cells usable as range elements (explicit numbers and zeros).
+    std::vector<int> cells;
+    for (int col = 0; col < grid.columns(); ++col) {
+      if (grid.IsRangeUsable(line, col)) cells.push_back(col);
+    }
+    std::vector<Aggregation> found;
+    for (size_t skip = 0; skip < cells.size(); ++skip) {
+      if (!grid.IsNumeric(line, cells[skip])) continue;  // aggregates: numbers
+      const double observed = grid.value(line, cells[skip]);
+      if (pairwise) {
+        EnumeratePairs(grid, line, cells, skip, observed, state, &found);
+      } else {
+        EnumerateSubsets(grid, line, cells, skip, observed, state, &found);
+      }
+      if (state->Expired()) break;
+    }
+    for (auto& aggregation : found) {
+      aggregation.axis = axis;
+      out->push_back(std::move(aggregation));
+    }
+    if (state->Expired()) return;
+  }
+}
+
+}  // namespace
+
+EagerBaselineResult RunEagerBaseline(const numfmt::NumericGrid& grid,
+                                     const EagerBaselineConfig& config) {
+  EagerBaselineResult result;
+  Enumeration state;
+  state.config = &config;
+
+  if (config.rows) ScanRowwise(grid, Axis::kRow, &state, &result.aggregations);
+  if (config.columns && !state.expired) {
+    const numfmt::NumericGrid transposed = grid.Transposed();
+    ScanRowwise(transposed, Axis::kColumn, &state, &result.aggregations);
+  }
+  result.finished = !state.expired;
+  result.seconds = state.stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace aggrecol::baselines

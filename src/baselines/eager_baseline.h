@@ -1,0 +1,55 @@
+#ifndef AGGRECOL_BASELINES_EAGER_BASELINE_H_
+#define AGGRECOL_BASELINES_EAGER_BASELINE_H_
+
+#include <vector>
+
+#include "core/aggregation.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::baselines {
+
+/// Configuration of the eager baseline (Sec. 4.4).
+struct EagerBaselineConfig {
+  /// The function to detect; the paper evaluates the baseline per function.
+  core::AggregationFunction function = core::AggregationFunction::kSum;
+
+  /// Maximum tolerable error level (same values as AggreCol for fairness).
+  double error_level = 0.0;
+
+  /// Wall-clock budget per file; the paper uses a 5-minute timeout and
+  /// observes that the baseline cannot finish many files within it.
+  double budget_seconds = 300.0;
+
+  /// Orientations to scan.
+  bool rows = true;
+  bool columns = true;
+
+  /// Hard cap on reported candidates. Zero-rich lines make every subset a
+  /// match, so an uncapped run can exhaust memory long before the time
+  /// budget; hitting the cap marks the run unfinished.
+  long long max_results = 1'000'000;
+};
+
+/// Outcome of a baseline run on one file.
+struct EagerBaselineResult {
+  std::vector<core::Aggregation> aggregations;
+
+  /// False when the time budget expired before the enumeration completed;
+  /// `aggregations` then holds the partial results found so far.
+  bool finished = true;
+
+  /// Wall-clock seconds actually spent.
+  double seconds = 0.0;
+};
+
+/// The eager baseline: for each numeric cell, traverses the permutations of
+/// all numeric cells in the same row (and column), treating each as a range
+/// candidate — O(n * 2^(n-1)) per line for sum/average and O(n^3) for the
+/// pairwise functions (Sec. 4.4). Every candidate within the error level is
+/// reported, which is what destroys the baseline's precision.
+EagerBaselineResult RunEagerBaseline(const numfmt::NumericGrid& grid,
+                                     const EagerBaselineConfig& config);
+
+}  // namespace aggrecol::baselines
+
+#endif  // AGGRECOL_BASELINES_EAGER_BASELINE_H_

@@ -1,0 +1,86 @@
+#include "baselines/keyword_baseline.h"
+
+#include "util/string_util.h"
+
+namespace aggrecol::baselines {
+
+const std::vector<std::string>& KeywordsFor(core::AggregationFunction function) {
+  static const std::vector<std::string> kSum = {"total", "all", "sum", "subtotal",
+                                                "overall"};
+  static const std::vector<std::string> kAverage = {"average", "avg", "mean",
+                                                    "per capita"};
+  static const std::vector<std::string> kDivision = {"share", "ratio", "proportion",
+                                                     "percent", "rate", "%"};
+  static const std::vector<std::string> kRelativeChange = {"change", "growth",
+                                                           "increase", "decrease"};
+  static const std::vector<std::string> kEmpty = {};
+  switch (function) {
+    case core::AggregationFunction::kSum:
+    case core::AggregationFunction::kDifference:
+      return kSum;
+    case core::AggregationFunction::kAverage:
+      return kAverage;
+    case core::AggregationFunction::kDivision:
+      return kDivision;
+    case core::AggregationFunction::kRelativeChange:
+      return kRelativeChange;
+  }
+  return kEmpty;
+}
+
+namespace {
+
+bool HasKeyword(const std::string& cell,
+                const std::vector<std::string>& keywords) {
+  for (const auto& keyword : keywords) {
+    if (util::ContainsIgnoreCase(cell, keyword)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+KeywordPrediction RunKeywordBaseline(const csv::Grid& grid,
+                                     const numfmt::NumericGrid& numeric,
+                                     core::AggregationFunction function) {
+  const std::vector<std::string>& keywords = KeywordsFor(function);
+  KeywordPrediction prediction;
+
+  // A column is flagged when any text cell above the first numeric cell of
+  // the column contains a keyword; a row is flagged when any text cell to the
+  // left of its first numeric cell does.
+  std::vector<bool> column_flagged(grid.columns(), false);
+  for (int col = 0; col < grid.columns(); ++col) {
+    for (int row = 0; row < grid.rows(); ++row) {
+      if (numeric.IsNumeric(row, col)) break;  // past the header zone
+      if (numeric.kind(row, col) == numfmt::CellKind::kText &&
+          HasKeyword(grid.at(row, col), keywords)) {
+        column_flagged[col] = true;
+        break;
+      }
+    }
+  }
+  std::vector<bool> row_flagged(grid.rows(), false);
+  for (int row = 0; row < grid.rows(); ++row) {
+    for (int col = 0; col < grid.columns(); ++col) {
+      if (numeric.IsNumeric(row, col)) break;
+      if (numeric.kind(row, col) == numfmt::CellKind::kText &&
+          HasKeyword(grid.at(row, col), keywords)) {
+        row_flagged[row] = true;
+        break;
+      }
+    }
+  }
+
+  for (int row = 0; row < grid.rows(); ++row) {
+    for (int col = 0; col < grid.columns(); ++col) {
+      if (!numeric.IsNumeric(row, col)) continue;
+      if (column_flagged[col] || row_flagged[row]) {
+        prediction.aggregate_cells.emplace_back(row, col);
+      }
+    }
+  }
+  return prediction;
+}
+
+}  // namespace aggrecol::baselines

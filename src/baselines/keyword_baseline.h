@@ -1,0 +1,37 @@
+#ifndef AGGRECOL_BASELINES_KEYWORD_BASELINE_H_
+#define AGGRECOL_BASELINES_KEYWORD_BASELINE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/function.h"
+#include "csv/grid.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::baselines {
+
+/// The keyword dictionary the paper probes for `function` (Sec. 1 and 4.4).
+/// For sum: total, all, sum, subtotal, overall; the other functions use
+/// dictionaries of their own.
+const std::vector<std::string>& KeywordsFor(core::AggregationFunction function);
+
+/// Cells predicted as aggregates by the keyword baseline.
+struct KeywordPrediction {
+  /// (row, column) pairs of numeric cells whose row or column header
+  /// contains one of the function's keywords.
+  std::vector<std::pair<int, int>> aggregate_cells;
+};
+
+/// Keyword-header baseline: a numeric cell is predicted to be an aggregate of
+/// `function` when a text cell heading its column (above it) or its row (to
+/// its left) contains one of the function's keywords. This is the unreliable
+/// approach the paper argues against: keywords miss ~40% of true sum
+/// aggregates and fire on many non-aggregate lines.
+KeywordPrediction RunKeywordBaseline(const csv::Grid& grid,
+                                     const numfmt::NumericGrid& numeric,
+                                     core::AggregationFunction function);
+
+}  // namespace aggrecol::baselines
+
+#endif  // AGGRECOL_BASELINES_KEYWORD_BASELINE_H_

@@ -1,0 +1,127 @@
+#include "cellclass/features.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace aggrecol::cellclass {
+namespace {
+
+bool ContainsAggregationKeyword(const std::string& text) {
+  static const char* const kKeywords[] = {"total", "sum",     "all",  "overall",
+                                          "average", "mean",  "avg",  "subtotal",
+                                          "share",   "change", "rate", "%"};
+  for (const char* keyword : kKeywords) {
+    if (util::ContainsIgnoreCase(text, keyword)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FeatureNames() {
+  static const std::vector<std::string>* const kNames = new std::vector<std::string>{
+      "is_numeric",        "is_empty",        "is_zero_like",    "log_magnitude",
+      "has_decimals",      "text_length",     "digit_fraction",  "alpha_fraction",
+      "starts_alpha",      "has_keyword",     "row_position",    "col_position",
+      "row_numeric_frac",  "col_numeric_frac", "row_empty_frac", "col_empty_frac",
+      "is_first_column",   "left_empty",      "above_empty",     "is_aggregate"};
+  return *kNames;
+}
+
+std::vector<std::vector<float>> ExtractFeatures(
+    const csv::Grid& grid, const numfmt::NumericGrid& numeric,
+    const std::vector<bool>& aggregate_cells) {
+  const int rows = grid.rows();
+  const int columns = grid.columns();
+
+  // Row/column context statistics.
+  std::vector<float> row_numeric(rows, 0.0f), row_empty(rows, 0.0f);
+  std::vector<float> col_numeric(columns, 0.0f), col_empty(columns, 0.0f);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < columns; ++j) {
+      const bool is_numeric = numeric.IsNumeric(i, j);
+      const bool is_empty = grid.IsEmpty(i, j);
+      row_numeric[i] += is_numeric ? 1.0f : 0.0f;
+      row_empty[i] += is_empty ? 1.0f : 0.0f;
+      col_numeric[j] += is_numeric ? 1.0f : 0.0f;
+      col_empty[j] += is_empty ? 1.0f : 0.0f;
+    }
+  }
+  for (int i = 0; i < rows; ++i) {
+    row_numeric[i] /= static_cast<float>(columns);
+    row_empty[i] /= static_cast<float>(columns);
+  }
+  for (int j = 0; j < columns; ++j) {
+    col_numeric[j] /= static_cast<float>(rows);
+    col_empty[j] /= static_cast<float>(rows);
+  }
+
+  std::vector<std::vector<float>> features;
+  features.reserve(static_cast<size_t>(rows) * columns);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < columns; ++j) {
+      const std::string& text = grid.at(i, j);
+      const bool is_numeric = numeric.IsNumeric(i, j);
+      const bool is_empty = grid.IsEmpty(i, j);
+      int digits = 0;
+      int alphas = 0;
+      for (char c : text) {
+        if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+        if (std::isalpha(static_cast<unsigned char>(c))) ++alphas;
+      }
+      const float length = static_cast<float>(text.size());
+      const double value = numeric.value(i, j);
+
+      std::vector<float> cell(kFeatureCount, 0.0f);
+      cell[0] = is_numeric ? 1.0f : 0.0f;
+      cell[1] = is_empty ? 1.0f : 0.0f;
+      cell[2] = numeric.IsRangeUsable(i, j) && value == 0.0 ? 1.0f : 0.0f;
+      cell[3] = is_numeric ? static_cast<float>(std::log1p(std::fabs(value))) : 0.0f;
+      cell[4] = is_numeric && value != std::floor(value) ? 1.0f : 0.0f;
+      cell[5] = length;
+      cell[6] = length > 0 ? digits / length : 0.0f;
+      cell[7] = length > 0 ? alphas / length : 0.0f;
+      cell[8] = !text.empty() && std::isalpha(static_cast<unsigned char>(text[0]))
+                    ? 1.0f
+                    : 0.0f;
+      cell[9] = ContainsAggregationKeyword(text) ? 1.0f : 0.0f;
+      cell[10] = rows > 1 ? static_cast<float>(i) / (rows - 1) : 0.0f;
+      cell[11] = columns > 1 ? static_cast<float>(j) / (columns - 1) : 0.0f;
+      cell[12] = row_numeric[i];
+      cell[13] = col_numeric[j];
+      cell[14] = row_empty[i];
+      cell[15] = col_empty[j];
+      cell[16] = j == 0 ? 1.0f : 0.0f;
+      cell[17] = j > 0 && grid.IsEmpty(i, j - 1) ? 1.0f : 0.0f;
+      cell[18] = i > 0 && grid.IsEmpty(i - 1, j) ? 1.0f : 0.0f;
+      cell[kAggregateFeature] =
+          aggregate_cells[static_cast<size_t>(i) * columns + j] ? 1.0f : 0.0f;
+      features.push_back(std::move(cell));
+    }
+  }
+  return features;
+}
+
+std::vector<bool> AggregateMask(const csv::Grid& grid,
+                                const std::vector<core::Aggregation>& aggregations) {
+  std::vector<bool> mask(static_cast<size_t>(grid.rows()) * grid.columns(), false);
+  for (const auto& aggregation : aggregations) {
+    int row = 0;
+    int col = 0;
+    if (aggregation.axis == core::Axis::kRow) {
+      row = aggregation.line;
+      col = aggregation.aggregate;
+    } else {
+      row = aggregation.aggregate;
+      col = aggregation.line;
+    }
+    if (row >= 0 && row < grid.rows() && col >= 0 && col < grid.columns()) {
+      mask[static_cast<size_t>(row) * grid.columns() + col] = true;
+    }
+  }
+  return mask;
+}
+
+}  // namespace aggrecol::cellclass

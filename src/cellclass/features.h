@@ -1,0 +1,40 @@
+#ifndef AGGRECOL_CELLCLASS_FEATURES_H_
+#define AGGRECOL_CELLCLASS_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "csv/grid.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::cellclass {
+
+/// Number of features produced per cell.
+inline constexpr int kFeatureCount = 20;
+
+/// Names of the features, index-aligned with the extracted vectors.
+const std::vector<std::string>& FeatureNames();
+
+/// Extracts per-cell feature vectors for every cell of `grid`, in row-major
+/// order. The feature set follows the spirit of Strudel's cell features
+/// (content, contextual, and computational): value/shape features of the cell
+/// text, row/column context ratios, and one binary *is-aggregate* feature
+/// (index kAggregateFeature) filled from `aggregate_cells`, the flattened
+/// (row * columns + col) indices of cells some detector marked as aggregates.
+/// Swapping that detector is exactly the Table 5 experiment (Sec. 4.6).
+std::vector<std::vector<float>> ExtractFeatures(
+    const csv::Grid& grid, const numfmt::NumericGrid& numeric,
+    const std::vector<bool>& aggregate_cells);
+
+/// Index of the binary is-aggregate feature.
+inline constexpr int kAggregateFeature = 19;
+
+/// Flattens detected aggregations into a per-cell aggregate mask for
+/// ExtractFeatures.
+std::vector<bool> AggregateMask(const csv::Grid& grid,
+                                const std::vector<core::Aggregation>& aggregations);
+
+}  // namespace aggrecol::cellclass
+
+#endif  // AGGRECOL_CELLCLASS_FEATURES_H_

@@ -1,0 +1,149 @@
+#include "cellclass/line_classifier.h"
+
+#include <cctype>
+
+#include "baselines/adjacent_only_detector.h"
+#include "cellclass/features.h"
+#include "core/aggrecol.h"
+#include "util/string_util.h"
+
+namespace aggrecol::cellclass {
+namespace {
+
+constexpr int kClassCount = static_cast<int>(eval::kAllCellRoles.size());
+
+}  // namespace
+
+std::vector<std::vector<float>> ExtractLineFeatures(
+    const csv::Grid& grid, const numfmt::NumericGrid& numeric,
+    const std::vector<core::Aggregation>& aggregations) {
+  const int rows = grid.rows();
+  const int columns = grid.columns();
+  const std::vector<bool> aggregate_mask = AggregateMask(grid, aggregations);
+
+  std::vector<std::vector<float>> features;
+  features.reserve(rows);
+  for (int i = 0; i < rows; ++i) {
+    int numeric_cells = 0;
+    int empty_cells = 0;
+    int text_cells = 0;
+    int aggregate_cells = 0;
+    float total_length = 0.0f;
+    for (int j = 0; j < columns; ++j) {
+      if (numeric.IsNumeric(i, j)) ++numeric_cells;
+      if (grid.IsEmpty(i, j)) ++empty_cells;
+      if (numeric.kind(i, j) == numfmt::CellKind::kText) ++text_cells;
+      if (aggregate_mask[static_cast<size_t>(i) * columns + j]) ++aggregate_cells;
+      total_length += static_cast<float>(grid.at(i, j).size());
+    }
+    const std::string& first = grid.at(i, 0);
+    const bool first_alpha =
+        !first.empty() && std::isalpha(static_cast<unsigned char>(first[0]));
+    const bool has_keyword = util::ContainsIgnoreCase(first, "total") ||
+                             util::ContainsIgnoreCase(first, "average") ||
+                             util::ContainsIgnoreCase(first, "sum") ||
+                             util::ContainsIgnoreCase(first, "source") ||
+                             util::ContainsIgnoreCase(first, "note");
+
+    std::vector<float> line(kLineFeatureCount, 0.0f);
+    line[0] = static_cast<float>(numeric_cells) / columns;
+    line[1] = static_cast<float>(empty_cells) / columns;
+    line[2] = static_cast<float>(text_cells) / columns;
+    line[3] = rows > 1 ? static_cast<float>(i) / (rows - 1) : 0.0f;
+    line[4] = i == 0 ? 1.0f : 0.0f;
+    line[5] = i == rows - 1 ? 1.0f : 0.0f;
+    line[6] = total_length / columns;
+    line[7] = first_alpha ? 1.0f : 0.0f;
+    line[8] = has_keyword ? 1.0f : 0.0f;
+    line[9] = first.empty() ? 1.0f : 0.0f;
+    // Only the leading cell is populated (titles, notes, group headers).
+    line[10] = (!first.empty() && empty_cells == columns - 1) ? 1.0f : 0.0f;
+    line[11] = i > 0 ? (grid.IsEmpty(i - 1, 0) ? 1.0f : 0.0f) : 1.0f;
+    line[12] = numeric_cells > 0 ? 1.0f : 0.0f;
+    line[kAggregateLineFeature] =
+        numeric_cells > 0 ? static_cast<float>(aggregate_cells) / numeric_cells : 0.0f;
+    features.push_back(std::move(line));
+  }
+  return features;
+}
+
+eval::CellRole DominantLineRole(const std::vector<eval::CellRole>& row_roles) {
+  std::array<int, eval::kAllCellRoles.size()> counts{};
+  for (eval::CellRole role : row_roles) {
+    if (role != eval::CellRole::kEmpty) ++counts[eval::IndexOf(role)];
+  }
+  int best = 0;  // kEmpty
+  int best_count = 0;
+  for (size_t r = 1; r < counts.size(); ++r) {
+    if (counts[r] > best_count) {
+      best = static_cast<int>(r);
+      best_count = counts[r];
+    }
+  }
+  return eval::kAllCellRoles[best];
+}
+
+LineExperimentResult RunLineExperiment(const std::vector<eval::AnnotatedFile>& files,
+                                       AggregateFeatureSource source, int folds,
+                                       const ForestConfig& forest_config) {
+  struct FileSamples {
+    std::vector<std::vector<float>> features;
+    std::vector<int> labels;
+  };
+  std::vector<FileSamples> samples;
+  samples.reserve(files.size());
+  for (const auto& file : files) {
+    const numfmt::NumericGrid numeric = numfmt::NumericGrid::FromGrid(file.grid);
+    std::vector<core::Aggregation> aggregations;
+    if (source == AggregateFeatureSource::kAdjacentOnly) {
+      aggregations = baselines::DetectAdjacentOnly(numeric, 0.01);
+    } else {
+      aggregations = core::AggreCol().Detect(numeric).aggregations;
+    }
+    FileSamples file_samples;
+    const auto features = ExtractLineFeatures(file.grid, numeric, aggregations);
+    for (int i = 0; i < file.grid.rows(); ++i) {
+      file_samples.features.push_back(features[i]);
+      file_samples.labels.push_back(
+          static_cast<int>(eval::IndexOf(DominantLineRole(file.roles[i]))));
+    }
+    samples.push_back(std::move(file_samples));
+  }
+
+  LineExperimentResult result;
+  int correct = 0;
+  for (int fold = 0; fold < folds; ++fold) {
+    Dataset train;
+    std::vector<std::vector<float>> test_features;
+    std::vector<int> test_labels;
+    for (size_t f = 0; f < samples.size(); ++f) {
+      auto& target_features =
+          static_cast<int>(f % folds) == fold ? test_features : train.features;
+      auto& target_labels =
+          static_cast<int>(f % folds) == fold ? test_labels : train.labels;
+      target_features.insert(target_features.end(), samples[f].features.begin(),
+                             samples[f].features.end());
+      target_labels.insert(target_labels.end(), samples[f].labels.begin(),
+                           samples[f].labels.end());
+    }
+    if (train.size() == 0 || test_labels.empty()) continue;
+
+    RandomForest forest(forest_config);
+    forest.Fit(train, kClassCount);
+    const std::vector<int> predictions = forest.PredictAll(test_features);
+    for (size_t i = 0; i < predictions.size(); ++i) {
+      ++result.lines;
+      if (predictions[i] == test_labels[i]) {
+        ++correct;
+        ++result.per_role[test_labels[i]].true_positives;
+      } else {
+        ++result.per_role[test_labels[i]].false_negatives;
+        ++result.per_role[predictions[i]].false_positives;
+      }
+    }
+  }
+  result.accuracy = result.lines > 0 ? static_cast<double>(correct) / result.lines : 0.0;
+  return result;
+}
+
+}  // namespace aggrecol::cellclass

@@ -1,0 +1,53 @@
+#ifndef AGGRECOL_CELLCLASS_LINE_CLASSIFIER_H_
+#define AGGRECOL_CELLCLASS_LINE_CLASSIFIER_H_
+
+#include <vector>
+
+#include "cellclass/random_forest.h"
+#include "cellclass/strudel_experiment.h"
+#include "core/aggregation.h"
+#include "csv/grid.h"
+#include "eval/annotations.h"
+#include "eval/cell_role.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::cellclass {
+
+/// Number of features produced per line (row).
+inline constexpr int kLineFeatureCount = 14;
+
+/// Index of the is-aggregate-line feature (the share of a row's numeric
+/// cells that act as aggregates) — the line-level analogue of Strudel's
+/// binary cell feature, fed from a detector's output.
+inline constexpr int kAggregateLineFeature = 13;
+
+/// Extracts one feature vector per row of `grid`: emptiness/numeric
+/// fractions, positional features, text-shape features of the leading cell,
+/// keyword presence, and the aggregate-cell share derived from
+/// `aggregations`. Line (row) classification is the sibling task of cell
+/// classification in the structure-detection literature the paper builds on
+/// (Sec. 5.1), with "aggregation" among the line types.
+std::vector<std::vector<float>> ExtractLineFeatures(
+    const csv::Grid& grid, const numfmt::NumericGrid& numeric,
+    const std::vector<core::Aggregation>& aggregations);
+
+/// Majority role of a row's non-empty cells; kEmpty for blank rows. This is
+/// how per-cell ground-truth roles induce line labels.
+eval::CellRole DominantLineRole(const std::vector<eval::CellRole>& row_roles);
+
+/// Cross-validated line-classification experiment, mirroring the Table 5
+/// cell-level setup: per-line-type F1 of a random forest whose aggregate
+/// feature comes either from the adjacency-only detector or from AggreCol.
+struct LineExperimentResult {
+  std::array<ClassScores, eval::kAllCellRoles.size()> per_role{};
+  double accuracy = 0.0;
+  int lines = 0;
+};
+
+LineExperimentResult RunLineExperiment(const std::vector<eval::AnnotatedFile>& files,
+                                       AggregateFeatureSource source, int folds,
+                                       const ForestConfig& forest_config = {});
+
+}  // namespace aggrecol::cellclass
+
+#endif  // AGGRECOL_CELLCLASS_LINE_CLASSIFIER_H_

@@ -1,0 +1,153 @@
+#include "cellclass/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace aggrecol::cellclass {
+namespace {
+
+// Gini impurity of class counts.
+double Gini(const std::vector<int>& counts, int total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (int count : counts) {
+    const double p = static_cast<double>(count) / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+int Majority(const std::vector<int>& counts) {
+  int best = 0;
+  for (size_t c = 1; c < counts.size(); ++c) {
+    if (counts[c] > counts[best]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+}  // namespace
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {}
+
+void RandomForest::Fit(const Dataset& data, int num_classes) {
+  num_classes_ = num_classes;
+  trees_.clear();
+  if (data.size() == 0) return;
+  std::mt19937_64 rng(config_.seed);
+  const int sample_count =
+      std::max(1, static_cast<int>(config_.bootstrap_fraction * data.size()));
+  for (int t = 0; t < config_.tree_count; ++t) {
+    std::vector<int> indices(sample_count);
+    std::uniform_int_distribution<int> pick(0, static_cast<int>(data.size()) - 1);
+    for (int& index : indices) index = pick(rng);
+    Tree tree;
+    GrowNode(&tree, data, indices, 0, sample_count, 0, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForest::GrowNode(Tree* tree, const Dataset& data, std::vector<int>& indices,
+                           int begin, int end, int depth, std::mt19937_64& rng) {
+  const int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+
+  std::vector<int> counts(num_classes_, 0);
+  for (int i = begin; i < end; ++i) ++counts[data.labels[indices[i]]];
+  const int total = end - begin;
+  tree->nodes[node_index].label = Majority(counts);
+
+  const double impurity = Gini(counts, total);
+  if (depth >= config_.max_depth || total < 2 * config_.min_samples_leaf ||
+      impurity == 0.0) {
+    return node_index;
+  }
+
+  const int feature_count = static_cast<int>(data.features[0].size());
+  int per_split = config_.features_per_split;
+  if (per_split <= 0) {
+    per_split = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(feature_count))));
+  }
+  std::vector<int> candidate_features(feature_count);
+  std::iota(candidate_features.begin(), candidate_features.end(), 0);
+  std::shuffle(candidate_features.begin(), candidate_features.end(), rng);
+  candidate_features.resize(std::min(per_split, feature_count));
+
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  double best_gain = 1e-9;
+  std::vector<int> sorted(indices.begin() + begin, indices.begin() + end);
+  for (int feature : candidate_features) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return data.features[a][feature] < data.features[b][feature];
+    });
+    std::vector<int> left_counts(num_classes_, 0);
+    std::vector<int> right_counts = counts;
+    for (int i = 0; i + 1 < total; ++i) {
+      const int label = data.labels[sorted[i]];
+      ++left_counts[label];
+      --right_counts[label];
+      const float value = data.features[sorted[i]][feature];
+      const float next_value = data.features[sorted[i + 1]][feature];
+      if (value == next_value) continue;
+      const int left_total = i + 1;
+      const int right_total = total - left_total;
+      if (left_total < config_.min_samples_leaf ||
+          right_total < config_.min_samples_leaf) {
+        continue;
+      }
+      const double gain = impurity -
+                          (left_total * Gini(left_counts, left_total) +
+                           right_total * Gini(right_counts, right_total)) /
+                              total;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = feature;
+        best_threshold = (value + next_value) / 2.0f;
+      }
+    }
+  }
+  if (best_feature < 0) return node_index;
+
+  // Partition [begin, end) in place.
+  const auto middle = std::partition(
+      indices.begin() + begin, indices.begin() + end, [&](int index) {
+        return data.features[index][best_feature] <= best_threshold;
+      });
+  const int split = static_cast<int>(middle - indices.begin());
+  if (split == begin || split == end) return node_index;
+
+  tree->nodes[node_index].feature = best_feature;
+  tree->nodes[node_index].threshold = best_threshold;
+  const int left = GrowNode(tree, data, indices, begin, split, depth + 1, rng);
+  tree->nodes[node_index].left = left;
+  const int right = GrowNode(tree, data, indices, split, end, depth + 1, rng);
+  tree->nodes[node_index].right = right;
+  return node_index;
+}
+
+int RandomForest::PredictTree(const Tree& tree, const std::vector<float>& features) const {
+  int node = 0;
+  while (tree.nodes[node].feature >= 0) {
+    node = features[tree.nodes[node].feature] <= tree.nodes[node].threshold
+               ? tree.nodes[node].left
+               : tree.nodes[node].right;
+  }
+  return tree.nodes[node].label;
+}
+
+int RandomForest::Predict(const std::vector<float>& features) const {
+  std::vector<int> votes(num_classes_, 0);
+  for (const Tree& tree : trees_) ++votes[PredictTree(tree, features)];
+  return Majority(votes);
+}
+
+std::vector<int> RandomForest::PredictAll(
+    const std::vector<std::vector<float>>& features) const {
+  std::vector<int> predictions;
+  predictions.reserve(features.size());
+  for (const auto& row : features) predictions.push_back(Predict(row));
+  return predictions;
+}
+
+}  // namespace aggrecol::cellclass

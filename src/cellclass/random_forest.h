@@ -1,0 +1,72 @@
+#ifndef AGGRECOL_CELLCLASS_RANDOM_FOREST_H_
+#define AGGRECOL_CELLCLASS_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace aggrecol::cellclass {
+
+/// A labeled dataset: row-major feature matrix plus integer class labels.
+struct Dataset {
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+
+  size_t size() const { return features.size(); }
+};
+
+/// Hyper-parameters of the forest.
+struct ForestConfig {
+  int tree_count = 24;
+  int max_depth = 12;
+  int min_samples_leaf = 3;
+  /// Features inspected per split; <= 0 means sqrt(feature count).
+  int features_per_split = 0;
+  /// Fraction of the training set bootstrapped per tree.
+  double bootstrap_fraction = 0.8;
+  uint64_t seed = 7;
+};
+
+/// A from-scratch random forest classifier (bagged CART trees with Gini
+/// impurity and per-split feature subsampling). This is the supervised
+/// substrate for the Strudel-style cell classification experiment (Table 5);
+/// no external ML dependency is available offline.
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig config = {});
+
+  /// Trains on `data`. Labels must be dense integers in [0, num_classes).
+  void Fit(const Dataset& data, int num_classes);
+
+  /// Predicts the class of one feature vector by majority vote.
+  int Predict(const std::vector<float>& features) const;
+
+  /// Predicts classes for a whole feature matrix.
+  std::vector<int> PredictAll(const std::vector<std::vector<float>>& features) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 for leaves
+    float threshold = 0.0f; // go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int label = 0;          // majority label (leaves)
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int GrowNode(Tree* tree, const Dataset& data, std::vector<int>& indices, int begin,
+               int end, int depth, std::mt19937_64& rng);
+  int PredictTree(const Tree& tree, const std::vector<float>& features) const;
+
+  ForestConfig config_;
+  int num_classes_ = 0;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace aggrecol::cellclass
+
+#endif  // AGGRECOL_CELLCLASS_RANDOM_FOREST_H_

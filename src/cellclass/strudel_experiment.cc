@@ -1,0 +1,105 @@
+#include "cellclass/strudel_experiment.h"
+
+#include "baselines/adjacent_only_detector.h"
+#include "cellclass/features.h"
+#include "core/aggrecol.h"
+
+namespace aggrecol::cellclass {
+namespace {
+
+// Dense class labels exclude kEmpty (index 0 of kAllCellRoles).
+constexpr int kClassCount = static_cast<int>(eval::kAllCellRoles.size()) - 1;
+
+int LabelOf(eval::CellRole role) { return static_cast<int>(eval::IndexOf(role)) - 1; }
+
+eval::CellRole RoleOfLabel(int label) { return eval::kAllCellRoles[label + 1]; }
+
+// Feature vectors and labels of one file's non-empty cells.
+struct FileSamples {
+  std::vector<std::vector<float>> features;
+  std::vector<int> labels;
+};
+
+FileSamples BuildSamples(const eval::AnnotatedFile& file,
+                         AggregateFeatureSource source) {
+  const numfmt::NumericGrid numeric = numfmt::NumericGrid::FromGrid(file.grid);
+
+  std::vector<core::Aggregation> aggregations;
+  if (source == AggregateFeatureSource::kAdjacentOnly) {
+    // The original Strudel feature: a single adjacency pass for sum/average
+    // with the same tolerance AggreCol uses for sum.
+    aggregations = baselines::DetectAdjacentOnly(numeric, 0.01);
+  } else {
+    aggregations = core::AggreCol().Detect(numeric).aggregations;
+  }
+  const std::vector<bool> mask = AggregateMask(file.grid, aggregations);
+  const auto all_features = ExtractFeatures(file.grid, numeric, mask);
+
+  FileSamples samples;
+  for (int i = 0; i < file.grid.rows(); ++i) {
+    for (int j = 0; j < file.grid.columns(); ++j) {
+      const eval::CellRole role = file.roles[i][j];
+      if (role == eval::CellRole::kEmpty) continue;
+      samples.features.push_back(
+          all_features[static_cast<size_t>(i) * file.grid.columns() + j]);
+      samples.labels.push_back(LabelOf(role));
+    }
+  }
+  return samples;
+}
+
+}  // namespace
+
+ExperimentResult RunStrudelExperiment(const std::vector<eval::AnnotatedFile>& files,
+                                      AggregateFeatureSource source, int folds,
+                                      const ForestConfig& forest_config) {
+  // Per-file samples, computed once.
+  std::vector<FileSamples> samples;
+  samples.reserve(files.size());
+  for (const auto& file : files) samples.push_back(BuildSamples(file, source));
+
+  ExperimentResult result;
+  int correct = 0;
+
+  for (int fold = 0; fold < folds; ++fold) {
+    Dataset train;
+    std::vector<std::vector<float>> test_features;
+    std::vector<int> test_labels;
+    for (size_t f = 0; f < samples.size(); ++f) {
+      const bool in_test = static_cast<int>(f % folds) == fold;
+      if (in_test) {
+        test_features.insert(test_features.end(), samples[f].features.begin(),
+                             samples[f].features.end());
+        test_labels.insert(test_labels.end(), samples[f].labels.begin(),
+                           samples[f].labels.end());
+      } else {
+        train.features.insert(train.features.end(), samples[f].features.begin(),
+                              samples[f].features.end());
+        train.labels.insert(train.labels.end(), samples[f].labels.begin(),
+                            samples[f].labels.end());
+      }
+    }
+    if (train.size() == 0 || test_labels.empty()) continue;
+
+    RandomForest forest(forest_config);
+    forest.Fit(train, kClassCount);
+    const std::vector<int> predictions = forest.PredictAll(test_features);
+
+    for (size_t i = 0; i < predictions.size(); ++i) {
+      const eval::CellRole truth = RoleOfLabel(test_labels[i]);
+      const eval::CellRole predicted = RoleOfLabel(predictions[i]);
+      ++result.cells;
+      if (truth == predicted) {
+        ++correct;
+        ++result.per_role[eval::IndexOf(truth)].true_positives;
+      } else {
+        ++result.per_role[eval::IndexOf(truth)].false_negatives;
+        ++result.per_role[eval::IndexOf(predicted)].false_positives;
+      }
+    }
+  }
+  result.accuracy = result.cells > 0 ? static_cast<double>(correct) / result.cells : 0.0;
+  return result;
+}
+
+}  // namespace aggrecol::cellclass

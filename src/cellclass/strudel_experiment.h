@@ -1,0 +1,59 @@
+#ifndef AGGRECOL_CELLCLASS_STRUDEL_EXPERIMENT_H_
+#define AGGRECOL_CELLCLASS_STRUDEL_EXPERIMENT_H_
+
+#include <array>
+#include <vector>
+
+#include "cellclass/random_forest.h"
+#include "eval/annotations.h"
+#include "eval/cell_role.h"
+
+namespace aggrecol::cellclass {
+
+/// Where the binary is-aggregate feature comes from (the Table 5 variable):
+/// Strudel's original adjacency-only sum/average detector, or the full
+/// three-stage AggreCol pipeline.
+enum class AggregateFeatureSource { kAdjacentOnly, kAggreCol };
+
+/// Per-class scores of the cell classifier.
+struct ClassScores {
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+
+  double Precision() const {
+    const int predicted = true_positives + false_positives;
+    return predicted == 0 ? 1.0 : static_cast<double>(true_positives) / predicted;
+  }
+  double Recall() const {
+    const int actual = true_positives + false_negatives;
+    return actual == 0 ? 1.0 : static_cast<double>(true_positives) / actual;
+  }
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Cross-validated result of one experiment variant.
+struct ExperimentResult {
+  /// Scores per cell role, indexed by eval::IndexOf(role). kEmpty is unused
+  /// (empty cells are not classified).
+  std::array<ClassScores, eval::kAllCellRoles.size()> per_role{};
+  double accuracy = 0.0;
+  int cells = 0;
+};
+
+/// Runs the Sec. 4.6 experiment: extracts Strudel-style features for every
+/// non-empty cell of `files` — with the is-aggregate feature filled from
+/// `source` — and evaluates a random-forest cell classifier by `folds`-fold
+/// cross-validation split at file granularity. Comparing the two sources
+/// reproduces Table 5 (Strudel^O vs Strudel^A).
+ExperimentResult RunStrudelExperiment(const std::vector<eval::AnnotatedFile>& files,
+                                      AggregateFeatureSource source, int folds,
+                                      const ForestConfig& forest_config = {});
+
+}  // namespace aggrecol::cellclass
+
+#endif  // AGGRECOL_CELLCLASS_STRUDEL_EXPERIMENT_H_

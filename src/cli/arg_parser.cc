@@ -1,0 +1,84 @@
+#include "cli/arg_parser.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace aggrecol::cli {
+
+ArgParser ArgParser::Parse(const std::vector<std::string>& args) {
+  ArgParser parsed;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& token = args[i];
+    if (token.rfind("--", 0) != 0) {
+      parsed.positionals_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const size_t equals = body.find('=');
+    if (equals != std::string::npos) {
+      parsed.options_[body.substr(0, equals)] = body.substr(equals + 1);
+      continue;
+    }
+    // `--key value` unless the next token is another option or missing.
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      parsed.options_[body] = args[i + 1];
+      ++i;
+    } else {
+      parsed.options_[body] = "";
+    }
+  }
+  return parsed;
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::optional<std::string> ArgParser::GetString(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+double ArgParser::GetDouble(const std::string& name, double fallback) const {
+  const auto value = GetString(name);
+  if (!value.has_value()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  return end == value->c_str() + value->size() ? parsed : fallback;
+}
+
+int ArgParser::GetInt(const std::string& name, int fallback) const {
+  const auto value = GetString(name);
+  if (!value.has_value()) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value->c_str(), &end, 10);
+  return end == value->c_str() + value->size() ? static_cast<int>(parsed) : fallback;
+}
+
+std::vector<std::string> ArgParser::GetList(const std::string& name) const {
+  const auto value = GetString(name);
+  if (!value.has_value()) return {};
+  std::vector<std::string> parts = util::Split(*value, ',');
+  std::erase_if(parts, [](const std::string& part) { return part.empty(); });
+  return parts;
+}
+
+std::vector<std::string> ArgParser::UnknownOptions(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : options_) {
+    bool found = false;
+    for (const auto& candidate : known) {
+      if (candidate == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace aggrecol::cli

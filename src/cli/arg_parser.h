@@ -1,0 +1,46 @@
+#ifndef AGGRECOL_CLI_ARG_PARSER_H_
+#define AGGRECOL_CLI_ARG_PARSER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aggrecol::cli {
+
+/// Parsed command-line arguments: positionals plus `--key=value`,
+/// `--key value`, and bare `--switch` options. A bare `--key` followed by
+/// another option (or the end of the line) is a boolean switch.
+class ArgParser {
+ public:
+  /// Parses `args` (excluding argv[0]). Never fails: the grammar accepts any
+  /// token sequence.
+  static ArgParser Parse(const std::vector<std::string>& args);
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// True when the option was given at all (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// Value of `--name`, or std::nullopt when absent or a bare switch.
+  std::optional<std::string> GetString(const std::string& name) const;
+
+  /// Typed accessors with defaults; malformed values return the default.
+  double GetDouble(const std::string& name, double fallback) const;
+  int GetInt(const std::string& name, int fallback) const;
+
+  /// Splits a comma-separated option value; empty when absent.
+  std::vector<std::string> GetList(const std::string& name) const;
+
+  /// Options that were provided but are not in `known`; used by commands to
+  /// reject typos instead of silently ignoring them.
+  std::vector<std::string> UnknownOptions(const std::vector<std::string>& known) const;
+
+ private:
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> options_;  // switch => empty value
+};
+
+}  // namespace aggrecol::cli
+
+#endif  // AGGRECOL_CLI_ARG_PARSER_H_

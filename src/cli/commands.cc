@@ -1,0 +1,377 @@
+#include "cli/commands.h"
+
+#include <set>
+
+#include "core/formula_export.h"
+#include "csv/parser.h"
+#include "csv/sniffer.h"
+#include "csv/writer.h"
+#include "datagen/corpus.h"
+#include "eval/annotations.h"
+#include "eval/dataset_io.h"
+#include "eval/file_level.h"
+#include "eval/metrics.h"
+#include "numfmt/numeric_grid.h"
+#include "util/file_io.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace aggrecol::cli {
+namespace {
+
+constexpr const char* kUsage = R"(aggrecol — aggregation detection in CSV files (AggreCol, EDBT 2022)
+
+usage:
+  aggrecol detect <file.csv> [options]      detect and print aggregations
+  aggrecol evaluate <file.csv> <truth>      score detections vs an annotation file
+  aggrecol sniff <file.csv>                 report dialect and number format
+  aggrecol generate [options]               write a synthetic annotated corpus
+  aggrecol benchmark <dir> [options]        evaluate a whole corpus directory
+  aggrecol help                             show this message
+
+detection options (detect, evaluate):
+  --error-level=E | --error-level=sum:0.01,division:0.03,...
+  --coverage=C          line aggregation coverage threshold (default 0.7)
+  --window=W            sliding window size (default 10)
+  --functions=LIST      sum,difference,average,division,relative-change
+  --stages=i|ic|ics     run only stage I, I+C, or all (default ics)
+  --axis=rows|columns|both
+  --split-tables        detect per blank-row-separated region
+  --no-empty-as-zero    do not interpret empty cells as zero
+  --output=text|annotations|grid|formulas   (detect only; default text)
+
+generate options:
+  --out=DIR             output directory (required)
+  --count=N             number of files (default 10)
+  --seed=S              corpus seed (default 42)
+  --profile=validation|unseen
+)";
+
+const std::vector<std::string> kDetectionOptions = {
+    "error-level", "coverage",         "window", "functions", "stages",
+    "axis",        "no-empty-as-zero", "output", "split-tables"};
+
+bool RejectUnknown(const ArgParser& args, const std::vector<std::string>& known,
+                   std::ostream& err) {
+  const auto unknown = args.UnknownOptions(known);
+  if (unknown.empty()) return true;
+  for (const auto& name : unknown) err << "unknown option: --" << name << "\n";
+  return false;
+}
+
+// Loads and parses a CSV file with a sniffed dialect.
+std::optional<csv::Grid> LoadGrid(const std::string& path, std::ostream& err) {
+  const auto text = util::ReadFile(path);
+  if (!text.has_value()) {
+    err << "cannot read '" << path << "'\n";
+    return std::nullopt;
+  }
+  const auto sniffed = csv::SniffDialect(*text);
+  return csv::ParseGrid(*text, sniffed.dialect);
+}
+
+}  // namespace
+
+bool ConfigFromArgs(const ArgParser& args, core::AggreColConfig* config,
+                    std::ostream& err) {
+  if (const auto spec = args.GetString("error-level"); spec.has_value()) {
+    if (spec->find(':') == std::string::npos) {
+      char* end = nullptr;
+      const double level = std::strtod(spec->c_str(), &end);
+      if (end != spec->c_str() + spec->size() || level < 0) {
+        err << "invalid --error-level '" << *spec << "'\n";
+        return false;
+      }
+      config->error_levels.fill(level);
+    } else {
+      for (const auto& entry : util::Split(*spec, ',')) {
+        const auto parts = util::Split(entry, ':');
+        if (parts.size() != 2) {
+          err << "invalid --error-level entry '" << entry << "'\n";
+          return false;
+        }
+        const auto function = core::FunctionFromName(parts[0]);
+        if (!function.has_value()) {
+          err << "unknown function '" << parts[0] << "'\n";
+          return false;
+        }
+        config->error_level(*function) = std::strtod(parts[1].c_str(), nullptr);
+      }
+    }
+  }
+  config->coverage = args.GetDouble("coverage", config->coverage);
+  config->window_size = args.GetInt("window", config->window_size);
+
+  if (args.Has("functions")) {
+    config->functions.clear();
+    for (const auto& name : args.GetList("functions")) {
+      const auto function = core::FunctionFromName(name);
+      if (!function.has_value()) {
+        err << "unknown function '" << name << "'\n";
+        return false;
+      }
+      config->functions.push_back(*function);
+    }
+    if (config->functions.empty()) {
+      err << "--functions lists no functions\n";
+      return false;
+    }
+  }
+
+  if (const auto stages = args.GetString("stages"); stages.has_value()) {
+    if (*stages == "i") {
+      config->run_collective = false;
+      config->run_supplemental = false;
+    } else if (*stages == "ic") {
+      config->run_supplemental = false;
+    } else if (*stages != "ics") {
+      err << "invalid --stages '" << *stages << "' (use i, ic, or ics)\n";
+      return false;
+    }
+  }
+
+  if (const auto axis = args.GetString("axis"); axis.has_value()) {
+    if (*axis == "rows") {
+      config->detect_columns = false;
+    } else if (*axis == "columns") {
+      config->detect_rows = false;
+    } else if (*axis != "both") {
+      err << "invalid --axis '" << *axis << "' (use rows, columns, or both)\n";
+      return false;
+    }
+  }
+
+  if (args.Has("no-empty-as-zero")) config->normalize.treat_empty_as_zero = false;
+  if (args.Has("split-tables")) config->split_tables = true;
+  return true;
+}
+
+int RunDetect(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  if (args.positionals().size() != 2) {
+    err << "usage: aggrecol detect <file.csv> [options]\n";
+    return 2;
+  }
+  if (!RejectUnknown(args, kDetectionOptions, err)) return 2;
+  core::AggreColConfig config;
+  if (!ConfigFromArgs(args, &config, err)) return 2;
+
+  const auto grid = LoadGrid(args.positionals()[1], err);
+  if (!grid.has_value()) return 1;
+
+  const auto result = core::AggreCol(config).Detect(*grid);
+  const std::string output = args.GetString("output").value_or("text");
+  if (output == "annotations") {
+    out << eval::SerializeAnnotations(result.aggregations);
+  } else if (output == "grid") {
+    // Render the table with every detected aggregate cell bracketed.
+    std::set<std::pair<int, int>> aggregate_cells;
+    for (const auto& aggregation : result.aggregations) {
+      const int row = aggregation.axis == core::Axis::kRow ? aggregation.line
+                                                           : aggregation.aggregate;
+      const int col = aggregation.axis == core::Axis::kRow ? aggregation.aggregate
+                                                           : aggregation.line;
+      aggregate_cells.insert({row, col});
+    }
+    util::TablePrinter printer;
+    for (int i = 0; i < grid->rows(); ++i) {
+      std::vector<std::string> row;
+      row.reserve(grid->columns());
+      for (int j = 0; j < grid->columns(); ++j) {
+        row.push_back(aggregate_cells.count({i, j}) > 0
+                          ? "[" + grid->at(i, j) + "]"
+                          : grid->at(i, j));
+      }
+      printer.AddRow(std::move(row));
+    }
+    printer.Print(out);
+    out << result.aggregations.size() << " aggregation(s); [cell] = aggregate\n";
+  } else if (output == "formulas") {
+    // Reconstructed spreadsheet formulas — input for formula-smell tools.
+    for (const auto& formula :
+         core::ExportFormulas(core::CanonicalizeAll(result.aggregations))) {
+      out << core::CellName(formula.row, formula.column) << ": " << formula.formula
+          << "\n";
+    }
+  } else if (output == "text") {
+    out << "file: " << args.positionals()[1] << "\n";
+    out << "number format: " << numfmt::ToString(result.format) << "\n";
+    out << "aggregations: " << result.aggregations.size() << "\n";
+    for (const auto& aggregation : result.aggregations) {
+      out << "  " << ToString(aggregation) << "\n";
+    }
+  } else {
+    err << "invalid --output '" << output
+        << "' (use text, annotations, grid, or formulas)\n";
+    return 2;
+  }
+  return 0;
+}
+
+int RunEvaluate(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  if (args.positionals().size() != 3) {
+    err << "usage: aggrecol evaluate <file.csv> <truth.annotations> [options]\n";
+    return 2;
+  }
+  if (!RejectUnknown(args, kDetectionOptions, err)) return 2;
+  core::AggreColConfig config;
+  if (!ConfigFromArgs(args, &config, err)) return 2;
+
+  const auto grid = LoadGrid(args.positionals()[1], err);
+  if (!grid.has_value()) return 1;
+  const auto truth_text = util::ReadFile(args.positionals()[2]);
+  if (!truth_text.has_value()) {
+    err << "cannot read '" << args.positionals()[2] << "'\n";
+    return 1;
+  }
+  const auto truth = eval::ParseAnnotations(*truth_text);
+  if (!truth.has_value()) {
+    err << "malformed annotation file '" << args.positionals()[2] << "'\n";
+    return 1;
+  }
+
+  const auto result = core::AggreCol(config).Detect(*grid);
+  util::TablePrinter printer;
+  printer.SetHeader({"function", "precision", "recall", "F1", "correct", "wrong",
+                     "missed"});
+  auto add_row = [&printer, &result, &truth](const std::string& label,
+                                             eval::FunctionFilter filter) {
+    const auto scores = eval::Score(result.aggregations, *truth, filter);
+    if (filter.has_value() && scores.correct + scores.missed == 0 &&
+        scores.incorrect == 0) {
+      return;  // function absent from both sides
+    }
+    printer.AddRow({label, util::FormatDouble(scores.precision, 3),
+                    util::FormatDouble(scores.recall, 3),
+                    util::FormatDouble(scores.F1(), 3),
+                    std::to_string(scores.correct), std::to_string(scores.incorrect),
+                    std::to_string(scores.missed)});
+  };
+  add_row("sum (incl. difference)", core::AggregationFunction::kSum);
+  add_row("average", core::AggregationFunction::kAverage);
+  add_row("division", core::AggregationFunction::kDivision);
+  add_row("relative change", core::AggregationFunction::kRelativeChange);
+  add_row("overall", std::nullopt);
+  printer.Print(out);
+  return 0;
+}
+
+int RunSniff(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  if (args.positionals().size() != 2) {
+    err << "usage: aggrecol sniff <file.csv>\n";
+    return 2;
+  }
+  const auto text = util::ReadFile(args.positionals()[1]);
+  if (!text.has_value()) {
+    err << "cannot read '" << args.positionals()[1] << "'\n";
+    return 1;
+  }
+  const auto sniffed = csv::SniffDialect(*text);
+  const auto grid = csv::ParseGrid(*text, sniffed.dialect);
+  const auto format = numfmt::ElectFormat(grid);
+  const auto numeric = numfmt::NumericGrid::FromGrid(grid, format);
+  int numeric_cells = 0;
+  for (int i = 0; i < numeric.rows(); ++i) numeric_cells += numeric.NumericCountInRow(i);
+
+  out << "dialect:       " << ToString(sniffed.dialect) << "\n";
+  out << "number format: " << numfmt::ToString(format) << "\n";
+  out << "shape:         " << grid.rows() << " rows x " << grid.columns()
+      << " columns\n";
+  out << "numeric cells: " << numeric_cells << " of " << grid.CountNonEmpty()
+      << " non-empty\n";
+  return 0;
+}
+
+int RunGenerate(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  if (!RejectUnknown(args, {"out", "count", "seed", "profile"}, err)) return 2;
+  const auto out_dir = args.GetString("out");
+  if (!out_dir.has_value()) {
+    err << "usage: aggrecol generate --out=DIR [--count=N] [--seed=S] "
+           "[--profile=validation|unseen]\n";
+    return 2;
+  }
+  datagen::CorpusSpec spec = datagen::ValidationCorpus();
+  if (args.GetString("profile").value_or("validation") == "unseen") {
+    spec = datagen::UnseenCorpus();
+  }
+  spec.name = "generated";
+  spec.file_count = args.GetInt("count", 10);
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  const auto files = datagen::GenerateCorpus(spec);
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (!eval::SaveAnnotatedFile(*out_dir, "file_" + std::to_string(i), files[i])) {
+      err << "cannot write into '" << *out_dir << "'\n";
+      return 1;
+    }
+  }
+  out << "wrote " << files.size() << " file pairs (.csv + .annotations) to "
+      << *out_dir << "\n";
+  return 0;
+}
+
+int RunBenchmark(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  if (args.positionals().size() != 2) {
+    err << "usage: aggrecol benchmark <corpus-dir> [options]\n";
+    return 2;
+  }
+  if (!RejectUnknown(args, kDetectionOptions, err)) return 2;
+  core::AggreColConfig config;
+  if (!ConfigFromArgs(args, &config, err)) return 2;
+
+  const auto files = eval::LoadCorpusDirectory(args.positionals()[1]);
+  if (!files.has_value()) {
+    err << "cannot load corpus from '" << args.positionals()[1] << "'\n";
+    return 1;
+  }
+  if (files->empty()) {
+    err << "no .csv files in '" << args.positionals()[1] << "'\n";
+    return 1;
+  }
+
+  core::AggreCol detector(config);
+  std::vector<eval::Scores> per_file;
+  per_file.reserve(files->size());
+  for (const auto& file : *files) {
+    const auto result = detector.Detect(file.grid);
+    per_file.push_back(eval::Score(result.aggregations, file.annotations));
+  }
+  const auto total = eval::Accumulate(per_file);
+  const auto histograms = eval::BuildFileLevel(per_file);
+
+  out << "corpus: " << args.positionals()[1] << " (" << files->size()
+      << " files)\n";
+  util::TablePrinter printer;
+  printer.SetHeader({"metric", "value"});
+  printer.AddRow({"precision", util::FormatDouble(total.precision, 3)});
+  printer.AddRow({"recall", util::FormatDouble(total.recall, 3)});
+  printer.AddRow({"F1", util::FormatDouble(total.F1(), 3)});
+  printer.AddRow({"files with precision > 0.95",
+                  util::FormatDouble(100.0 * histograms.precision.Fraction(4), 1) + "%"});
+  printer.AddRow({"files with recall > 0.95",
+                  util::FormatDouble(100.0 * histograms.recall.Fraction(4), 1) + "%"});
+  printer.Print(out);
+  return 0;
+}
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  const ArgParser parsed = ArgParser::Parse(args);
+  if (parsed.positionals().empty()) {
+    out << kUsage;
+    return 2;
+  }
+  const std::string& command = parsed.positionals()[0];
+  if (command == "detect") return RunDetect(parsed, out, err);
+  if (command == "evaluate") return RunEvaluate(parsed, out, err);
+  if (command == "sniff") return RunSniff(parsed, out, err);
+  if (command == "generate") return RunGenerate(parsed, out, err);
+  if (command == "benchmark") return RunBenchmark(parsed, out, err);
+  if (command == "help") {
+    out << kUsage;
+    return 0;
+  }
+  err << "unknown command '" << command << "'\n" << kUsage;
+  return 2;
+}
+
+}  // namespace aggrecol::cli

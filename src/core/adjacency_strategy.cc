@@ -1,0 +1,62 @@
+#include "core/adjacency_strategy.h"
+
+#include <algorithm>
+
+namespace aggrecol::core {
+namespace {
+
+// Grows the adjacency list from `aggregate_col` in direction `step` (+1 or
+// -1) and returns the first matching aggregation, if any.
+std::optional<Aggregation> SearchDirection(const numfmt::NumericGrid& grid,
+                                           const std::vector<bool>& active_columns,
+                                           int row, int aggregate_col, int step,
+                                           AggregationFunction function,
+                                           double error_level) {
+  const double observed = grid.value(row, aggregate_col);
+  const int min_range = MinRangeSize(function);
+  std::vector<int> range;
+  double running_sum = 0.0;
+  for (int col = aggregate_col + step; col >= 0 && col < grid.columns(); col += step) {
+    if (!active_columns[col]) continue;
+    if (!grid.IsRangeUsable(row, col)) continue;  // text cells are skipped
+    range.push_back(col);
+    running_sum += grid.value(row, col);
+    if (static_cast<int>(range.size()) < min_range) continue;
+    const double calculated = function == AggregationFunction::kAverage
+                                  ? running_sum / static_cast<double>(range.size())
+                                  : running_sum;
+    if (WithinErrorLevel(ErrorLevel(observed, calculated), error_level)) {
+      Aggregation found;
+      found.axis = Axis::kRow;
+      found.line = row;
+      found.aggregate = aggregate_col;
+      found.range = range;
+      if (step < 0) std::reverse(found.range.begin(), found.range.end());
+      found.function = function;
+      found.error = ErrorLevel(observed, calculated);
+      return found;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<Aggregation> DetectAdjacentCommutative(
+    const numfmt::NumericGrid& grid, const std::vector<bool>& active_columns,
+    int row, AggregationFunction function, double error_level) {
+  std::vector<Aggregation> found;
+  for (int j = 0; j < grid.columns(); ++j) {
+    if (!active_columns[j]) continue;
+    if (!grid.IsNumeric(row, j)) continue;  // aggregates must be explicit numbers
+    for (int step : {+1, -1}) {
+      if (auto aggregation = SearchDirection(grid, active_columns, row, j, step,
+                                             function, error_level)) {
+        found.push_back(std::move(*aggregation));
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace aggrecol::core

@@ -1,0 +1,28 @@
+#ifndef AGGRECOL_CORE_ADJACENCY_STRATEGY_H_
+#define AGGRECOL_CORE_ADJACENCY_STRATEGY_H_
+
+#include <vector>
+
+#include "core/aggregation.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::core {
+
+/// Adjacency-list strategy (Sec. 3.1) for commutative functions (sum,
+/// average): for every numeric aggregate candidate in `row`, grow an
+/// adjacency list of the closest range-usable cells on each side — skipping
+/// text cells and inactive columns — and report the first list whose
+/// aggregated value matches the candidate within `error_level`. The search of
+/// a side stops greedily at the first match (the extension step later
+/// recovers longer true ranges; cf. the Figure 5 discussion).
+///
+/// `active_columns` masks columns logically removed by the cumulative
+/// iteration of Alg. 1 or by the supplemental stage's constructed files.
+/// Results are row-wise in the coordinates of `grid`.
+std::vector<Aggregation> DetectAdjacentCommutative(
+    const numfmt::NumericGrid& grid, const std::vector<bool>& active_columns,
+    int row, AggregationFunction function, double error_level);
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_ADJACENCY_STRATEGY_H_

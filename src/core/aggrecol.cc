@@ -1,0 +1,241 @@
+#include "core/aggrecol.h"
+
+#include <algorithm>
+#include <future>
+#include <set>
+
+#include "core/collective_detector.h"
+#include "core/individual_detector.h"
+#include "core/supplemental_detector.h"
+#include "csv/parser.h"
+#include "csv/sniffer.h"
+#include "structure/table_splitter.h"
+#include "util/stopwatch.h"
+
+namespace aggrecol::core {
+namespace {
+
+// Converts aggregations found row-wise on a (possibly transposed) grid into
+// the requested axis. For kColumn, the detector ran on the transpose, so the
+// local row index is the original column (the shared line) and the local
+// column indices are original rows; the field semantics already encode this,
+// only the axis tag changes.
+std::vector<Aggregation> TagAxis(std::vector<Aggregation> aggregations, Axis axis) {
+  for (auto& aggregation : aggregations) aggregation.axis = axis;
+  return aggregations;
+}
+
+void AppendUnique(std::vector<Aggregation>* out, const std::vector<Aggregation>& in) {
+  // Set-based dedup: large files carry thousands of detections and a linear
+  // scan per insertion turns the driver quadratic.
+  std::set<Aggregation, bool (*)(const Aggregation&, const Aggregation&)> seen(
+      &AggregationLess);
+  for (const auto& aggregation : *out) seen.insert(aggregation);
+  for (const auto& aggregation : in) {
+    if (seen.insert(aggregation).second) {
+      out->push_back(aggregation);
+    }
+  }
+}
+
+}  // namespace
+
+AggreCol::AggreCol(AggreColConfig config) : config_(std::move(config)) {}
+
+DetectionResult AggreCol::Detect(const csv::Grid& grid) const {
+  // The number format is elected once for the whole file (Sec. 4.2).
+  const numfmt::NumberFormat format = numfmt::ElectFormat(grid);
+  if (!config_.split_tables) {
+    return Detect(numfmt::NumericGrid::FromGrid(grid, format, config_.normalize));
+  }
+
+  const auto regions = structure::SplitTables(grid);
+  if (regions.size() <= 1) {
+    return Detect(numfmt::NumericGrid::FromGrid(grid, format, config_.normalize));
+  }
+
+  // Detect per region and shift row indices back into file coordinates.
+  DetectionResult merged;
+  merged.format = format;
+  for (const auto& region : regions) {
+    const csv::Grid slice = grid.SubRows(region.first_row, region.row_count);
+    DetectionResult result =
+        Detect(numfmt::NumericGrid::FromGrid(slice, format, config_.normalize));
+    auto shift = [&region](std::vector<Aggregation>* aggregations) {
+      for (auto& aggregation : *aggregations) {
+        if (aggregation.axis == Axis::kRow) {
+          aggregation.line += region.first_row;
+        } else {
+          aggregation.aggregate += region.first_row;
+          for (int& index : aggregation.range) index += region.first_row;
+        }
+      }
+    };
+    shift(&result.aggregations);
+    shift(&result.individual_stage);
+    shift(&result.collective_stage);
+    for (auto& composite : result.composites) {
+      if (composite.axis == Axis::kRow) {
+        composite.line += region.first_row;
+      } else {
+        composite.aggregate += region.first_row;
+        composite.denominator += region.first_row;
+        for (int& index : composite.numerator) index += region.first_row;
+      }
+    }
+    merged.aggregations.insert(merged.aggregations.end(),
+                               result.aggregations.begin(),
+                               result.aggregations.end());
+    merged.individual_stage.insert(merged.individual_stage.end(),
+                                   result.individual_stage.begin(),
+                                   result.individual_stage.end());
+    merged.collective_stage.insert(merged.collective_stage.end(),
+                                   result.collective_stage.begin(),
+                                   result.collective_stage.end());
+    merged.composites.insert(merged.composites.end(), result.composites.begin(),
+                             result.composites.end());
+    merged.seconds_individual += result.seconds_individual;
+    merged.seconds_collective += result.seconds_collective;
+    merged.seconds_supplemental += result.seconds_supplemental;
+  }
+  return merged;
+}
+
+DetectionResult AggreCol::DetectText(std::string_view csv_text) const {
+  const csv::SniffResult sniffed = csv::SniffDialect(csv_text);
+  return Detect(csv::ParseGrid(csv_text, sniffed.dialect));
+}
+
+DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
+  DetectionResult result;
+  result.format = numeric.format();
+
+  struct AxisView {
+    Axis axis;
+    numfmt::NumericGrid grid;
+  };
+  std::vector<AxisView> views;
+  if (config_.detect_rows) views.push_back({Axis::kRow, numeric});
+  if (config_.detect_columns) views.push_back({Axis::kColumn, numeric.Transposed()});
+
+  util::Stopwatch stopwatch;
+
+  // Stage 1: individual detection per function, per axis. Each (axis,
+  // function) run is independent — the parallelism the paper points out in
+  // Sec. 4.4; results are merged in a fixed order so any thread count yields
+  // identical output.
+  std::vector<std::vector<Aggregation>> per_axis_individual(views.size());
+  {
+    struct Job {
+      size_t view;
+      AggregationFunction function;
+    };
+    std::vector<Job> jobs;
+    for (size_t v = 0; v < views.size(); ++v) {
+      for (AggregationFunction function : config_.functions) {
+        jobs.push_back({v, function});
+      }
+    }
+    // Per-row threads nest under the per-job fan-out only when there are
+    // more workers than jobs (avoids oversubscription).
+    const int row_threads =
+        std::max(1, config_.threads / std::max<int>(1, static_cast<int>(jobs.size())));
+    auto run_job = [this, &views, row_threads](const Job& job) {
+      IndividualConfig individual;
+      individual.error_level = config_.error_level(job.function);
+      individual.coverage = config_.coverage;
+      individual.window_size = config_.window_size;
+      individual.rules = config_.pruning_rules;
+      individual.threads = row_threads;
+      return DetectIndividualRowwise(views[job.view].grid, job.function, individual);
+    };
+    std::vector<std::vector<Aggregation>> job_results(jobs.size());
+    if (config_.threads > 1) {
+      std::vector<std::future<std::vector<Aggregation>>> futures;
+      futures.reserve(jobs.size());
+      for (const Job& job : jobs) {
+        futures.push_back(
+            std::async(std::launch::async, [&run_job, &job] { return run_job(job); }));
+      }
+      for (size_t j = 0; j < jobs.size(); ++j) job_results[j] = futures[j].get();
+    } else {
+      for (size_t j = 0; j < jobs.size(); ++j) job_results[j] = run_job(jobs[j]);
+    }
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      AppendUnique(&per_axis_individual[jobs[j].view], job_results[j]);
+    }
+    for (size_t v = 0; v < views.size(); ++v) {
+      AppendUnique(&result.individual_stage,
+                   TagAxis(per_axis_individual[v], views[v].axis));
+    }
+  }
+  result.seconds_individual = stopwatch.ElapsedSeconds();
+
+  // Stage 2: collective cross-function pruning, per axis.
+  stopwatch.Reset();
+  std::vector<std::vector<Aggregation>> per_axis_collective(views.size());
+  for (size_t v = 0; v < views.size(); ++v) {
+    per_axis_collective[v] =
+        config_.run_collective
+            ? CollectivePrune(views[v].grid, per_axis_individual[v])
+            : per_axis_individual[v];
+    AppendUnique(&result.collective_stage,
+                 TagAxis(per_axis_collective[v], views[v].axis));
+  }
+  result.seconds_collective = stopwatch.ElapsedSeconds();
+
+  // Stage 3: supplemental detection of interrupt aggregations, per axis.
+  stopwatch.Reset();
+  result.aggregations = result.collective_stage;
+  if (config_.run_supplemental) {
+    SupplementalConfig supplemental;
+    supplemental.functions = config_.functions;
+    supplemental.error_levels = config_.error_levels;
+    supplemental.coverage = config_.coverage;
+    supplemental.window_size = config_.window_size;
+    supplemental.rules = config_.pruning_rules;
+    supplemental.threads = config_.threads;
+    supplemental.max_configurations = config_.max_configurations;
+    auto run_view = [&](size_t v) {
+      return DetectSupplementalRowwise(views[v].grid, supplemental,
+                                       per_axis_collective[v]);
+    };
+    std::vector<std::vector<Aggregation>> extras(views.size());
+    if (config_.threads > 1 && views.size() > 1) {
+      std::vector<std::future<std::vector<Aggregation>>> futures;
+      for (size_t v = 0; v < views.size(); ++v) {
+        futures.push_back(
+            std::async(std::launch::async, [&run_view, v] { return run_view(v); }));
+      }
+      for (size_t v = 0; v < views.size(); ++v) extras[v] = futures[v].get();
+    } else {
+      for (size_t v = 0; v < views.size(); ++v) extras[v] = run_view(v);
+    }
+    for (size_t v = 0; v < views.size(); ++v) {
+      AppendUnique(&result.aggregations, TagAxis(extras[v], views[v].axis));
+    }
+    // Final per-axis sets (local coordinates) for the optional composite pass.
+    for (size_t v = 0; v < views.size(); ++v) {
+      AppendUnique(&per_axis_collective[v], extras[v]);
+    }
+  }
+  result.seconds_supplemental = stopwatch.ElapsedSeconds();
+
+  // Optional extension: composite sum-then-divide aggregations (Sec. 6).
+  if (config_.detect_composites) {
+    for (size_t v = 0; v < views.size(); ++v) {
+      auto composites = DetectCompositeRowwise(views[v].grid, config_.composite,
+                                               per_axis_collective[v]);
+      for (auto& composite : composites) {
+        composite.axis = views[v].axis;
+        if (std::find(result.composites.begin(), result.composites.end(),
+                      composite) == result.composites.end()) {
+          result.composites.push_back(std::move(composite));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace aggrecol::core

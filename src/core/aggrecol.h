@@ -1,0 +1,135 @@
+#ifndef AGGRECOL_CORE_AGGRECOL_H_
+#define AGGRECOL_CORE_AGGRECOL_H_
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/composite_detector.h"
+#include "core/function.h"
+#include "core/pruning.h"
+#include "csv/grid.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::core {
+
+/// Full configuration of the three-stage AggreCol pipeline (Sec. 3).
+struct AggreColConfig {
+  /// Per-function maximum error level, indexed by IndexOf(). Defaults are
+  /// the per-function optima selected on the VALIDATION corpus (Sec. 4.3.2 /
+  /// Fig. 7 methodology; regenerate with bench/fig7_error_levels).
+  std::array<double, kAllFunctions.size()> error_levels = {
+      /*sum=*/0.01, /*difference=*/0.01, /*average=*/0.01,
+      /*division=*/0.03, /*relative change=*/0.03};
+
+  /// Line aggregation coverage threshold cov (best average F1 at 0.7).
+  double coverage = 0.7;
+
+  /// Sliding-window size (fixed at 10 in the paper).
+  int window_size = 10;
+
+  /// Which aggregation functions to detect.
+  std::vector<AggregationFunction> functions = {
+      AggregationFunction::kSum, AggregationFunction::kDifference,
+      AggregationFunction::kAverage, AggregationFunction::kDivision,
+      AggregationFunction::kRelativeChange};
+
+  /// Detect row-wise / column-wise aggregations (both by default, Sec. 3).
+  bool detect_rows = true;
+  bool detect_columns = true;
+
+  /// Stage toggles, used by the Fig. 8 stage-ablation experiment: "I" runs
+  /// only individual detection, "C" adds collective pruning, "S" adds the
+  /// supplemental stage.
+  bool run_collective = true;
+  bool run_supplemental = true;
+
+  /// Cap on constructed files per supplemental detector run (see
+  /// SupplementalConfig::max_configurations).
+  int max_configurations = 64;
+
+  /// Stage-1/3 pruning-step toggles (ablation; all on by default).
+  PruningRules pruning_rules;
+
+  /// Worker threads for the embarrassingly parallel parts (the per-function,
+  /// per-axis individual detectors and the per-axis supplemental stage). The
+  /// paper notes the individual detectors "can be easily implemented in
+  /// parallel to improve efficiency" (Sec. 4.4); 1 = sequential. Results are
+  /// bit-identical for any thread count.
+  int threads = 1;
+
+  /// Split the file into blank-row-separated regions and detect per region
+  /// (structure-detection extension): verbose files often stack several
+  /// tables, and whole-file pattern coverage dilutes when their layouts
+  /// differ. Off by default — the paper processes files whole.
+  bool split_tables = false;
+
+  /// Opt-in detection of sum-then-divide composite aggregations — the
+  /// multi-function future work of the paper's Sec. 6. Off by default to
+  /// keep the core pipeline the paper's.
+  bool detect_composites = false;
+  CompositeConfig composite;
+
+  /// Number normalization behaviour (Sec. 4.2 and zero conventions).
+  numfmt::NormalizeOptions normalize;
+
+  double& error_level(AggregationFunction function) {
+    return error_levels[IndexOf(function)];
+  }
+  double error_level(AggregationFunction function) const {
+    return error_levels[IndexOf(function)];
+  }
+};
+
+/// Output of a full pipeline run, with per-stage snapshots for the Fig. 8
+/// ablation and per-stage timings for the runtime analysis (Sec. 4.4).
+struct DetectionResult {
+  /// Final detections (after every enabled stage), deduplicated.
+  std::vector<Aggregation> aggregations;
+
+  /// Snapshot after stage 1 (union of all individual detectors, both axes).
+  std::vector<Aggregation> individual_stage;
+
+  /// Snapshot after stage 2 (collective pruning; == individual_stage when
+  /// the stage is disabled).
+  std::vector<Aggregation> collective_stage;
+
+  /// Composite sum-then-divide aggregations (only when
+  /// AggreColConfig::detect_composites is set).
+  std::vector<CompositeAggregation> composites;
+
+  /// Number format elected for the file (Sec. 4.2).
+  numfmt::NumberFormat format = numfmt::NumberFormat::kCommaDot;
+
+  /// Wall-clock seconds spent per stage.
+  double seconds_individual = 0.0;
+  double seconds_collective = 0.0;
+  double seconds_supplemental = 0.0;
+};
+
+/// The three-stage AggreCol detector (Sec. 3): individual detection per
+/// aggregation function, collective cross-function pruning, and supplemental
+/// detection of interrupt aggregations on derived files.
+class AggreCol {
+ public:
+  explicit AggreCol(AggreColConfig config = {});
+
+  /// Detects aggregations in a parsed grid; elects the number format first.
+  DetectionResult Detect(const csv::Grid& grid) const;
+
+  /// Detects aggregations in an already-normalized numeric grid.
+  DetectionResult Detect(const numfmt::NumericGrid& numeric) const;
+
+  /// Convenience: sniffs the dialect, parses, and detects.
+  DetectionResult DetectText(std::string_view csv_text) const;
+
+  const AggreColConfig& config() const { return config_; }
+
+ private:
+  AggreColConfig config_;
+};
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_AGGRECOL_H_

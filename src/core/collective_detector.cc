@@ -1,0 +1,80 @@
+#include "core/collective_detector.h"
+
+#include <algorithm>
+
+#include "core/pruning.h"
+
+namespace aggrecol::core {
+namespace {
+
+bool RangesOverlap(const std::vector<int>& a, const std::vector<int>& b) {
+  for (int index : a) {
+    if (std::find(b.begin(), b.end(), index) != b.end()) return true;
+  }
+  return false;
+}
+
+// Same aggregate with (partly) shared range: a cell acting as the aggregate
+// of one function should not aggregate an overlapping range with another.
+bool SameAggregateOverlappingRange(const Pattern& a, const Pattern& b) {
+  if (a.axis != b.axis) return false;
+  if (a.aggregate != b.aggregate) return false;
+  return RangesOverlap(a.range, b.range);
+}
+
+}  // namespace
+
+std::vector<Aggregation> CollectivePrune(const numfmt::NumericGrid& grid,
+                                         const std::vector<Aggregation>& candidates) {
+  std::vector<PatternGroup> groups = GroupByPattern(grid, candidates);
+
+  // Rank by (i) range size, (ii) number of detected aggregations; pattern
+  // order as a deterministic final tie-break.
+  std::sort(groups.begin(), groups.end(),
+            [](const PatternGroup& a, const PatternGroup& b) {
+              if (a.pattern.range.size() != b.pattern.range.size()) {
+                return a.pattern.range.size() > b.pattern.range.size();
+              }
+              if (a.members.size() != b.members.size()) {
+                return a.members.size() > b.members.size();
+              }
+              return a.pattern < b.pattern;
+            });
+
+  // Division aggregations can always be included (Sec. 3.2): a part-of-whole
+  // division legitimately overlaps the sum that produced the whole. They are
+  // therefore accepted up front and exempt from being pruned — but they do
+  // expose *circular* calculations: a non-division candidate that is mutually
+  // inclusive with a division (e.g. the relative change implied by a ratio's
+  // own denominator) is pruned against them.
+  std::vector<const PatternGroup*> divisions;
+  std::vector<Aggregation> out;
+  for (const auto& group : groups) {
+    if (group.pattern.function == AggregationFunction::kDivision) {
+      divisions.push_back(&group);
+      out.insert(out.end(), group.members.begin(), group.members.end());
+    }
+  }
+
+  std::vector<const PatternGroup*> accepted;
+  for (const auto& group : groups) {
+    if (group.pattern.function == AggregationFunction::kDivision) continue;
+    const bool conflicts =
+        std::any_of(accepted.begin(), accepted.end(),
+                    [&group](const PatternGroup* other) {
+                      return CompleteInclusion(group.pattern, other->pattern) ||
+                             MutualInclusion(group.pattern, other->pattern) ||
+                             SameAggregateOverlappingRange(group.pattern, other->pattern);
+                    }) ||
+        std::any_of(divisions.begin(), divisions.end(),
+                    [&group](const PatternGroup* division) {
+                      return MutualInclusion(group.pattern, division->pattern);
+                    });
+    if (conflicts) continue;
+    accepted.push_back(&group);
+    out.insert(out.end(), group.members.begin(), group.members.end());
+  }
+  return out;
+}
+
+}  // namespace aggrecol::core

@@ -1,0 +1,28 @@
+#ifndef AGGRECOL_CORE_COLLECTIVE_DETECTOR_H_
+#define AGGRECOL_CORE_COLLECTIVE_DETECTOR_H_
+
+#include <vector>
+
+#include "core/aggregation.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::core {
+
+/// Collective aggregation detection (Sec. 3.2): refines the union of all
+/// individual detectors' results by pruning *across* functions.
+///
+/// Candidates are grouped by pattern and ranked primarily by range size
+/// (fewer range elements => more likely a false positive) and secondarily by
+/// group size. Walking the ranked list, a group is dropped when it
+/// contradicts an already-validated group through complete inclusion, mutual
+/// inclusion, or by sharing its aggregate with overlapping ranges (one cell
+/// cannot be the aggregate of two functions over overlapping ranges, though
+/// disjoint ranges are fine — the net-income example). Division groups are
+/// exempt on both sides: a part-of-whole division legitimately divides a
+/// range element by its own aggregate (the a2/a4 example of Fig. 5).
+std::vector<Aggregation> CollectivePrune(const numfmt::NumericGrid& grid,
+                                         const std::vector<Aggregation>& candidates);
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_COLLECTIVE_DETECTOR_H_

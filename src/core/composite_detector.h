@@ -1,0 +1,69 @@
+#ifndef AGGRECOL_CORE_COMPOSITE_DETECTOR_H_
+#define AGGRECOL_CORE_COMPOSITE_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::core {
+
+/// A multi-function aggregation of the sum-then-divide shape the paper's
+/// future work calls for (Sec. 6): A = (sum of `numerator`) / `denominator`,
+/// e.g. "the percentage of population holding at least a university degree
+/// is the sum of populations with bachelor, master, and doctor degrees
+/// divided by the total population". Single-function divisions are covered
+/// by the core pipeline; composites apply when no intermediate sum column
+/// exists.
+struct CompositeAggregation {
+  Axis axis = Axis::kRow;
+  int line = 0;
+  int aggregate = 0;
+  std::vector<int> numerator;  // >= 2 column indices, ascending
+  int denominator = 0;
+  double error = 0.0;
+
+  friend bool operator==(const CompositeAggregation& a,
+                         const CompositeAggregation& b) {
+    return a.axis == b.axis && a.line == b.line && a.aggregate == b.aggregate &&
+           a.numerator == b.numerator && a.denominator == b.denominator;
+  }
+};
+
+/// e.g. "(row:2, 5 <- sum{1, 2, 3} / 0, e=0)".
+std::string ToString(const CompositeAggregation& composite);
+
+/// Parameters of composite detection.
+struct CompositeConfig {
+  /// Maximum tolerable error level (ratios are usually rounded, so the
+  /// division default applies).
+  double error_level = 0.03;
+
+  /// Line aggregation coverage threshold, as in the core stages.
+  double coverage = 0.7;
+
+  /// Sliding-window size: numerator runs and the denominator must lie within
+  /// this many range-usable cells of the aggregate, per side.
+  int window_size = 10;
+
+  /// Numerator run lengths considered (contiguous in window order).
+  int min_numerator = 2;
+  int max_numerator = 4;
+};
+
+/// Detects row-wise composite aggregations on `grid`: for every numeric
+/// aggregate candidate, contiguous runs of 2..max_numerator range-usable
+/// cells within the window are summed and divided by every other window cell;
+/// matches are grouped by pattern and pruned by the coverage threshold.
+/// Candidates whose numerator equals the range of an already-`detected`
+/// same-axis sum aggregation are dropped — there the intermediate total
+/// exists and the plain division of the core pipeline already explains the
+/// relationship.
+std::vector<CompositeAggregation> DetectCompositeRowwise(
+    const numfmt::NumericGrid& grid, const CompositeConfig& config,
+    const std::vector<Aggregation>& detected);
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_COMPOSITE_DETECTOR_H_

@@ -1,0 +1,54 @@
+#include "core/extension.h"
+
+#include <algorithm>
+#include <map>
+
+namespace aggrecol::core {
+
+std::vector<Aggregation> ExtendAggregations(const numfmt::NumericGrid& grid,
+                                            const std::vector<bool>& active_columns,
+                                            const std::vector<Aggregation>& detected,
+                                            double error_level) {
+  // Pattern -> set of rows already covered.
+  std::map<Pattern, std::vector<int>> covered;
+  for (const auto& aggregation : detected) {
+    covered[PatternOf(aggregation)].push_back(aggregation.line);
+  }
+
+  std::vector<Aggregation> out = detected;
+  for (auto& [pattern, rows] : covered) {
+    std::sort(rows.begin(), rows.end());
+    if (!active_columns[pattern.aggregate]) continue;
+    for (int row = 0; row < grid.rows(); ++row) {
+      if (std::binary_search(rows.begin(), rows.end(), row)) continue;
+      if (!grid.IsNumeric(row, pattern.aggregate)) continue;
+      bool usable = true;
+      std::vector<double> values;
+      values.reserve(pattern.range.size());
+      for (int col : pattern.range) {
+        if (!active_columns[col] || !grid.IsRangeUsable(row, col)) {
+          usable = false;
+          break;
+        }
+        values.push_back(grid.value(row, col));
+      }
+      if (!usable) continue;
+      const auto calculated = Apply(pattern.function, values);
+      if (!calculated.has_value()) continue;
+      const double error = ErrorLevel(grid.value(row, pattern.aggregate), *calculated);
+      if (WithinErrorLevel(error, error_level)) {
+        Aggregation aggregation;
+        aggregation.axis = pattern.axis;
+        aggregation.line = row;
+        aggregation.aggregate = pattern.aggregate;
+        aggregation.range = pattern.range;
+        aggregation.function = pattern.function;
+        aggregation.error = error;
+        out.push_back(std::move(aggregation));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aggrecol::core

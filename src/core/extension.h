@@ -1,0 +1,28 @@
+#ifndef AGGRECOL_CORE_EXTENSION_H_
+#define AGGRECOL_CORE_EXTENSION_H_
+
+#include <vector>
+
+#include "core/aggregation.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::core {
+
+/// Aggregation extension (Alg. 1, line 8): for every pattern among the
+/// detected aggregations, check whether candidates with the same pattern in
+/// the *other* rows are also valid aggregations, and add the ones that are.
+/// This recovers rows where the greedy adjacency search terminated early on a
+/// coincidental shorter range (the Figure 5 / Table 2 scenario).
+///
+/// Validity of a pattern in a row requires a numeric aggregate cell, all
+/// range cells range-usable and active, a defined function value, and an
+/// error level within `error_level`. Returns the union of `detected` and the
+/// newly validated aggregations, without duplicates.
+std::vector<Aggregation> ExtendAggregations(const numfmt::NumericGrid& grid,
+                                            const std::vector<bool>& active_columns,
+                                            const std::vector<Aggregation>& detected,
+                                            double error_level);
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_EXTENSION_H_

@@ -1,0 +1,121 @@
+#include "core/formula_export.h"
+
+#include <algorithm>
+
+namespace aggrecol::core {
+namespace {
+
+// (row, column) of an aggregation's cell index under its axis.
+std::pair<int, int> CellOf(const Aggregation& aggregation, int index) {
+  return aggregation.axis == Axis::kRow
+             ? std::pair<int, int>{aggregation.line, index}
+             : std::pair<int, int>{index, aggregation.line};
+}
+
+std::string Name(const std::pair<int, int>& cell) {
+  return CellName(cell.first, cell.second);
+}
+
+// Renders a commutative range as "A1:C1" when the indices are contiguous and
+// as "A1;B1;D1" otherwise. `indices` are cross-axis indices.
+std::string RangeReference(const Aggregation& aggregation, std::vector<int> indices) {
+  std::sort(indices.begin(), indices.end());
+  bool contiguous = true;
+  for (size_t i = 1; i < indices.size(); ++i) {
+    if (indices[i] != indices[i - 1] + 1) {
+      contiguous = false;
+      break;
+    }
+  }
+  if (contiguous && indices.size() > 1) {
+    return Name(CellOf(aggregation, indices.front())) + ":" +
+           Name(CellOf(aggregation, indices.back()));
+  }
+  std::string out;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (i > 0) out += ";";
+    out += Name(CellOf(aggregation, indices[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CellName(int row, int column) {
+  std::string letters;
+  int remaining = column;
+  while (true) {
+    letters.insert(letters.begin(), static_cast<char>('A' + remaining % 26));
+    remaining = remaining / 26 - 1;
+    if (remaining < 0) break;
+  }
+  return letters + std::to_string(row + 1);
+}
+
+CellFormula FormulaFor(const Aggregation& aggregation) {
+  CellFormula cell;
+  const auto position = CellOf(aggregation, aggregation.aggregate);
+  cell.row = position.first;
+  cell.column = position.second;
+  switch (aggregation.function) {
+    case AggregationFunction::kSum:
+      cell.formula = "=SUM(" + RangeReference(aggregation, aggregation.range) + ")";
+      break;
+    case AggregationFunction::kAverage:
+      cell.formula =
+          "=AVERAGE(" + RangeReference(aggregation, aggregation.range) + ")";
+      break;
+    case AggregationFunction::kDifference:
+      cell.formula = "=" + Name(CellOf(aggregation, aggregation.range[0])) + "-" +
+                     Name(CellOf(aggregation, aggregation.range[1]));
+      break;
+    case AggregationFunction::kDivision:
+      cell.formula = "=" + Name(CellOf(aggregation, aggregation.range[0])) + "/" +
+                     Name(CellOf(aggregation, aggregation.range[1]));
+      break;
+    case AggregationFunction::kRelativeChange: {
+      const std::string b = Name(CellOf(aggregation, aggregation.range[0]));
+      const std::string c = Name(CellOf(aggregation, aggregation.range[1]));
+      cell.formula = "=(" + c + "-" + b + ")/" + b;
+      break;
+    }
+  }
+  return cell;
+}
+
+CellFormula FormulaFor(const CompositeAggregation& composite) {
+  // Reuse the sum rendering through a temporary aggregation view.
+  Aggregation sum_view;
+  sum_view.axis = composite.axis;
+  sum_view.line = composite.line;
+  sum_view.aggregate = composite.aggregate;
+  sum_view.range = composite.numerator;
+  sum_view.function = AggregationFunction::kSum;
+
+  CellFormula cell = FormulaFor(sum_view);
+  const auto denominator =
+      composite.axis == Axis::kRow
+          ? std::pair<int, int>{composite.line, composite.denominator}
+          : std::pair<int, int>{composite.denominator, composite.line};
+  cell.formula = cell.formula.substr(1);  // drop '='
+  cell.formula =
+      "=" + cell.formula + "/" + CellName(denominator.first, denominator.second);
+  return cell;
+}
+
+std::vector<CellFormula> ExportFormulas(const std::vector<Aggregation>& aggregations) {
+  std::vector<CellFormula> formulas;
+  formulas.reserve(aggregations.size());
+  for (const auto& aggregation : aggregations) {
+    formulas.push_back(FormulaFor(aggregation));
+  }
+  std::sort(formulas.begin(), formulas.end(),
+            [](const CellFormula& a, const CellFormula& b) {
+              if (a.row != b.row) return a.row < b.row;
+              if (a.column != b.column) return a.column < b.column;
+              return a.formula < b.formula;
+            });
+  return formulas;
+}
+
+}  // namespace aggrecol::core

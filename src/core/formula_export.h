@@ -1,0 +1,43 @@
+#ifndef AGGRECOL_CORE_FORMULA_EXPORT_H_
+#define AGGRECOL_CORE_FORMULA_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/composite_detector.h"
+
+namespace aggrecol::core {
+
+/// A reconstructed spreadsheet formula for one aggregate cell.
+struct CellFormula {
+  int row = 0;
+  int column = 0;
+  /// A1-notation formula, e.g. "=SUM(C3:E3)" or "=B4/F4".
+  std::string formula;
+};
+
+/// A1-notation name of a cell, e.g. (0,0) -> "A1", (2,27) -> "AB3".
+std::string CellName(int row, int column);
+
+/// Reconstructs the spreadsheet formula a detected aggregation stands for:
+/// contiguous commutative ranges render as range references (=SUM(B2:E2)),
+/// scattered ones as argument lists (=SUM(B2;D2;F2)); pairwise functions
+/// render as arithmetic (=B2-C2, =B2/C2, =(C2-B2)/B2).
+///
+/// This is the paper's third motivating use case (Sec. 1): many verbose CSV
+/// files were exported from spreadsheets with the formulas stripped, and
+/// formula-smell detectors need surrounding formulas as input — detected
+/// aggregations supply them.
+CellFormula FormulaFor(const Aggregation& aggregation);
+
+/// Formula for a composite sum-then-divide aggregation, e.g.
+/// "=SUM(B2:D2)/E2".
+CellFormula FormulaFor(const CompositeAggregation& composite);
+
+/// Formulas for a whole detection result, sorted by (row, column).
+std::vector<CellFormula> ExportFormulas(const std::vector<Aggregation>& aggregations);
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_FORMULA_EXPORT_H_

@@ -1,0 +1,83 @@
+#include "core/function.h"
+
+#include <cmath>
+
+namespace aggrecol::core {
+
+FunctionTraits TraitsOf(AggregationFunction function) {
+  switch (function) {
+    case AggregationFunction::kSum:
+      return {.pairwise = false, .commutative = true, .cumulative = true};
+    case AggregationFunction::kDifference:
+      return {.pairwise = true, .commutative = false, .cumulative = true};
+    case AggregationFunction::kAverage:
+      return {.pairwise = false, .commutative = true, .cumulative = false};
+    case AggregationFunction::kDivision:
+      return {.pairwise = true, .commutative = false, .cumulative = false};
+    case AggregationFunction::kRelativeChange:
+      return {.pairwise = true, .commutative = false, .cumulative = false};
+  }
+  return {};
+}
+
+std::string ToString(AggregationFunction function) {
+  switch (function) {
+    case AggregationFunction::kSum:
+      return "sum";
+    case AggregationFunction::kDifference:
+      return "difference";
+    case AggregationFunction::kAverage:
+      return "average";
+    case AggregationFunction::kDivision:
+      return "division";
+    case AggregationFunction::kRelativeChange:
+      return "relative change";
+  }
+  return "unknown";
+}
+
+std::optional<AggregationFunction> FunctionFromName(std::string_view name) {
+  for (AggregationFunction function : kAllFunctions) {
+    if (ToString(function) == name) return function;
+  }
+  if (name == "relative-change") return AggregationFunction::kRelativeChange;
+  return std::nullopt;
+}
+
+double ApplyCommutative(AggregationFunction function, const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  if (function == AggregationFunction::kAverage && !values.empty()) {
+    return sum / static_cast<double>(values.size());
+  }
+  return sum;
+}
+
+std::optional<double> ApplyPairwise(AggregationFunction function, double b, double c) {
+  switch (function) {
+    case AggregationFunction::kDifference:
+      return b - c;
+    case AggregationFunction::kDivision:
+      if (c == 0.0) return std::nullopt;
+      return b / c;
+    case AggregationFunction::kRelativeChange:
+      if (b == 0.0) return std::nullopt;
+      return (c - b) / b;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<double> Apply(AggregationFunction function, const std::vector<double>& values) {
+  const FunctionTraits traits = TraitsOf(function);
+  if (traits.pairwise) {
+    if (values.size() != 2) return std::nullopt;
+    return ApplyPairwise(function, values[0], values[1]);
+  }
+  if (values.empty()) return std::nullopt;
+  return ApplyCommutative(function, values);
+}
+
+int MinRangeSize(AggregationFunction /*function*/) { return 2; }
+
+}  // namespace aggrecol::core

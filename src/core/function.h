@@ -1,0 +1,79 @@
+#ifndef AGGRECOL_CORE_FUNCTION_H_
+#define AGGRECOL_CORE_FUNCTION_H_
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aggrecol::core {
+
+/// The five aggregation functions covered by the paper (Table 1). Each
+/// appears in more than 5% of the annotated files (Fig. 2).
+enum class AggregationFunction {
+  kSum,             // A = sum(B_i)
+  kDifference,      // A = B - C
+  kAverage,         // A = sum(B_i) / n
+  kDivision,        // A = B / C
+  kRelativeChange,  // A = (C - B) / B
+};
+
+/// All functions, in Table 1 order.
+inline constexpr std::array<AggregationFunction, 5> kAllFunctions = {
+    AggregationFunction::kSum, AggregationFunction::kDifference,
+    AggregationFunction::kAverage, AggregationFunction::kDivision,
+    AggregationFunction::kRelativeChange};
+
+/// Mathematical properties of an aggregation function (Table 1), which drive
+/// strategy selection (Sec. 3.1) and the cumulative iteration of Alg. 1.
+struct FunctionTraits {
+  /// Exactly-two-element range (difference, division, relative change)?
+  bool pairwise = false;
+
+  /// Element order is irrelevant; enables the greedy adjacency-list strategy.
+  bool commutative = false;
+
+  /// The aggregate can serve as a range element of further aggregations
+  /// (sum and difference only).
+  bool cumulative = false;
+};
+
+/// Traits of `function` per Table 1.
+FunctionTraits TraitsOf(AggregationFunction function);
+
+/// Dense index of `function` within kAllFunctions, for per-function arrays
+/// (e.g. the per-function error levels of Sec. 4.3.2).
+constexpr size_t IndexOf(AggregationFunction function) {
+  return static_cast<size_t>(function);
+}
+
+/// Short lower-case name, e.g. "sum", "relative change".
+std::string ToString(AggregationFunction function);
+
+/// Inverse of ToString; also accepts the hyphenated form "relative-change".
+/// Returns std::nullopt for unknown names.
+std::optional<AggregationFunction> FunctionFromName(std::string_view name);
+
+/// Applies a commutative function (sum or average) to `values`.
+/// Must not be called with a pairwise function.
+double ApplyCommutative(AggregationFunction function, const std::vector<double>& values);
+
+/// Applies a pairwise function to the ordered pair (b, c) per Table 1.
+/// Returns std::nullopt when the formula is undefined (division by zero,
+/// relative change from zero). Must not be called with sum or average.
+std::optional<double> ApplyPairwise(AggregationFunction function, double b, double c);
+
+/// Evaluates `function` on `values` in their given order. Works for both
+/// commutative and pairwise functions; pairwise functions require exactly two
+/// values. Returns std::nullopt when undefined.
+std::optional<double> Apply(AggregationFunction function, const std::vector<double>& values);
+
+/// The minimum number of range elements AggreCol requires for `function`.
+/// Sum and average formally allow one element, but single-element ranges
+/// yield massive false positives, so the approach requires two (Sec. 3.1).
+int MinRangeSize(AggregationFunction function);
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_FUNCTION_H_

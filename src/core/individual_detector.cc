@@ -1,0 +1,93 @@
+#include "core/individual_detector.h"
+
+#include <algorithm>
+#include <future>
+#include <set>
+
+#include "core/adjacency_strategy.h"
+#include "core/extension.h"
+#include "core/pruning.h"
+#include "core/window_strategy.h"
+
+namespace aggrecol::core {
+
+std::vector<Aggregation> DetectIndividualRowwise(
+    const numfmt::NumericGrid& grid, AggregationFunction function,
+    const IndividualConfig& config, const std::vector<bool>* initial_active) {
+  const FunctionTraits traits = TraitsOf(function);
+  std::vector<bool> active = initial_active
+                                 ? *initial_active
+                                 : std::vector<bool>(grid.columns(), true);
+
+  std::vector<Aggregation> detected;
+  std::set<Aggregation, bool (*)(const Aggregation&, const Aggregation&)> detected_set(
+      &AggregationLess);
+  while (true) {
+    // Lines 4-7: per-row adjacent detection with the appropriate strategy.
+    // Rows are independent; with threads > 1 they are scanned in parallel
+    // chunks and concatenated in row order (the Sec. 4.4 parallelism).
+    auto scan_row = [&](int row) {
+      return traits.commutative
+                 ? DetectAdjacentCommutative(grid, active, row, function,
+                                             config.error_level)
+                 : DetectWindowPairwise(grid, active, row, function,
+                                        config.error_level, config.window_size);
+    };
+    std::vector<Aggregation> round;
+    if (config.threads > 1 && grid.rows() > 1) {
+      const int chunk_count = std::min(config.threads, grid.rows());
+      const int chunk_size = (grid.rows() + chunk_count - 1) / chunk_count;
+      std::vector<std::future<std::vector<Aggregation>>> futures;
+      for (int chunk = 0; chunk < chunk_count; ++chunk) {
+        const int begin = chunk * chunk_size;
+        const int end = std::min(grid.rows(), begin + chunk_size);
+        futures.push_back(std::async(std::launch::async, [&scan_row, begin, end] {
+          std::vector<Aggregation> chunk_results;
+          for (int row = begin; row < end; ++row) {
+            auto row_results = scan_row(row);
+            chunk_results.insert(chunk_results.end(), row_results.begin(),
+                                 row_results.end());
+          }
+          return chunk_results;
+        }));
+      }
+      for (auto& future : futures) {
+        auto chunk_results = future.get();
+        round.insert(round.end(), chunk_results.begin(), chunk_results.end());
+      }
+    } else {
+      for (int row = 0; row < grid.rows(); ++row) {
+        auto row_results = scan_row(row);
+        round.insert(round.end(), row_results.begin(), row_results.end());
+      }
+    }
+
+    // Line 8: extension across rows.
+    round = ExtendAggregations(grid, active, round, config.error_level);
+
+    // Drop anything already found in a previous iteration.
+    std::erase_if(round, [&detected_set](const Aggregation& candidate) {
+      return detected_set.count(candidate) > 0;
+    });
+
+    // Lines 9-10.
+    if (round.empty()) break;
+
+    // Line 11: prune spurious pattern groups.
+    round = PruneIndividual(grid, round, config.coverage, config.rules);
+    if (round.empty()) break;  // nothing survived; iterating again would repeat
+
+    detected.insert(detected.end(), round.begin(), round.end());
+    for (const auto& aggregation : round) detected_set.insert(aggregation);
+
+    // Lines 13-15: only cumulative functions can stack further aggregations
+    // on top of detected aggregates; their range columns are consumed.
+    if (!traits.cumulative) break;
+    for (const auto& aggregation : round) {
+      for (int col : aggregation.range) active[col] = false;
+    }
+  }
+  return detected;
+}
+
+}  // namespace aggrecol::core

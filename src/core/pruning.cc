@@ -1,0 +1,187 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+#include <map>
+
+namespace aggrecol::core {
+namespace {
+
+bool Contains(const std::vector<int>& range, int index) {
+  return std::find(range.begin(), range.end(), index) != range.end();
+}
+
+bool RangesOverlap(const std::vector<int>& a, const std::vector<int>& b) {
+  for (int index : a) {
+    if (Contains(b, index)) return true;
+  }
+  return false;
+}
+
+// One-directional complete inclusion: inner's aggregate and part of inner's
+// range lie inside outer's range.
+bool CompletelyIncluded(const Pattern& inner, const Pattern& outer) {
+  return Contains(outer.range, inner.aggregate) &&
+         RangesOverlap(inner.range, outer.range);
+}
+
+}  // namespace
+
+std::vector<PatternGroup> GroupByPattern(const numfmt::NumericGrid& grid,
+                                         const std::vector<Aggregation>& candidates) {
+  std::map<Pattern, PatternGroup> groups;
+  for (const auto& candidate : candidates) {
+    const Pattern pattern = PatternOf(candidate);
+    auto& group = groups[pattern];
+    group.pattern = pattern;
+    group.members.push_back(candidate);
+  }
+  std::vector<PatternGroup> out;
+  out.reserve(groups.size());
+  for (auto& [pattern, group] : groups) {
+    const int numeric_in_column = grid.NumericCountInColumn(pattern.aggregate);
+    group.sufficiency = numeric_in_column > 0
+                            ? static_cast<double>(group.members.size()) / numeric_in_column
+                            : 0.0;
+    double total_error = 0.0;
+    for (const auto& member : group.members) total_error += member.error;
+    group.mean_error = total_error / static_cast<double>(group.members.size());
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+RangeSide SideOf(const Pattern& pattern) {
+  bool any_left = false;
+  bool any_right = false;
+  for (int col : pattern.range) {
+    if (col < pattern.aggregate) any_left = true;
+    if (col > pattern.aggregate) any_right = true;
+  }
+  if (any_left && any_right) return RangeSide::kMixed;
+  return any_left ? RangeSide::kLeft : RangeSide::kRight;
+}
+
+bool DirectionalDisagreement(const Pattern& a, const Pattern& b) {
+  if (a.axis != b.axis || a.function != b.function) return false;
+  if (a.aggregate != b.aggregate) return false;
+  const RangeSide side_a = SideOf(a);
+  const RangeSide side_b = SideOf(b);
+  if (side_a == RangeSide::kMixed || side_b == RangeSide::kMixed) return true;
+  return side_a != side_b;
+}
+
+bool CompleteInclusion(const Pattern& a, const Pattern& b) {
+  if (a.axis != b.axis) return false;
+  return CompletelyIncluded(a, b) || CompletelyIncluded(b, a);
+}
+
+bool MutualInclusion(const Pattern& a, const Pattern& b) {
+  if (a.axis != b.axis) return false;
+  return Contains(b.range, a.aggregate) && Contains(a.range, b.aggregate);
+}
+
+std::vector<Aggregation> PruneIndividual(const numfmt::NumericGrid& grid,
+                                         const std::vector<Aggregation>& candidates,
+                                         double coverage, const PruningRules& rules) {
+  std::vector<PatternGroup> groups = GroupByPattern(grid, candidates);
+
+  // 1. Coverage threshold on the sufficiency score.
+  if (rules.coverage_threshold) {
+    std::erase_if(groups, [coverage](const PatternGroup& group) {
+      return group.sufficiency < coverage;
+    });
+  }
+
+  // Rank order used both for the same-aggregate/same-range dedup below and
+  // for the conflict walk: higher sufficiency first, then (for divisions)
+  // the part-of-whole ratio preference, then more members, smaller mean
+  // error, and pattern order as a deterministic final tie-break. The ratio
+  // preference resolves the inherent A = B/C vs C = B/A ambiguity toward the
+  // ratio-valued aggregate, per the paper's Sec. 3.2 observation that real
+  // divisions record "the percentage that a part accounts for in the
+  // entirety".
+  auto ratio_fraction = [&grid](const PatternGroup& group) {
+    int ratio_like = 0;
+    for (const auto& member : group.members) {
+      const double value = grid.value(member.line, member.aggregate);
+      if (value > -1.0 && value < 1.0 && value != 0.0) ++ratio_like;
+    }
+    return static_cast<double>(ratio_like) / static_cast<double>(group.members.size());
+  };
+  auto ranks_before = [&ratio_fraction](const PatternGroup& a, const PatternGroup& b) {
+    if (a.pattern.function == AggregationFunction::kDivision &&
+        b.pattern.function == AggregationFunction::kDivision) {
+      const double ratio_a = ratio_fraction(a);
+      const double ratio_b = ratio_fraction(b);
+      if (ratio_a != ratio_b) return ratio_a > ratio_b;
+    }
+    if (a.members.size() != b.members.size()) {
+      return a.members.size() > b.members.size();
+    }
+    if (a.mean_error != b.mean_error) return a.mean_error < b.mean_error;
+    return a.pattern < b.pattern;
+  };
+
+  // 2a/2b. Among same-function groups sharing an aggregate, only the one
+  // with the highest sufficiency score is preserved (Sec. 3.1); likewise for
+  // groups sharing a range. Sufficiency ties resolve by the rank order so a
+  // single group survives per key. The keys are function-scoped: a cell may
+  // legitimately be the aggregate of two different functions with disjoint
+  // ranges (the net-income example of Sec. 3.2), which the collective stage
+  // arbitrates.
+  auto dedup_by = [&](auto key_of) {
+    std::map<decltype(key_of(groups.front())), const PatternGroup*> best;
+    for (const auto& group : groups) {
+      auto [it, inserted] = best.try_emplace(key_of(group), &group);
+      if (!inserted && (group.sufficiency > it->second->sufficiency ||
+                        (group.sufficiency == it->second->sufficiency &&
+                         ranks_before(group, *it->second)))) {
+        it->second = &group;
+      }
+    }
+    std::vector<PatternGroup> kept;
+    kept.reserve(best.size());
+    for (const auto& group : groups) {
+      if (best.at(key_of(group)) == &group) kept.push_back(group);
+    }
+    groups = std::move(kept);
+  };
+  if (rules.same_aggregate_dedup && !groups.empty()) {
+    dedup_by([](const PatternGroup& group) {
+      return std::pair<AggregationFunction, int>{group.pattern.function,
+                                                 group.pattern.aggregate};
+    });
+  }
+  if (rules.same_range_dedup && !groups.empty()) {
+    dedup_by([](const PatternGroup& group) {
+      return std::pair<AggregationFunction, std::vector<int>>{group.pattern.function,
+                                                              group.pattern.range};
+    });
+  }
+
+  // 3. Rank the survivors and walk the list, dropping groups that cannot
+  // co-exist with an already-accepted one.
+  std::sort(groups.begin(), groups.end(), ranks_before);
+
+  std::vector<const PatternGroup*> accepted;
+  for (const auto& group : groups) {
+    const bool conflicts = std::any_of(
+        accepted.begin(), accepted.end(), [&group, &rules](const PatternGroup* other) {
+          return (rules.directional_disagreement &&
+                  DirectionalDisagreement(group.pattern, other->pattern)) ||
+                 (rules.complete_inclusion &&
+                  CompleteInclusion(group.pattern, other->pattern)) ||
+                 (rules.mutual_inclusion &&
+                  MutualInclusion(group.pattern, other->pattern));
+        });
+    if (!conflicts) accepted.push_back(&group);
+  }
+
+  std::vector<Aggregation> out;
+  for (const PatternGroup* group : accepted) {
+    out.insert(out.end(), group->members.begin(), group->members.end());
+  }
+  return out;
+}
+
+}  // namespace aggrecol::core

@@ -1,0 +1,73 @@
+#ifndef AGGRECOL_CORE_PRUNING_H_
+#define AGGRECOL_CORE_PRUNING_H_
+
+#include <vector>
+
+#include "core/aggregation.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::core {
+
+/// Side of a range relative to its aggregate.
+enum class RangeSide { kLeft, kRight, kMixed };
+
+/// A group of aggregation candidates sharing one pattern (Sec. 3.1).
+struct PatternGroup {
+  Pattern pattern;
+  std::vector<Aggregation> members;
+  /// |members| / number of numeric cells in the aggregate's column.
+  double sufficiency = 0.0;
+  /// Mean observed error level of the members (rank tie-break).
+  double mean_error = 0.0;
+};
+
+/// Groups `candidates` by pattern and computes sufficiency scores against
+/// `grid` (the denominator counts numeric cells in the aggregate's column).
+std::vector<PatternGroup> GroupByPattern(const numfmt::NumericGrid& grid,
+                                         const std::vector<Aggregation>& candidates);
+
+/// Side of `pattern`'s range relative to its aggregate.
+RangeSide SideOf(const Pattern& pattern);
+
+/// Directional disagreement (Sec. 3.1): same-function candidates sharing the
+/// same aggregate must grow their ranges toward the same side.
+bool DirectionalDisagreement(const Pattern& a, const Pattern& b);
+
+/// Complete inclusion (Sec. 3.1): the aggregate and part of the range of one
+/// pattern are both contained in the range of the other — range elements
+/// should be semantic peers, so one cannot aggregate its fellows.
+bool CompleteInclusion(const Pattern& a, const Pattern& b);
+
+/// Mutual inclusion (Sec. 3.1): each pattern's aggregate lies in the other's
+/// range, a circular calculation that cannot be semantically correct.
+bool MutualInclusion(const Pattern& a, const Pattern& b);
+
+/// Toggles for the stage-1 pruning steps; used by the ablation experiments
+/// (bench/ablation_pruning_rules) to quantify each rule's contribution. All
+/// rules are on by default, which is the paper's configuration.
+struct PruningRules {
+  bool coverage_threshold = true;
+  bool same_aggregate_dedup = true;
+  bool same_range_dedup = true;
+  bool directional_disagreement = true;
+  bool complete_inclusion = true;
+  bool mutual_inclusion = true;
+};
+
+/// Stage-1 pruning (Alg. 1, line 11) applied to same-function candidates:
+///  1. discard groups whose sufficiency score is below `coverage`;
+///  2. among groups sharing an aggregate, keep only the best-scoring ones;
+///     likewise for groups sharing a range;
+///  3. rank the survivors (more members first, then smaller mean error) and
+///     greedily drop lower-ranked groups whose patterns cannot co-exist with
+///     an accepted one per the three heuristics above.
+/// Returns the aggregations of the accepted groups. `rules` disables
+/// individual steps for ablation.
+std::vector<Aggregation> PruneIndividual(const numfmt::NumericGrid& grid,
+                                         const std::vector<Aggregation>& candidates,
+                                         double coverage,
+                                         const PruningRules& rules = {});
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_PRUNING_H_

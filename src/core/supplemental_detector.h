@@ -1,0 +1,59 @@
+#ifndef AGGRECOL_CORE_SUPPLEMENTAL_DETECTOR_H_
+#define AGGRECOL_CORE_SUPPLEMENTAL_DETECTOR_H_
+
+#include <array>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/function.h"
+#include "core/pruning.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::core {
+
+/// Parameters of the supplemental stage (Alg. 2 inputs).
+struct SupplementalConfig {
+  /// Functions whose detectors participate (queue contents).
+  std::vector<AggregationFunction> functions;
+
+  /// Per-function maximum error level, indexed by IndexOf().
+  std::array<double, kAllFunctions.size()> error_levels{};
+
+  /// Line aggregation coverage threshold cov.
+  double coverage = 0.7;
+
+  /// Sliding-window size for pairwise detectors.
+  int window_size = 10;
+
+  /// Pruning-step toggles, shared with the individual detectors.
+  PruningRules rules;
+
+  /// Worker threads for the per-configuration detector runs (each derived
+  /// file is processed independently); 1 = sequential, same results.
+  int threads = 1;
+
+  /// Cap on the number of constructed files per detector run. Alg. 2
+  /// enumerates every include/exclude configuration of cumulative aggregate
+  /// columns (2^k); beyond the cap we keep the all-excluded, all-included,
+  /// and low-cardinality configurations (documented deviation, DESIGN.md).
+  int max_configurations = 64;
+};
+
+/// Supplemental aggregation detection (Alg. 2), row-wise on `grid`:
+/// constructs derived files from the original by removing aggregate columns
+/// of already-detected aggregations — always for non-cumulative aggregates,
+/// optionally for cumulative ones — and re-applies the individual detectors
+/// on each derived file, so interrupt aggregations (Fig. 3c) whose ranges
+/// were blocked by those aggregates become adjacent and detectable.
+/// Detectors re-run whenever any detector finds something new; the final
+/// result is pruned with the stage-1 rules.
+///
+/// `detected` holds the (row-wise, same coordinates) aggregations accepted by
+/// the earlier stages; the return value contains only *new* aggregations.
+std::vector<Aggregation> DetectSupplementalRowwise(
+    const numfmt::NumericGrid& grid, const SupplementalConfig& config,
+    const std::vector<Aggregation>& detected);
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_SUPPLEMENTAL_DETECTOR_H_

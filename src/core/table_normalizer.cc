@@ -1,0 +1,75 @@
+#include "core/table_normalizer.h"
+
+#include <map>
+#include <set>
+
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::core {
+
+NormalizationResult StripAggregates(const csv::Grid& grid,
+                                    const std::vector<Aggregation>& aggregations,
+                                    const NormalizeTableOptions& options) {
+  const numfmt::NumericGrid numeric = numfmt::NumericGrid::FromGrid(grid);
+
+  // Canonicalize first: a difference detected as A = B - C is the same
+  // relation as the sum B = A + C, and the canonical sum form puts the
+  // derived cell on the total side (where "Total" columns live).
+  const std::vector<Aggregation> canonical = CanonicalizeAll(aggregations);
+
+  // Count distinct aggregate cells per column (row-wise aggregations) and
+  // per row (column-wise aggregations).
+  std::map<int, std::set<int>> aggregate_rows_per_column;
+  std::map<int, std::set<int>> aggregate_columns_per_row;
+  for (const auto& aggregation : canonical) {
+    if (aggregation.axis == Axis::kRow) {
+      aggregate_rows_per_column[aggregation.aggregate].insert(aggregation.line);
+    } else {
+      aggregate_columns_per_row[aggregation.aggregate].insert(aggregation.line);
+    }
+  }
+
+  std::set<int> removed_columns;
+  if (options.strip_columns) {
+    for (const auto& [column, rows] : aggregate_rows_per_column) {
+      const int numeric_cells = numeric.NumericCountInColumn(column);
+      if (numeric_cells > 0 &&
+          static_cast<double>(rows.size()) / numeric_cells >=
+              options.min_line_coverage) {
+        removed_columns.insert(column);
+      }
+    }
+  }
+  std::set<int> removed_rows;
+  if (options.strip_rows) {
+    for (const auto& [row, columns] : aggregate_columns_per_row) {
+      const int numeric_cells = numeric.NumericCountInRow(row);
+      if (numeric_cells > 0 &&
+          static_cast<double>(columns.size()) / numeric_cells >=
+              options.min_line_coverage) {
+        removed_rows.insert(row);
+      }
+    }
+  }
+
+  NormalizationResult result;
+  result.removed_rows.assign(removed_rows.begin(), removed_rows.end());
+  result.removed_columns.assign(removed_columns.begin(), removed_columns.end());
+
+  std::vector<int> kept_columns;
+  for (int column = 0; column < grid.columns(); ++column) {
+    if (removed_columns.count(column) == 0) kept_columns.push_back(column);
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (int row = 0; row < grid.rows(); ++row) {
+    if (removed_rows.count(row) > 0) continue;
+    std::vector<std::string> cells;
+    cells.reserve(kept_columns.size());
+    for (int column : kept_columns) cells.push_back(grid.at(row, column));
+    rows.push_back(std::move(cells));
+  }
+  result.grid = csv::Grid(std::move(rows));
+  return result;
+}
+
+}  // namespace aggrecol::core

@@ -1,0 +1,47 @@
+#ifndef AGGRECOL_CORE_TABLE_NORMALIZER_H_
+#define AGGRECOL_CORE_TABLE_NORMALIZER_H_
+
+#include <vector>
+
+#include "core/aggregation.h"
+#include "csv/grid.h"
+
+namespace aggrecol::core {
+
+/// Result of stripping derived (aggregate) lines from a table.
+struct NormalizationResult {
+  /// The grid without the removed rows/columns.
+  csv::Grid grid;
+
+  /// Original indices of the removed rows and columns, ascending.
+  std::vector<int> removed_rows;
+  std::vector<int> removed_columns;
+};
+
+/// Options for StripAggregates.
+struct NormalizeTableOptions {
+  /// A line is removed when at least this share of its numeric cells are
+  /// aggregates of detected aggregations — whole derived columns ("Total")
+  /// go away, while a column with one coincidental aggregate stays.
+  double min_line_coverage = 0.5;
+
+  /// Remove aggregate columns (row-wise aggregations) / rows (column-wise).
+  bool strip_columns = true;
+  bool strip_rows = true;
+};
+
+/// One of the paper's motivating downstream applications (Sec. 1 and 5.1):
+/// normalizing a verbose table by removing the derived aggregate rows and
+/// columns, leaving only base data — e.g. before loading it into a database,
+/// where the aggregations can be recomputed.
+///
+/// A column is considered derived when the share of its numeric cells that
+/// act as aggregates of row-wise `aggregations` reaches `min_line_coverage`;
+/// rows are handled symmetrically with column-wise aggregations.
+NormalizationResult StripAggregates(const csv::Grid& grid,
+                                    const std::vector<Aggregation>& aggregations,
+                                    const NormalizeTableOptions& options = {});
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_TABLE_NORMALIZER_H_

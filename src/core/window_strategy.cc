@@ -1,0 +1,60 @@
+#include "core/window_strategy.h"
+
+namespace aggrecol::core {
+namespace {
+
+// Collects the `window_size` active, range-usable columns closest to
+// `aggregate_col` in direction `step`.
+std::vector<int> CollectWindow(const numfmt::NumericGrid& grid,
+                               const std::vector<bool>& active_columns, int row,
+                               int aggregate_col, int step, int window_size) {
+  std::vector<int> window;
+  for (int col = aggregate_col + step;
+       col >= 0 && col < grid.columns() &&
+       static_cast<int>(window.size()) < window_size;
+       col += step) {
+    if (!active_columns[col]) continue;
+    if (!grid.IsRangeUsable(row, col)) continue;
+    window.push_back(col);
+  }
+  return window;
+}
+
+}  // namespace
+
+std::vector<Aggregation> DetectWindowPairwise(
+    const numfmt::NumericGrid& grid, const std::vector<bool>& active_columns,
+    int row, AggregationFunction function, double error_level, int window_size) {
+  std::vector<Aggregation> found;
+  for (int j = 0; j < grid.columns(); ++j) {
+    if (!active_columns[j]) continue;
+    if (!grid.IsNumeric(row, j)) continue;
+    const double observed = grid.value(row, j);
+    for (int step : {+1, -1}) {
+      const std::vector<int> window =
+          CollectWindow(grid, active_columns, row, j, step, window_size);
+      for (int b_col : window) {
+        for (int c_col : window) {
+          if (b_col == c_col) continue;
+          const auto calculated = ApplyPairwise(function, grid.value(row, b_col),
+                                                grid.value(row, c_col));
+          if (!calculated.has_value()) continue;
+          const double error = ErrorLevel(observed, *calculated);
+          if (WithinErrorLevel(error, error_level)) {
+            Aggregation aggregation;
+            aggregation.axis = Axis::kRow;
+            aggregation.line = row;
+            aggregation.aggregate = j;
+            aggregation.range = {b_col, c_col};
+            aggregation.function = function;
+            aggregation.error = error;
+            found.push_back(std::move(aggregation));
+          }
+        }
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace aggrecol::core

@@ -1,0 +1,26 @@
+#ifndef AGGRECOL_CORE_WINDOW_STRATEGY_H_
+#define AGGRECOL_CORE_WINDOW_STRATEGY_H_
+
+#include <vector>
+
+#include "core/aggregation.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::core {
+
+/// Sliding-window strategy (Sec. 3.1) for non-commutative pairwise functions
+/// (difference, division, relative change): for every numeric aggregate
+/// candidate in `row`, examine the `window_size` range-usable cells closest
+/// to it on each side — each side separately — and test every ordered pair
+/// (permutation of size 2) against the candidate. All matches within
+/// `error_level` are reported; spurious ones are left to the pruning rules.
+///
+/// Results are row-wise in the coordinates of `grid`; the range is ordered
+/// (B, C) per Table 1.
+std::vector<Aggregation> DetectWindowPairwise(
+    const numfmt::NumericGrid& grid, const std::vector<bool>& active_columns,
+    int row, AggregationFunction function, double error_level, int window_size);
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_WINDOW_STRATEGY_H_

@@ -1,0 +1,14 @@
+#include "csv/dialect.h"
+
+namespace aggrecol::csv {
+
+std::string ToString(const Dialect& dialect) {
+  std::string out = "delimiter='";
+  out += dialect.delimiter;
+  out += "' quote='";
+  out += dialect.quote;
+  out += "'";
+  return out;
+}
+
+}  // namespace aggrecol::csv

@@ -1,0 +1,23 @@
+#ifndef AGGRECOL_CSV_DIALECT_H_
+#define AGGRECOL_CSV_DIALECT_H_
+
+#include <string>
+
+namespace aggrecol::csv {
+
+/// A CSV file dialect: the utility characters used to interpret the file's
+/// structure (Sec. 2.1 of the paper; cf. RFC 4180). Quote characters are
+/// escaped by doubling, as in RFC 4180.
+struct Dialect {
+  char delimiter = ',';
+  char quote = '"';
+
+  friend bool operator==(const Dialect&, const Dialect&) = default;
+};
+
+/// Human-readable description, e.g. `delimiter=';' quote='"'`.
+std::string ToString(const Dialect& dialect);
+
+}  // namespace aggrecol::csv
+
+#endif  // AGGRECOL_CSV_DIALECT_H_

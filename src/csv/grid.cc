@@ -1,0 +1,63 @@
+#include "csv/grid.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace aggrecol::csv {
+
+Grid::Grid(std::vector<std::vector<std::string>> rows) : cells_(std::move(rows)) {
+  for (const auto& row : cells_) {
+    columns_ = std::max(columns_, static_cast<int>(row.size()));
+  }
+  for (auto& row : cells_) {
+    row.resize(columns_);
+  }
+}
+
+Grid::Grid(int rows, int columns)
+    : cells_(rows, std::vector<std::string>(columns)), columns_(columns) {}
+
+Grid Grid::Transposed() const {
+  Grid out(columns_, rows());
+  for (int i = 0; i < rows(); ++i) {
+    for (int j = 0; j < columns_; ++j) {
+      out.cells_[j][i] = cells_[i][j];
+    }
+  }
+  return out;
+}
+
+Grid Grid::WithColumns(const std::vector<int>& keep) const {
+  Grid out(rows(), static_cast<int>(keep.size()));
+  for (int i = 0; i < rows(); ++i) {
+    for (size_t k = 0; k < keep.size(); ++k) {
+      out.cells_[i][k] = cells_[i][keep[k]];
+    }
+  }
+  return out;
+}
+
+Grid Grid::SubRows(int first_row, int row_count) const {
+  Grid out;
+  out.columns_ = columns_;
+  out.cells_.assign(cells_.begin() + first_row,
+                    cells_.begin() + first_row + row_count);
+  return out;
+}
+
+bool Grid::IsEmpty(int row, int col) const {
+  return util::StripWhitespace(cells_[row][col]).empty();
+}
+
+int Grid::CountNonEmpty() const {
+  int count = 0;
+  for (int i = 0; i < rows(); ++i) {
+    for (int j = 0; j < columns_; ++j) {
+      if (!IsEmpty(i, j)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace aggrecol::csv

@@ -1,0 +1,60 @@
+#ifndef AGGRECOL_CSV_GRID_H_
+#define AGGRECOL_CSV_GRID_H_
+
+#include <string>
+#include <vector>
+
+namespace aggrecol::csv {
+
+/// A rectangular, in-memory model of a verbose CSV file: an M x N matrix of
+/// string cells. Short rows are padded with empty cells so every row has the
+/// same width, which is the cell-addressing model the paper assumes
+/// (Definition 2 indexes cells as c_{i,j} with i < M, j < N).
+class Grid {
+ public:
+  Grid() = default;
+
+  /// Builds a grid from parsed rows, padding short rows with empty cells.
+  explicit Grid(std::vector<std::vector<std::string>> rows);
+
+  /// Builds an empty grid of the given shape.
+  Grid(int rows, int columns);
+
+  int rows() const { return static_cast<int>(cells_.size()); }
+  int columns() const { return columns_; }
+
+  /// Cell accessors; indices must satisfy 0 <= row < rows(), 0 <= col < columns().
+  const std::string& at(int row, int col) const { return cells_[row][col]; }
+  void set(int row, int col, std::string value) { cells_[row][col] = std::move(value); }
+
+  /// Whole-row view (size == columns()).
+  const std::vector<std::string>& row(int r) const { return cells_[r]; }
+
+  /// Returns the transposed grid; row-wise algorithms applied to the
+  /// transpose operate column-wise on the original (Sec. 3).
+  Grid Transposed() const;
+
+  /// Returns a grid containing only the columns listed in `keep`, in order.
+  /// Used by the supplemental stage to construct derived files (Alg. 2).
+  Grid WithColumns(const std::vector<int>& keep) const;
+
+  /// Returns the `row_count` rows starting at `first_row` as their own grid.
+  /// Used by the table splitter to process stacked tables independently.
+  Grid SubRows(int first_row, int row_count) const;
+
+  /// True if the cell is empty after whitespace stripping.
+  bool IsEmpty(int row, int col) const;
+
+  /// Number of non-empty cells in the whole grid.
+  int CountNonEmpty() const;
+
+  friend bool operator==(const Grid&, const Grid&) = default;
+
+ private:
+  std::vector<std::vector<std::string>> cells_;
+  int columns_ = 0;
+};
+
+}  // namespace aggrecol::csv
+
+#endif  // AGGRECOL_CSV_GRID_H_

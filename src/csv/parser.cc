@@ -1,0 +1,107 @@
+#include "csv/parser.h"
+
+namespace aggrecol::csv {
+namespace {
+
+enum class State {
+  kFieldStart,    // at the beginning of a field
+  kUnquoted,      // inside an unquoted field
+  kQuoted,        // inside a quoted field
+  kQuoteInQuote,  // just saw a quote inside a quoted field
+};
+
+}  // namespace
+
+std::vector<std::vector<std::string>> ParseRows(std::string_view text,
+                                                const Dialect& dialect) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  State state = State::kFieldStart;
+  bool row_has_content = false;  // a delimiter or any character was seen
+
+  auto end_field = [&]() {
+    row.push_back(std::move(field));
+    field.clear();
+    state = State::kFieldStart;
+  };
+  auto end_row = [&]() {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (size_t pos = 0; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    switch (state) {
+      case State::kFieldStart:
+        if (c == dialect.quote) {
+          state = State::kQuoted;
+          row_has_content = true;
+        } else if (c == dialect.delimiter) {
+          end_field();
+          row_has_content = true;
+        } else if (c == '\r') {
+          // Swallow; the following '\n' (if any) ends the row.
+          if (pos + 1 >= text.size() || text[pos + 1] != '\n') end_row();
+        } else if (c == '\n') {
+          end_row();
+        } else {
+          field.push_back(c);
+          state = State::kUnquoted;
+          row_has_content = true;
+        }
+        break;
+      case State::kUnquoted:
+        if (c == dialect.delimiter) {
+          end_field();
+        } else if (c == '\r') {
+          if (pos + 1 >= text.size() || text[pos + 1] != '\n') end_row();
+        } else if (c == '\n') {
+          end_row();
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case State::kQuoted:
+        if (c == dialect.quote) {
+          state = State::kQuoteInQuote;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case State::kQuoteInQuote:
+        if (c == dialect.quote) {
+          field.push_back(dialect.quote);  // escaped quote
+          state = State::kQuoted;
+        } else if (c == dialect.delimiter) {
+          end_field();
+        } else if (c == '\r') {
+          state = State::kUnquoted;
+          if (pos + 1 >= text.size() || text[pos + 1] != '\n') end_row();
+        } else if (c == '\n') {
+          end_row();
+        } else {
+          // Malformed input such as `"a"b`; keep the stray character to stay
+          // lossless on messy real-world files.
+          field.push_back(c);
+          state = State::kUnquoted;
+        }
+        break;
+    }
+  }
+
+  // Flush the final row unless the input ended with a row terminator and the
+  // trailing row is completely empty.
+  if (row_has_content || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+Grid ParseGrid(std::string_view text, const Dialect& dialect) {
+  return Grid(ParseRows(text, dialect));
+}
+
+}  // namespace aggrecol::csv

@@ -1,0 +1,27 @@
+#ifndef AGGRECOL_CSV_PARSER_H_
+#define AGGRECOL_CSV_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "csv/dialect.h"
+#include "csv/grid.h"
+
+namespace aggrecol::csv {
+
+/// Parses CSV `text` under `dialect` into rows of fields.
+///
+/// The parser is a single-pass state machine implementing the RFC 4180
+/// grammar generalized to arbitrary delimiter/quote characters: quoted fields
+/// may contain delimiters and line breaks, a doubled quote inside a quoted
+/// field encodes a literal quote, and both LF and CRLF line endings are
+/// accepted. A trailing newline does not produce an extra empty row.
+std::vector<std::vector<std::string>> ParseRows(std::string_view text,
+                                                const Dialect& dialect);
+
+/// Convenience wrapper: parses and rectangularizes into a Grid.
+Grid ParseGrid(std::string_view text, const Dialect& dialect);
+
+}  // namespace aggrecol::csv
+
+#endif  // AGGRECOL_CSV_PARSER_H_

@@ -1,0 +1,68 @@
+#include "csv/sniffer.h"
+
+#include <array>
+#include <map>
+
+#include "csv/parser.h"
+
+namespace aggrecol::csv {
+namespace {
+
+constexpr std::array<char, 4> kCandidateDelimiters = {',', ';', '\t', '|'};
+constexpr std::array<char, 2> kCandidateQuotes = {'"', '\''};
+
+// Scores a parse: high when rows agree on a common width > 1.
+double ScoreParse(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return 0.0;
+  std::map<size_t, int> width_counts;
+  double total_fields = 0.0;
+  for (const auto& row : rows) {
+    ++width_counts[row.size()];
+    total_fields += static_cast<double>(row.size());
+  }
+  // Most frequent width and its share of rows.
+  size_t mode_width = 1;
+  int mode_count = 0;
+  for (const auto& [width, count] : width_counts) {
+    if (count > mode_count || (count == mode_count && width > mode_width)) {
+      mode_width = width;
+      mode_count = count;
+    }
+  }
+  const double consistency = static_cast<double>(mode_count) / rows.size();
+  const double mean_fields = total_fields / rows.size();
+  if (mode_width <= 1) {
+    // A dialect that never splits anything carries no structural evidence.
+    return 0.0;
+  }
+  // Consistency dominates; mean width breaks ties between dialects that both
+  // split the file consistently (e.g. ',' vs '\t' in a file using only one).
+  return consistency * 1000.0 + mean_fields;
+}
+
+}  // namespace
+
+SniffResult SniffDialect(std::string_view text) {
+  SniffResult best;
+  best.dialect = Dialect{',', '"'};
+  best.score = -1.0;
+  for (char delimiter : kCandidateDelimiters) {
+    for (char quote : kCandidateQuotes) {
+      Dialect candidate{delimiter, quote};
+      const auto rows = ParseRows(text, candidate);
+      const double score = ScoreParse(rows);
+      if (score > best.score) {
+        best.dialect = candidate;
+        best.score = score;
+      }
+    }
+  }
+  if (best.score <= 0.0) {
+    // No delimiter produced structure; fall back to the RFC 4180 default.
+    best.dialect = Dialect{',', '"'};
+    best.score = 0.0;
+  }
+  return best;
+}
+
+}  // namespace aggrecol::csv

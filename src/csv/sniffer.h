@@ -1,0 +1,29 @@
+#ifndef AGGRECOL_CSV_SNIFFER_H_
+#define AGGRECOL_CSV_SNIFFER_H_
+
+#include <string_view>
+
+#include "csv/dialect.h"
+
+namespace aggrecol::csv {
+
+/// Result of dialect detection: the winning dialect and its score.
+struct SniffResult {
+  Dialect dialect;
+  double score = 0.0;
+};
+
+/// Detects the file dialect of `text`.
+///
+/// The paper assumes dialects "have been correctly detected" by prior work
+/// (multi-hypothesis parsing, Sec. 2.1); this sniffer implements that
+/// substrate. It scores each candidate (delimiter, quote) pair by parsing the
+/// text and combining (a) row-width consistency — verbose CSV exports pad
+/// every row to the table width — and (b) the average number of fields per
+/// row, preferring dialects that actually split the content. Ties fall back
+/// to the conventional comma/double-quote dialect.
+SniffResult SniffDialect(std::string_view text);
+
+}  // namespace aggrecol::csv
+
+#endif  // AGGRECOL_CSV_SNIFFER_H_

@@ -1,0 +1,37 @@
+#include "csv/writer.h"
+
+namespace aggrecol::csv {
+
+std::string EscapeField(const std::string& field, const Dialect& dialect) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == dialect.delimiter || c == dialect.quote || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back(dialect.quote);
+  for (char c : field) {
+    if (c == dialect.quote) out.push_back(dialect.quote);
+    out.push_back(c);
+  }
+  out.push_back(dialect.quote);
+  return out;
+}
+
+std::string WriteGrid(const Grid& grid, const Dialect& dialect) {
+  std::string out;
+  for (int i = 0; i < grid.rows(); ++i) {
+    for (int j = 0; j < grid.columns(); ++j) {
+      if (j > 0) out.push_back(dialect.delimiter);
+      out.append(EscapeField(grid.at(i, j), dialect));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace aggrecol::csv

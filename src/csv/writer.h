@@ -1,0 +1,21 @@
+#ifndef AGGRECOL_CSV_WRITER_H_
+#define AGGRECOL_CSV_WRITER_H_
+
+#include <string>
+
+#include "csv/dialect.h"
+#include "csv/grid.h"
+
+namespace aggrecol::csv {
+
+/// Serializes a single field under `dialect`, quoting it when it contains the
+/// delimiter, the quote character, or a line break (RFC 4180 rules).
+std::string EscapeField(const std::string& field, const Dialect& dialect);
+
+/// Serializes `grid` to CSV text under `dialect` with LF line endings.
+/// Round-trips with ParseGrid for any cell content.
+std::string WriteGrid(const Grid& grid, const Dialect& dialect);
+
+}  // namespace aggrecol::csv
+
+#endif  // AGGRECOL_CSV_WRITER_H_

@@ -1,0 +1,49 @@
+#include "datagen/corpus.h"
+
+namespace aggrecol::datagen {
+
+CorpusSpec ValidationCorpus() {
+  CorpusSpec spec;
+  spec.name = "VALIDATION";
+  spec.file_count = 385;
+  spec.seed = 0xA66EC01ULL;  // stable across runs; all results reproducible
+  spec.profile = GeneratorProfile{};
+  return spec;
+}
+
+CorpusSpec UnseenCorpus() {
+  CorpusSpec spec;
+  spec.name = "UNSEEN";
+  spec.file_count = 81;
+  spec.seed = 0x5EED5EEDULL;
+  GeneratorProfile profile;
+  profile.p_no_aggregation = 0.0;          // every sampled file has aggregations
+  profile.zero_rate = 0.08;                // zero-valued cells are prevalent
+  profile.p_indicator_columns = 0.25;      // roster-style 0/1 columns
+  profile.p_average = 0.04;                // few average aggregations (Table 3)
+  profile.p_relative_change = 0.09;
+  profile.p_second_table = 0.12;
+  spec.profile = profile;
+  return spec;
+}
+
+std::vector<eval::AnnotatedFile> GenerateCorpus(const CorpusSpec& spec) {
+  std::vector<eval::AnnotatedFile> files;
+  files.reserve(spec.file_count);
+  for (int i = 0; i < spec.file_count; ++i) {
+    const std::string name = spec.name + "/" + std::to_string(i) + ".csv";
+    // A large odd stride decorrelates per-file streams under mt19937_64.
+    files.push_back(GenerateFile(spec.profile, spec.seed + 0x9E3779B97F4A7C15ULL * i, name));
+  }
+  return files;
+}
+
+std::vector<eval::AnnotatedFile> GenerateSmallCorpus(int file_count, uint64_t seed) {
+  CorpusSpec spec = ValidationCorpus();
+  spec.name = "SMALL";
+  spec.file_count = file_count;
+  spec.seed = seed;
+  return GenerateCorpus(spec);
+}
+
+}  // namespace aggrecol::datagen

@@ -1,0 +1,41 @@
+#ifndef AGGRECOL_DATAGEN_CORPUS_H_
+#define AGGRECOL_DATAGEN_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/file_generator.h"
+#include "eval/annotations.h"
+
+namespace aggrecol::datagen {
+
+/// A named, seeded recipe for a whole corpus of annotated files.
+struct CorpusSpec {
+  std::string name;
+  int file_count = 0;
+  uint64_t seed = 0;
+  GeneratorProfile profile;
+};
+
+/// The VALIDATION-like corpus: 385 files, ~50 without aggregations, the
+/// Table 4 number-format mix, and the Sec. 2.2 pattern mix. This substitutes
+/// the Troy+EUSES dataset the paper annotated (see DESIGN.md).
+CorpusSpec ValidationCorpus();
+
+/// The UNSEEN-like corpus: 81 files, all with aggregations, with a higher
+/// prevalence of zero-valued cells and roster-style indicator columns — the
+/// property the paper blames for the precision drop on its unseen test set
+/// (Sec. 4.3.4). Substitutes the SAUS/CIUS/UK sample.
+CorpusSpec UnseenCorpus();
+
+/// Deterministically materializes all files of `spec`.
+std::vector<eval::AnnotatedFile> GenerateCorpus(const CorpusSpec& spec);
+
+/// Convenience for unit tests and micro-benchmarks: a small corpus of
+/// `file_count` VALIDATION-profile files.
+std::vector<eval::AnnotatedFile> GenerateSmallCorpus(int file_count, uint64_t seed);
+
+}  // namespace aggrecol::datagen
+
+#endif  // AGGRECOL_DATAGEN_CORPUS_H_

@@ -1,0 +1,938 @@
+#include "datagen/file_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "core/aggregation.h"
+#include "core/composite_detector.h"
+#include "util/string_util.h"
+
+namespace aggrecol::datagen {
+namespace {
+
+using core::Aggregation;
+using core::AggregationFunction;
+using core::Axis;
+using eval::CellRole;
+using numfmt::NumberFormat;
+
+// ---------------------------------------------------------------------------
+// Random helpers (all deterministic from the per-file mt19937_64).
+// ---------------------------------------------------------------------------
+
+bool Bernoulli(std::mt19937_64& rng, double p) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+}
+
+int UniformInt(std::mt19937_64& rng, int lo, int hi) {
+  return std::uniform_int_distribution<int>(lo, hi)(rng);
+}
+
+double UniformReal(std::mt19937_64& rng, double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng);
+}
+
+size_t WeightedChoice(std::mt19937_64& rng, const std::array<double, 5>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double draw = UniformReal(rng, 0.0, total);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+// Rounds `value` through its decimal representation with `decimals` digits so
+// the stored double is bit-identical to what a detector parses back from the
+// serialized cell.
+double DisplayRound(double value, int decimals) {
+  const std::string text = util::FormatDouble(value, decimals);
+  return std::strtod(text.c_str(), nullptr);
+}
+
+// Rounds to `digits` significant digits (the coarse-aggregate error mode).
+double RoundSignificant(double value, int digits) {
+  if (value == 0.0) return 0.0;
+  const double magnitude =
+      std::pow(10.0, digits - 1 - static_cast<int>(std::floor(std::log10(std::fabs(value)))));
+  return std::round(value * magnitude) / magnitude;
+}
+
+// ---------------------------------------------------------------------------
+// Table plan.
+// ---------------------------------------------------------------------------
+
+enum class ColumnKind {
+  kLabel,       // row-header names or years
+  kData,        // plain data
+  kIndicator,   // mostly-zero 0/1 roster column (false-positive material)
+  kGroupSum,    // row-wise sum over a member group
+  kGrandSum,    // row-wise sum over group totals (cumulative pattern)
+  kAverage,     // row-wise average over a member group
+  kShare,       // row-wise division part/whole
+  kRelChange,   // row-wise relative change between two columns
+  kDifference,  // row-wise difference B - C
+  kComposite,   // row-wise (sum of members) / base — the Sec. 6 extension
+};
+
+bool IsAggregateKind(ColumnKind kind) {
+  return kind == ColumnKind::kGroupSum || kind == ColumnKind::kGrandSum ||
+         kind == ColumnKind::kAverage || kind == ColumnKind::kShare ||
+         kind == ColumnKind::kRelChange || kind == ColumnKind::kDifference ||
+         kind == ColumnKind::kComposite;
+}
+
+bool IsColumnSummable(ColumnKind kind) {
+  return kind == ColumnKind::kData || kind == ColumnKind::kIndicator ||
+         kind == ColumnKind::kGroupSum || kind == ColumnKind::kGrandSum;
+}
+
+AggregationFunction FunctionOfKind(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kGroupSum:
+    case ColumnKind::kGrandSum:
+      return AggregationFunction::kSum;
+    case ColumnKind::kAverage:
+      return AggregationFunction::kAverage;
+    case ColumnKind::kShare:
+      return AggregationFunction::kDivision;
+    case ColumnKind::kRelChange:
+      return AggregationFunction::kRelativeChange;
+    case ColumnKind::kDifference:
+      return AggregationFunction::kDifference;
+    default:
+      return AggregationFunction::kSum;
+  }
+}
+
+struct ColumnPlan {
+  ColumnKind kind = ColumnKind::kData;
+  std::string header;
+  std::vector<int> sources;  // absolute column indices; ordered (B, C) for pairs
+  double magnitude = 1000.0;
+  int decimals = 0;
+  bool coarse = false;       // coarse significant-digit rounding of aggregates
+  int coarse_digits = 2;     // significant digits kept when coarse
+  double one_rate = 0.1;     // kIndicator: probability of a 1
+};
+
+enum class ZeroStyle { kDigit, kEmpty, kMarker };
+
+struct TablePlan {
+  std::vector<ColumnPlan> columns;
+  bool label_is_year = false;
+  int data_rows = 10;
+  int group_header_count = 0;  // text-only separator rows inside the data area
+  bool total_row = false;
+  bool average_row = false;
+  bool rounded = false;  // aggregates computed on unrounded values
+  bool has_title = true;
+  bool multirow_header = false;  // extra banner row above the headers
+  int footnotes = 1;
+  ZeroStyle zero_style = ZeroStyle::kDigit;
+  double zero_rate = 0.03;
+  int repeat_tables = 1;  // a second stacked table reuses the same plan
+};
+
+const char* const kRegionNames[] = {"Europe", "Africa",  "Asia",   "Americas",
+                                    "Oceania", "Nordics", "Baltics", "Benelux"};
+const char* const kMemberNames[] = {
+    "Bulgaria", "France", "Germany", "Poland",  "Portugal", "Romania", "Kenya",
+    "Ethiopia", "Chile",  "Austria", "Finland", "Denmark",  "Norway",  "Iceland",
+    "Estonia",  "Latvia", "Japan",   "Brazil",  "Canada",   "Mexico"};
+std::string PickName(std::mt19937_64& rng, const char* const* pool, int pool_size) {
+  return pool[UniformInt(rng, 0, pool_size - 1)];
+}
+
+// Draws the shape and content plan of one table.
+TablePlan BuildPlan(const GeneratorProfile& profile, std::mt19937_64& rng,
+                    bool with_aggregations) {
+  TablePlan plan;
+  plan.label_is_year = Bernoulli(rng, 0.5);
+  plan.data_rows = Bernoulli(rng, profile.p_big_file)
+                       ? profile.big_file_rows
+                       : UniformInt(rng, profile.min_data_rows, profile.max_data_rows);
+  if (with_aggregations && Bernoulli(rng, profile.p_tiny_file)) {
+    plan.data_rows = UniformInt(rng, 1, 3);  // minimal files (paper min = 1)
+  }
+  plan.rounded = Bernoulli(rng, profile.p_rounded);
+  plan.has_title = Bernoulli(rng, 0.75);
+  plan.footnotes = UniformInt(rng, 0, 2);
+  plan.zero_rate = profile.zero_rate;
+  const double zero_draw = UniformReal(rng, 0.0, 1.0);
+  plan.zero_style = zero_draw < profile.p_zero_empty ? ZeroStyle::kEmpty
+                    : zero_draw < profile.p_zero_empty + profile.p_zero_marker
+                        ? ZeroStyle::kMarker
+                        : ZeroStyle::kDigit;
+  plan.repeat_tables = Bernoulli(rng, profile.p_second_table) ? 2 : 1;
+  plan.multirow_header = Bernoulli(rng, profile.p_multirow_header);
+
+  bool has_sum = with_aggregations && Bernoulli(rng, profile.p_sum);
+  bool has_average = with_aggregations && Bernoulli(rng, profile.p_average);
+  bool has_division = with_aggregations && Bernoulli(rng, profile.p_division);
+  bool has_relchange =
+      with_aggregations && Bernoulli(rng, profile.p_relative_change);
+  bool has_difference =
+      with_aggregations && Bernoulli(rng, profile.p_difference);
+
+  if (with_aggregations && !has_sum && !has_average && !has_division &&
+      !has_relchange && !has_difference) {
+    // A file labeled as aggregated must carry at least one function; fall
+    // back to a uniformly drawn one so sum does not dominate artificially.
+    switch (UniformInt(rng, 0, 4)) {
+      case 0:
+        has_sum = true;
+        break;
+      case 1:
+        has_average = true;
+        break;
+      case 2:
+        has_division = true;
+        break;
+      case 3:
+        has_relchange = true;
+        break;
+      default:
+        has_difference = true;
+        break;
+    }
+  }
+  const bool cumulative = has_sum && Bernoulli(rng, profile.p_cumulative);
+  const bool interrupt = has_sum && has_average && Bernoulli(rng, profile.p_interrupt);
+
+  auto data_decimals = [&rng]() {
+    const double draw = UniformReal(rng, 0.0, 1.0);
+    return draw < 0.6 ? 0 : draw < 0.8 ? 1 : 2;
+  };
+  auto keyword = [&rng, &profile](const std::string& keyword_header,
+                                  const std::string& plain_header) {
+    return Bernoulli(rng, profile.p_keyword_header) ? keyword_header : plain_header;
+  };
+
+  // Label column.
+  ColumnPlan label;
+  label.kind = ColumnKind::kLabel;
+  label.header = plan.label_is_year ? "Year" : "Item";
+  plan.columns.push_back(label);
+
+  // Member groups with their sum/average columns.
+  const int group_count =
+      has_sum ? UniformInt(rng, 1, profile.max_groups) : UniformInt(rng, 1, 2);
+  std::vector<int> group_total_columns;
+  int division_group_total = -1;
+  std::vector<int> division_group_members;
+
+  for (int g = 0; g < group_count; ++g) {
+    const int group_size = UniformInt(rng, 2, profile.max_group_size);
+    const double magnitude = std::pow(10.0, UniformReal(rng, 1.5, 5.5));
+    const int decimals = data_decimals();
+    const std::string group_name =
+        PickName(rng, kRegionNames, std::size(kRegionNames));
+
+    const bool total_first = Bernoulli(rng, 0.5);
+    const bool group_interrupt = interrupt && g == 0;  // avg blocks the sum range
+    const bool group_average =
+        has_average && (group_interrupt || (g == group_count - 1 && !interrupt));
+
+    int total_col = -1;
+    int average_col = -1;
+    std::vector<int> member_cols;
+
+    auto add_total = [&]() {
+      ColumnPlan total;
+      total.kind = has_sum ? ColumnKind::kGroupSum : ColumnKind::kData;
+      total.header = keyword("Total " + group_name, group_name);
+      total.magnitude = magnitude;
+      total.decimals = decimals;
+      total.coarse = plan.rounded && Bernoulli(rng, profile.p_coarse_aggregate);
+      total.coarse_digits = UniformInt(rng, 2, 3);
+      total_col = static_cast<int>(plan.columns.size());
+      plan.columns.push_back(total);
+    };
+    auto add_average = [&]() {
+      ColumnPlan average;
+      average.kind = ColumnKind::kAverage;
+      average.header = Bernoulli(rng, 0.85) ? "Average " + group_name : "Per member";
+      average.magnitude = magnitude;
+      average.decimals = decimals + (Bernoulli(rng, 0.5) ? 1 : 0);
+      average_col = static_cast<int>(plan.columns.size());
+      plan.columns.push_back(average);
+    };
+    auto add_members = [&]() {
+      for (int m = 0; m < group_size; ++m) {
+        ColumnPlan member;
+        member.kind = ColumnKind::kData;
+        member.header = PickName(rng, kMemberNames, std::size(kMemberNames));
+        member.magnitude = magnitude;
+        member.decimals = decimals;
+        member_cols.push_back(static_cast<int>(plan.columns.size()));
+        plan.columns.push_back(member);
+      }
+    };
+
+    if (group_interrupt) {
+      // [Total][Average][m1..mk]: the average aggregate blocks the sum range.
+      add_total();
+      add_average();
+      add_members();
+    } else if (total_first) {
+      // [Total][m1..mk](average last when drawn).
+      add_total();
+      add_members();
+      if (group_average) add_average();
+    } else {
+      // (average first when drawn)[m1..mk][Total].
+      if (group_average) add_average();
+      add_members();
+      add_total();
+    }
+
+    if (total_col >= 0 && plan.columns[total_col].kind == ColumnKind::kGroupSum) {
+      plan.columns[total_col].sources = member_cols;
+      group_total_columns.push_back(total_col);
+    }
+    if (total_col >= 0) {
+      // The share block is appended right after the groups, so it references
+      // the *last* group to keep all operands within the sliding window.
+      division_group_total = total_col;
+      division_group_members = member_cols;
+    }
+    if (average_col >= 0) {
+      plan.columns[average_col].sources = member_cols;
+    }
+  }
+
+  // Division (share) columns right after the groups: part / group total.
+  if (has_division && division_group_total >= 0) {
+    const int share_count =
+        std::min<int>(UniformInt(rng, 1, 3), static_cast<int>(division_group_members.size()));
+    for (int s = 0; s < share_count; ++s) {
+      ColumnPlan share;
+      share.kind = ColumnKind::kShare;
+      share.header = Bernoulli(rng, 0.55)
+                         ? plan.columns[division_group_members[s]].header + " %"
+                         : plan.columns[division_group_members[s]].header + " in " +
+                               plan.columns[division_group_total].header;
+      share.sources = {division_group_members[s], division_group_total};
+      share.decimals = Bernoulli(rng, profile.p_full_precision_ratio)
+                           ? 10
+                           : UniformInt(rng, 2, 3);
+      plan.columns.push_back(share);
+    }
+  }
+
+  // Cumulative grand total summing the group totals (placed in front so the
+  // iteration of Alg. 1 finds it once member columns are consumed).
+  if (cumulative && group_total_columns.size() >= 2) {
+    ColumnPlan grand;
+    grand.kind = ColumnKind::kGrandSum;
+    grand.header = keyword("Total", "World");
+    grand.sources = group_total_columns;
+    grand.magnitude = plan.columns[group_total_columns[0]].magnitude;
+    grand.decimals = plan.columns[group_total_columns[0]].decimals;
+    grand.coarse = plan.rounded && Bernoulli(rng, profile.p_coarse_aggregate);
+    grand.coarse_digits = UniformInt(rng, 2, 3);
+    plan.columns.insert(plan.columns.begin() + 1, grand);
+    // Re-index: every source index >= 1 shifts by one.
+    for (auto& column : plan.columns) {
+      if (column.kind == ColumnKind::kGrandSum) continue;
+      for (int& source : column.sources) {
+        if (source >= 1) ++source;
+      }
+    }
+    for (int& source : plan.columns[1].sources) {
+      if (source >= 1) ++source;
+    }
+  }
+
+  // Relative change block [y1][y2][change].
+  if (has_relchange) {
+    const double magnitude = std::pow(10.0, UniformReal(rng, 2.0, 5.0));
+    const int decimals = data_decimals();
+    ColumnPlan y1;
+    y1.kind = ColumnKind::kData;
+    y1.header = "2018";
+    y1.magnitude = magnitude;
+    y1.decimals = decimals;
+    const int y1_col = static_cast<int>(plan.columns.size());
+    plan.columns.push_back(y1);
+    ColumnPlan y2 = y1;
+    y2.header = "2019";
+    const int y2_col = static_cast<int>(plan.columns.size());
+    plan.columns.push_back(y2);
+    ColumnPlan change;
+    change.kind = ColumnKind::kRelChange;
+    change.header = Bernoulli(rng, 0.9) ? "Change %" : "2019 vs 2018";
+    change.sources = {y1_col, y2_col};
+    change.decimals = Bernoulli(rng, profile.p_full_precision_ratio)
+                          ? 10
+                          : UniformInt(rng, 2, 3);
+    plan.columns.push_back(change);
+  }
+
+  // Difference block [net][gross][expense].
+  if (has_difference) {
+    const double magnitude = std::pow(10.0, UniformReal(rng, 2.0, 5.0));
+    const int decimals = data_decimals();
+    ColumnPlan net;
+    net.kind = ColumnKind::kDifference;
+    net.header = "Net";
+    net.magnitude = magnitude;
+    net.decimals = decimals;
+    const int net_col = static_cast<int>(plan.columns.size());
+    plan.columns.push_back(net);
+    ColumnPlan gross;
+    gross.kind = ColumnKind::kData;
+    gross.header = "Gross";
+    gross.magnitude = magnitude;
+    gross.decimals = decimals;
+    const int gross_col = static_cast<int>(plan.columns.size());
+    plan.columns.push_back(gross);
+    ColumnPlan expense = gross;
+    expense.header = "Expense";
+    const int expense_col = static_cast<int>(plan.columns.size());
+    plan.columns.push_back(expense);
+    plan.columns[net_col].sources = {gross_col, expense_col};
+  }
+
+  // Composite sum-then-divide block [base][m1][m2][m3][share] with no
+  // intermediate sum of the members (the paper's university-degree example).
+  if (with_aggregations && Bernoulli(rng, profile.p_composite)) {
+    const double magnitude = std::pow(10.0, UniformReal(rng, 3.0, 5.0));
+    const int decimals = data_decimals();
+    ColumnPlan base;
+    base.kind = ColumnKind::kData;
+    base.header = "Population";
+    base.magnitude = magnitude * 4.0;  // the whole is larger than the parts
+    base.decimals = decimals;
+    const int base_col = static_cast<int>(plan.columns.size());
+    plan.columns.push_back(base);
+    std::vector<int> member_cols;
+    const int member_count = UniformInt(rng, 2, 3);
+    const char* const kDegrees[] = {"Bachelor", "Master", "Doctor"};
+    for (int m = 0; m < member_count; ++m) {
+      ColumnPlan member;
+      member.kind = ColumnKind::kData;
+      member.header = kDegrees[m];
+      member.magnitude = magnitude;
+      member.decimals = decimals;
+      member_cols.push_back(static_cast<int>(plan.columns.size()));
+      plan.columns.push_back(member);
+    }
+    ColumnPlan share;
+    share.kind = ColumnKind::kComposite;
+    share.header = "Degree holders %";
+    share.sources = member_cols;
+    share.sources.push_back(base_col);  // denominator last
+    share.decimals = Bernoulli(rng, profile.p_full_precision_ratio)
+                         ? 10
+                         : UniformInt(rng, 2, 3);
+    plan.columns.push_back(share);
+  }
+
+  // Roster-style indicator columns (mostly zeros: false-positive material).
+  if (Bernoulli(rng, profile.p_indicator_columns)) {
+    const int indicator_count = UniformInt(rng, 2, 3);
+    for (int i = 0; i < indicator_count; ++i) {
+      ColumnPlan indicator;
+      indicator.kind = ColumnKind::kIndicator;
+      indicator.header = "Flag " + std::to_string(i + 1);
+      indicator.one_rate = UniformReal(rng, 0.05, 0.2);
+      plan.columns.push_back(indicator);
+    }
+  }
+
+  // Plain data columns frequently carry keyword-bearing headers without
+  // being aggregates ("Average age", "Exchange rate", "Change in stock") —
+  // the reason keyword dictionaries have poor precision (Sec. 4.4).
+  {
+    const char* const kDecorations[] = {"All ",     "Total ",   "Average ",
+                                        "Mean ",    "Share of ", "Change in ",
+                                        "Rate of ", "Growth of "};
+    for (auto& column : plan.columns) {
+      if (column.kind != ColumnKind::kData && column.kind != ColumnKind::kIndicator) {
+        continue;
+      }
+      if (Bernoulli(rng, profile.p_spurious_keyword)) {
+        column.header =
+            kDecorations[UniformInt(rng, 0, std::size(kDecorations) - 1)] +
+            column.header;
+      }
+    }
+  }
+
+  plan.total_row = with_aggregations && Bernoulli(rng, profile.p_total_row);
+  plan.average_row =
+      with_aggregations && !plan.total_row && Bernoulli(rng, profile.p_average_row);
+  // Group-header separator rows would distort a column-wise average's element
+  // count; only combine them with total rows.
+  if (!plan.average_row && Bernoulli(rng, 0.15)) {
+    plan.group_header_count = UniformInt(rng, 1, 2);
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Materialization.
+// ---------------------------------------------------------------------------
+
+struct FileBuilder {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<CellRole>> roles;
+  std::vector<Aggregation> annotations;
+  std::vector<core::CompositeAggregation> composites;
+  NumberFormat format = NumberFormat::kCommaDot;
+
+  int AddRow(int width) {
+    rows.emplace_back(width);
+    roles.emplace_back(width, CellRole::kEmpty);
+    return static_cast<int>(rows.size()) - 1;
+  }
+};
+
+// Displayed value of every cell of one table: position [row][column], absent
+// when the cell is empty (undefined aggregate or separator row).
+using ValueMatrix = std::vector<std::vector<std::optional<double>>>;
+
+void RenderCell(FileBuilder* builder, const TablePlan& plan, int grid_row, int col,
+                double value, int decimals, CellRole role, bool aggregate_column) {
+  std::string text;
+  if (value == 0.0 && !aggregate_column) {
+    switch (plan.zero_style) {
+      case ZeroStyle::kEmpty:
+        text.clear();
+        break;
+      case ZeroStyle::kMarker:
+        text = "-";
+        break;
+      case ZeroStyle::kDigit:
+        text = numfmt::FormatNumber(0.0, builder->format, decimals);
+        break;
+    }
+  } else {
+    text = numfmt::FormatNumber(value, builder->format, decimals);
+  }
+  builder->rows[grid_row][col] = text;
+  builder->roles[grid_row][col] = text.empty() ? CellRole::kEmpty : role;
+}
+
+// Materializes one table (plan) into the builder, appending rows and
+// recording ground truth. Returns nothing; annotations use grid coordinates.
+void MaterializeTable(const TablePlan& plan, std::mt19937_64& rng,
+                      FileBuilder* builder) {
+  const int width = static_cast<int>(plan.columns.size());
+  const int R = plan.data_rows;
+
+  // --- Underlying and displayed values -------------------------------------
+  ValueMatrix underlying(R, std::vector<std::optional<double>>(width));
+  ValueMatrix displayed(R, std::vector<std::optional<double>>(width));
+
+  // Base columns first.
+  for (int c = 0; c < width; ++c) {
+    const ColumnPlan& column = plan.columns[c];
+    for (int r = 0; r < R; ++r) {
+      switch (column.kind) {
+        case ColumnKind::kLabel:
+          break;  // rendered as text later
+        case ColumnKind::kData: {
+          double value = Bernoulli(rng, plan.zero_rate)
+                             ? 0.0
+                             : UniformReal(rng, 0.1, 1.0) * column.magnitude;
+          if (!plan.rounded) value = DisplayRound(value, column.decimals);
+          underlying[r][c] = value;
+          displayed[r][c] = DisplayRound(value, column.decimals);
+          break;
+        }
+        case ColumnKind::kIndicator: {
+          const double value = Bernoulli(rng, column.one_rate) ? 1.0 : 0.0;
+          underlying[r][c] = value;
+          displayed[r][c] = value;
+          break;
+        }
+        default:
+          break;  // aggregates in the second pass
+      }
+    }
+  }
+
+  // Aggregate columns in dependency order: group sums, then grand sums, then
+  // the remaining single-pass kinds.
+  auto compute_column = [&](int c) {
+    const ColumnPlan& column = plan.columns[c];
+    for (int r = 0; r < R; ++r) {
+      // In rounded files aggregates are computed on unrounded values and then
+      // rounded for display (the Sec. 4.1 error mechanism); in exact files
+      // they are computed on the displayed values themselves.
+      auto base = [&](int source) -> std::optional<double> {
+        return plan.rounded ? underlying[r][source] : displayed[r][source];
+      };
+      std::optional<double> value;
+      switch (column.kind) {
+        case ColumnKind::kGroupSum:
+        case ColumnKind::kGrandSum: {
+          double sum = 0.0;
+          bool ok = true;
+          for (int source : column.sources) {
+            if (!base(source).has_value()) ok = false;
+            sum += base(source).value_or(0.0);
+          }
+          if (ok) value = sum;
+          break;
+        }
+        case ColumnKind::kAverage: {
+          double sum = 0.0;
+          for (int source : column.sources) sum += base(source).value_or(0.0);
+          value = sum / static_cast<double>(column.sources.size());
+          break;
+        }
+        case ColumnKind::kShare: {
+          const double num = base(column.sources[0]).value_or(0.0);
+          const double den = base(column.sources[1]).value_or(0.0);
+          if (den != 0.0) value = num / den;
+          break;
+        }
+        case ColumnKind::kRelChange: {
+          const double b = base(column.sources[0]).value_or(0.0);
+          const double c2 = base(column.sources[1]).value_or(0.0);
+          if (b != 0.0) value = (c2 - b) / b;
+          break;
+        }
+        case ColumnKind::kDifference: {
+          value = base(column.sources[0]).value_or(0.0) -
+                  base(column.sources[1]).value_or(0.0);
+          break;
+        }
+        case ColumnKind::kComposite: {
+          double numerator = 0.0;
+          for (size_t k = 0; k + 1 < column.sources.size(); ++k) {
+            numerator += base(column.sources[k]).value_or(0.0);
+          }
+          const double denominator = base(column.sources.back()).value_or(0.0);
+          if (denominator != 0.0) value = numerator / denominator;
+          break;
+        }
+        default:
+          return;
+      }
+      underlying[r][c] = value;
+      if (value.has_value()) {
+        // Coarse aggregates keep only 2-3 significant digits; at 2 digits the
+        // error level often exceeds the detector tolerance, reproducing the
+        // paper's error-level false negatives and their cumulative cascades.
+        const double shown =
+            column.coarse ? RoundSignificant(*value, column.coarse_digits) : *value;
+        displayed[r][c] = DisplayRound(shown, column.decimals);
+      }
+    }
+  };
+  for (int c = 0; c < width; ++c) {
+    if (plan.columns[c].kind == ColumnKind::kGroupSum) compute_column(c);
+  }
+  for (int c = 0; c < width; ++c) {
+    if (plan.columns[c].kind == ColumnKind::kGrandSum) compute_column(c);
+  }
+  for (int c = 0; c < width; ++c) {
+    const ColumnKind kind = plan.columns[c].kind;
+    if (kind == ColumnKind::kAverage || kind == ColumnKind::kShare ||
+        kind == ColumnKind::kRelChange || kind == ColumnKind::kDifference ||
+        kind == ColumnKind::kComposite) {
+      compute_column(c);
+    }
+  }
+
+  // --- Rows -----------------------------------------------------------------
+  if (plan.has_title) {
+    const int row = builder->AddRow(width);
+    builder->rows[row][0] = "Table of " + plan.columns.back().header + " figures";
+    builder->roles[row][0] = CellRole::kMetadata;
+    builder->AddRow(width);  // blank separator
+  }
+
+  if (plan.multirow_header) {
+    // A banner header row spanning a few columns, above the real headers.
+    const int banner_row = builder->AddRow(width);
+    builder->rows[banner_row][1] = "Figures by " + plan.columns.back().header;
+    builder->roles[banner_row][1] = CellRole::kHeader;
+    if (width > 4) {
+      builder->rows[banner_row][width / 2] = "(units)";
+      builder->roles[banner_row][width / 2] = CellRole::kHeader;
+    }
+  }
+  const int header_row = builder->AddRow(width);
+  for (int c = 0; c < width; ++c) {
+    builder->rows[header_row][c] = plan.columns[c].header;
+    builder->roles[header_row][c] = CellRole::kHeader;
+  }
+
+  // Group-header separator positions among the data rows.
+  std::vector<int> separators;
+  for (int s = 0; s < plan.group_header_count; ++s) {
+    separators.push_back(UniformInt(rng, 1, std::max(1, R - 1)));
+  }
+  std::sort(separators.begin(), separators.end());
+  separators.erase(std::unique(separators.begin(), separators.end()),
+                   separators.end());
+
+  const int start_year = UniformInt(rng, 1950, 2010);
+  std::vector<int> data_grid_rows(R);
+  int first_region_row = -1;
+  int last_region_row = -1;
+  size_t next_separator = 0;
+  for (int r = 0; r < R; ++r) {
+    while (next_separator < separators.size() && separators[next_separator] == r) {
+      const int row = builder->AddRow(width);
+      builder->rows[row][0] = "Group " + std::to_string(next_separator + 1);
+      builder->roles[row][0] = CellRole::kGroupHeader;
+      if (first_region_row < 0) first_region_row = row;
+      last_region_row = row;
+      ++next_separator;
+    }
+    const int row = builder->AddRow(width);
+    data_grid_rows[r] = row;
+    if (first_region_row < 0) first_region_row = row;
+    last_region_row = row;
+    for (int c = 0; c < width; ++c) {
+      const ColumnPlan& column = plan.columns[c];
+      if (column.kind == ColumnKind::kLabel) {
+        builder->rows[row][c] = plan.label_is_year
+                                    ? std::to_string(start_year + r)
+                                    : "Item " + std::to_string(r + 1);
+        builder->roles[row][c] = CellRole::kHeader;
+        continue;
+      }
+      if (!displayed[r][c].has_value()) continue;
+      const bool aggregate_column = IsAggregateKind(column.kind);
+      RenderCell(builder, plan, row, c, *displayed[r][c], column.decimals,
+                 aggregate_column ? CellRole::kAggregation : CellRole::kData,
+                 aggregate_column);
+    }
+  }
+
+  // --- Total / average row ----------------------------------------------------
+  int total_row = -1;
+  std::vector<std::optional<double>> total_displayed(width);
+  if (plan.total_row) {
+    total_row = builder->AddRow(width);
+    builder->rows[total_row][0] = "Total";
+    builder->roles[total_row][0] = CellRole::kHeader;
+    for (int c = 0; c < width; ++c) {
+      const ColumnPlan& column = plan.columns[c];
+      if (!IsColumnSummable(column.kind)) continue;
+      double sum = 0.0;
+      bool ok = true;
+      for (int r = 0; r < R; ++r) {
+        const auto& cell = plan.rounded ? underlying[r][c] : displayed[r][c];
+        if (!cell.has_value()) ok = false;
+        sum += cell.value_or(0.0);
+      }
+      if (!ok) continue;
+      total_displayed[c] = DisplayRound(sum, column.decimals);
+      RenderCell(builder, plan, total_row, c, *total_displayed[c], column.decimals,
+                 CellRole::kAggregation, /*aggregate_column=*/true);
+    }
+  }
+
+  int average_row = -1;
+  std::vector<std::optional<double>> average_displayed(width);
+  if (plan.average_row) {
+    average_row = builder->AddRow(width);
+    builder->rows[average_row][0] = "Average";
+    builder->roles[average_row][0] = CellRole::kHeader;
+    for (int c = 0; c < width; ++c) {
+      const ColumnPlan& column = plan.columns[c];
+      if (column.kind != ColumnKind::kData) continue;
+      double sum = 0.0;
+      for (int r = 0; r < R; ++r) {
+        sum += (plan.rounded ? underlying[r][c] : displayed[r][c]).value_or(0.0);
+      }
+      const double mean = sum / static_cast<double>(R);
+      average_displayed[c] = DisplayRound(mean, column.decimals + 1);
+      RenderCell(builder, plan, average_row, c, *average_displayed[c],
+                 column.decimals + 1, CellRole::kAggregation,
+                 /*aggregate_column=*/true);
+    }
+  }
+
+  // --- Footnotes ---------------------------------------------------------------
+  if (plan.footnotes > 0) {
+    builder->AddRow(width);  // blank separator
+    const char* const kNotes[] = {"Source: national statistics office",
+                                  "Inquiries: statistics department",
+                                  "Figures may not add up due to rounding"};
+    for (int n = 0; n < plan.footnotes; ++n) {
+      const int row = builder->AddRow(width);
+      builder->rows[row][0] = kNotes[n % 3];
+      builder->roles[row][0] = CellRole::kNotes;
+    }
+  }
+
+  // --- Ground truth --------------------------------------------------------
+  auto annotate = [&](Axis axis, int line, int aggregate, std::vector<int> range,
+                      AggregationFunction function, double observed,
+                      double calculated) {
+    Aggregation aggregation;
+    aggregation.axis = axis;
+    aggregation.line = line;
+    aggregation.aggregate = aggregate;
+    aggregation.range = std::move(range);
+    aggregation.function = function;
+    aggregation.error = core::ErrorLevel(observed, calculated);
+    builder->annotations.push_back(std::move(aggregation));
+  };
+
+  // Row-wise aggregations: every data row, per aggregate column.
+  for (int c = 0; c < width; ++c) {
+    const ColumnPlan& column = plan.columns[c];
+    if (!IsAggregateKind(column.kind)) continue;
+    if (column.kind == ColumnKind::kComposite) {
+      // Composite ground truth lives in its own list.
+      for (int r = 0; r < R; ++r) {
+        if (!displayed[r][c].has_value()) continue;
+        double numerator = 0.0;
+        bool ok = true;
+        for (size_t k = 0; k + 1 < column.sources.size(); ++k) {
+          if (!displayed[r][column.sources[k]].has_value()) {
+            ok = false;
+            break;
+          }
+          numerator += *displayed[r][column.sources[k]];
+        }
+        const auto& denominator = displayed[r][column.sources.back()];
+        if (!ok || !denominator.has_value() || *denominator == 0.0) continue;
+        core::CompositeAggregation composite;
+        composite.axis = Axis::kRow;
+        composite.line = data_grid_rows[r];
+        composite.aggregate = c;
+        composite.numerator.assign(column.sources.begin(),
+                                   column.sources.end() - 1);
+        composite.denominator = column.sources.back();
+        composite.error =
+            core::ErrorLevel(*displayed[r][c], numerator / *denominator);
+        builder->composites.push_back(std::move(composite));
+      }
+      continue;
+    }
+    const AggregationFunction function = FunctionOfKind(column.kind);
+    for (int r = 0; r < R; ++r) {
+      if (!displayed[r][c].has_value()) continue;
+      std::vector<double> values;
+      bool ok = true;
+      for (int source : column.sources) {
+        if (!displayed[r][source].has_value()) {
+          ok = false;
+          break;
+        }
+        values.push_back(*displayed[r][source]);
+      }
+      if (!ok) continue;
+      const auto calculated = core::Apply(function, values);
+      if (!calculated.has_value()) continue;
+      annotate(Axis::kRow, data_grid_rows[r], c, column.sources, function,
+               *displayed[r][c], *calculated);
+    }
+    // Sum-of-sums: the same row-wise pattern holds on the total row.
+    if (total_row >= 0 &&
+        (column.kind == ColumnKind::kGroupSum || column.kind == ColumnKind::kGrandSum) &&
+        total_displayed[c].has_value()) {
+      std::vector<double> values;
+      bool ok = true;
+      for (int source : column.sources) {
+        if (!total_displayed[source].has_value()) {
+          ok = false;
+          break;
+        }
+        values.push_back(*total_displayed[source]);
+      }
+      if (ok) {
+        const auto calculated = core::Apply(function, values);
+        if (calculated.has_value()) {
+          annotate(Axis::kRow, total_row, c, column.sources, function,
+                   *total_displayed[c], *calculated);
+        }
+      }
+    }
+  }
+
+  // Column-wise aggregations from the total and average rows. The range spans
+  // the whole data region including separator rows, whose empty cells stand
+  // for zero (the paper's empty-cell convention).
+  std::vector<int> region_rows;
+  for (int row = first_region_row; row <= last_region_row; ++row) {
+    region_rows.push_back(row);
+  }
+  auto column_values = [&](int c) {
+    std::vector<double> values;
+    for (int row : region_rows) {
+      // Separator rows contribute zero; data rows their displayed value.
+      double value = 0.0;
+      for (int r = 0; r < R; ++r) {
+        if (data_grid_rows[r] == row) {
+          value = displayed[r][c].value_or(0.0);
+          break;
+        }
+      }
+      values.push_back(value);
+    }
+    return values;
+  };
+  if (total_row >= 0) {
+    for (int c = 0; c < width; ++c) {
+      if (!total_displayed[c].has_value()) continue;
+      const auto calculated =
+          core::Apply(AggregationFunction::kSum, column_values(c));
+      if (!calculated.has_value()) continue;
+      annotate(Axis::kColumn, c, total_row, region_rows, AggregationFunction::kSum,
+               *total_displayed[c], *calculated);
+    }
+  }
+  if (average_row >= 0) {
+    for (int c = 0; c < width; ++c) {
+      if (!average_displayed[c].has_value()) continue;
+      const auto calculated =
+          core::Apply(AggregationFunction::kAverage, column_values(c));
+      if (!calculated.has_value()) continue;
+      annotate(Axis::kColumn, c, average_row, region_rows,
+               AggregationFunction::kAverage, *average_displayed[c], *calculated);
+    }
+  }
+}
+
+}  // namespace
+
+eval::AnnotatedFile GenerateFile(const GeneratorProfile& profile, uint64_t seed,
+                                 const std::string& name) {
+  std::mt19937_64 rng(seed);
+  FileBuilder builder;
+  builder.format = numfmt::kAllNumberFormats[WeightedChoice(rng, profile.format_weights)];
+
+  const bool with_aggregations = !Bernoulli(rng, profile.p_no_aggregation);
+  const TablePlan plan = BuildPlan(profile, rng, with_aggregations);
+  for (int t = 0; t < plan.repeat_tables; ++t) {
+    if (t > 0) builder.AddRow(static_cast<int>(plan.columns.size()));
+    if (t > 0 && profile.second_table_new_plan) {
+      TablePlan second = BuildPlan(profile, rng, with_aggregations);
+      second.repeat_tables = 1;
+      MaterializeTable(second, rng, &builder);
+    } else {
+      MaterializeTable(plan, rng, &builder);
+    }
+  }
+
+  eval::AnnotatedFile file;
+  file.name = name;
+  file.grid = csv::Grid(builder.rows);
+  file.annotations = std::move(builder.annotations);
+  file.composites = std::move(builder.composites);
+  file.format = builder.format;
+  // Pad role rows to the rectangularized grid width.
+  const int width = file.grid.columns();
+  for (auto& row : builder.roles) row.resize(width, CellRole::kEmpty);
+  file.roles = std::move(builder.roles);
+  return file;
+}
+
+}  // namespace aggrecol::datagen

@@ -1,0 +1,119 @@
+#ifndef AGGRECOL_DATAGEN_FILE_GENERATOR_H_
+#define AGGRECOL_DATAGEN_FILE_GENERATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "eval/annotations.h"
+#include "numfmt/number_format.h"
+
+namespace aggrecol::datagen {
+
+/// Distributional knobs for generating one verbose CSV file. The defaults
+/// approximate the published marginals of the paper's VALIDATION dataset
+/// (Table 3, Fig. 2, Table 4, Sec. 2.2); corpus.h derives the VALIDATION and
+/// UNSEEN profiles from them.
+struct GeneratorProfile {
+  /// Probability that a file carries no aggregations at all (50/385 files in
+  /// VALIDATION; zero in UNSEEN).
+  double p_no_aggregation = 50.0 / 385.0;
+
+  /// Per-file probabilities that a table includes each function's
+  /// aggregations (conditioned on the file having aggregations; Fig. 2).
+  double p_sum = 0.74;
+  double p_average = 0.08;
+  double p_division = 0.22;
+  double p_relative_change = 0.06;
+  double p_difference = 0.06;
+
+  /// Aggregation patterns (Sec. 2.2): cumulative grand totals and interrupt
+  /// layouts where a non-cumulative aggregate blocks a sum's range.
+  double p_cumulative = 0.25;
+  double p_interrupt = 0.15;
+
+  /// Column-wise aggregate rows.
+  double p_total_row = 0.5;
+  double p_average_row = 0.08;
+
+  /// File-level rounding mode: aggregates are computed on unrounded values
+  /// and then rounded for display, producing nonzero error levels (Sec. 4.1
+  /// observes errors in ~29% of aggregations).
+  double p_rounded = 0.35;
+
+  /// Within rounded files, probability that one aggregate is very coarsely
+  /// rounded (1-2 significant digits), producing errors beyond the detector
+  /// tolerance — the paper's error-level false-negative mode (Sec. 4.5).
+  double p_coarse_aggregate = 0.08;
+
+  /// Probability that the file stacks a second, independent table.
+  double p_second_table = 0.10;
+
+  /// When a second table is drawn, lay it out with a *different* plan
+  /// instead of repeating the first one. Distinct layouts dilute whole-file
+  /// pattern coverage — the case the table-splitting extension addresses.
+  bool second_table_new_plan = false;
+
+  /// Probability of including 0/1 indicator columns (roster-style content,
+  /// the paper's main false-positive mode; prevalent in UNSEEN).
+  double p_indicator_columns = 0.05;
+
+  /// Probability that any single data value is a true zero.
+  double zero_rate = 0.03;
+
+  /// How zeros are displayed: empty cell, textual marker, or the digit 0.
+  double p_zero_empty = 0.35;
+  double p_zero_marker = 0.10;
+
+  /// Number-format mix (Table 4 order).
+  std::array<double, 5> format_weights = {0.245, 0.060, 0.665, 0.015, 0.015};
+
+  /// Header conventions: aggregate columns carry a keyword header ("Total
+  /// ...") with this probability (the paper measures ~60% for sum), and
+  /// non-aggregate columns occasionally carry a spurious keyword.
+  double p_keyword_header = 0.6;
+  double p_spurious_keyword = 0.12;
+
+  /// Ratio aggregates (shares, relative changes) are sometimes exported at
+  /// full precision instead of being rounded to 2-3 decimals, making their
+  /// observed error level effectively zero (the paper's error>0 share is
+  /// ~29%, so many of its divisions must be exact).
+  double p_full_precision_ratio = 0.45;
+
+  /// A few minimal files carry only a handful of rows (the paper's smallest
+  /// file holds a single aggregation).
+  double p_tiny_file = 0.05;
+
+  /// Probability of a second header row above the column headers (a group
+  /// banner such as "Population by region"); ~9.2% of open-portal tables
+  /// have multi-row headers or correlated comment lines (Sec. 1).
+  double p_multirow_header = 0.10;
+
+  /// Probability of a composite sum-then-divide block (the Sec. 6 future-work
+  /// shape): share = (m1 + m2 + m3) / base, with no intermediate sum column.
+  /// Zero by default so the core experiments stay the paper's.
+  double p_composite = 0.0;
+
+  /// Table shape.
+  int min_data_rows = 5;
+  int max_data_rows = 40;
+  int max_groups = 3;
+  int max_group_size = 6;
+
+  /// A few very large files (the paper's widest/longest tables reach
+  /// hundreds of rows and one file holds 1,651 aggregations).
+  double p_big_file = 0.02;
+  int big_file_rows = 300;
+};
+
+/// Generates one annotated verbose CSV file from `profile`, deterministically
+/// from `seed`. The returned AnnotatedFile carries the serialized-style grid,
+/// the semantic aggregation ground truth (with observed error levels), and
+/// per-cell roles for the cell-classification experiment.
+eval::AnnotatedFile GenerateFile(const GeneratorProfile& profile, uint64_t seed,
+                                 const std::string& name);
+
+}  // namespace aggrecol::datagen
+
+#endif  // AGGRECOL_DATAGEN_FILE_GENERATOR_H_

@@ -1,0 +1,111 @@
+#include "eval/annotations.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace aggrecol::eval {
+
+std::string SerializeAnnotations(const std::vector<core::Aggregation>& annotations) {
+  std::ostringstream oss;
+  for (const auto& aggregation : annotations) {
+    oss << ToString(aggregation.axis) << "," << aggregation.line << ","
+        << aggregation.aggregate << "," << ToString(aggregation.function) << ",";
+    for (size_t i = 0; i < aggregation.range.size(); ++i) {
+      if (i > 0) oss << ";";
+      oss << aggregation.range[i];
+    }
+    oss << "," << aggregation.error << "\n";
+  }
+  return oss.str();
+}
+
+std::optional<std::vector<core::Aggregation>> ParseAnnotations(const std::string& text) {
+  std::vector<core::Aggregation> out;
+  std::istringstream iss(text);
+  std::string line;
+  while (std::getline(iss, line)) {
+    const std::string_view stripped = util::StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const std::vector<std::string> fields = util::Split(stripped, ',');
+    if (!fields.empty() && fields[0] == "composite") continue;  // ParseComposites
+    if (fields.size() != 6) return std::nullopt;
+
+    core::Aggregation aggregation;
+    if (fields[0] == "row") {
+      aggregation.axis = core::Axis::kRow;
+    } else if (fields[0] == "column") {
+      aggregation.axis = core::Axis::kColumn;
+    } else {
+      return std::nullopt;
+    }
+    try {
+      aggregation.line = std::stoi(fields[1]);
+      aggregation.aggregate = std::stoi(fields[2]);
+      for (const auto& part : util::Split(fields[4], ';')) {
+        aggregation.range.push_back(std::stoi(part));
+      }
+      aggregation.error = std::stod(fields[5]);
+    } catch (...) {
+      return std::nullopt;
+    }
+    const auto function = core::FunctionFromName(fields[3]);
+    if (!function.has_value()) return std::nullopt;
+    aggregation.function = *function;
+    out.push_back(std::move(aggregation));
+  }
+  return out;
+}
+
+std::string SerializeComposites(
+    const std::vector<core::CompositeAggregation>& composites) {
+  std::ostringstream oss;
+  for (const auto& composite : composites) {
+    oss << "composite," << ToString(composite.axis) << "," << composite.line << ","
+        << composite.aggregate << "," << composite.denominator << ",";
+    for (size_t i = 0; i < composite.numerator.size(); ++i) {
+      if (i > 0) oss << ";";
+      oss << composite.numerator[i];
+    }
+    oss << "," << composite.error << "\n";
+  }
+  return oss.str();
+}
+
+std::optional<std::vector<core::CompositeAggregation>> ParseComposites(
+    const std::string& text) {
+  std::vector<core::CompositeAggregation> out;
+  std::istringstream iss(text);
+  std::string line;
+  while (std::getline(iss, line)) {
+    const std::string_view stripped = util::StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const std::vector<std::string> fields = util::Split(stripped, ',');
+    if (fields.empty() || fields[0] != "composite") continue;
+    if (fields.size() != 7) return std::nullopt;
+
+    core::CompositeAggregation composite;
+    if (fields[1] == "row") {
+      composite.axis = core::Axis::kRow;
+    } else if (fields[1] == "column") {
+      composite.axis = core::Axis::kColumn;
+    } else {
+      return std::nullopt;
+    }
+    try {
+      composite.line = std::stoi(fields[2]);
+      composite.aggregate = std::stoi(fields[3]);
+      composite.denominator = std::stoi(fields[4]);
+      for (const auto& part : util::Split(fields[5], ';')) {
+        composite.numerator.push_back(std::stoi(part));
+      }
+      composite.error = std::stod(fields[6]);
+    } catch (...) {
+      return std::nullopt;
+    }
+    out.push_back(std::move(composite));
+  }
+  return out;
+}
+
+}  // namespace aggrecol::eval

@@ -1,0 +1,53 @@
+#ifndef AGGRECOL_EVAL_CELL_ROLE_H_
+#define AGGRECOL_EVAL_CELL_ROLE_H_
+
+#include <array>
+#include <string>
+
+namespace aggrecol::eval {
+
+/// Semantic role of a cell in a verbose CSV file — the cell types used by
+/// line/cell classification work (Strudel and Sec. 4.6's Table 5).
+enum class CellRole {
+  kEmpty,
+  kMetadata,     // titles, source lines, ...
+  kHeader,       // row or column headers
+  kGroupHeader,  // headers that group several data rows/columns
+  kData,
+  kAggregation,  // aggregate cells
+  kNotes,        // footnotes
+};
+
+/// All roles, in declaration order.
+inline constexpr std::array<CellRole, 7> kAllCellRoles = {
+    CellRole::kEmpty,     CellRole::kMetadata,    CellRole::kHeader,
+    CellRole::kGroupHeader, CellRole::kData,      CellRole::kAggregation,
+    CellRole::kNotes};
+
+/// Dense index of `role` for per-role arrays.
+constexpr size_t IndexOf(CellRole role) { return static_cast<size_t>(role); }
+
+/// Short name, e.g. "data", "aggregation".
+inline std::string ToString(CellRole role) {
+  switch (role) {
+    case CellRole::kEmpty:
+      return "empty";
+    case CellRole::kMetadata:
+      return "metadata";
+    case CellRole::kHeader:
+      return "header";
+    case CellRole::kGroupHeader:
+      return "group";
+    case CellRole::kData:
+      return "data";
+    case CellRole::kAggregation:
+      return "aggregation";
+    case CellRole::kNotes:
+      return "notes";
+  }
+  return "unknown";
+}
+
+}  // namespace aggrecol::eval
+
+#endif  // AGGRECOL_EVAL_CELL_ROLE_H_

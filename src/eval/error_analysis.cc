@@ -1,0 +1,227 @@
+#include "eval/error_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace aggrecol::eval {
+namespace {
+
+using core::Aggregation;
+using core::AggregationFunction;
+using core::Axis;
+
+// Value of the cell addressed by (line, index) under the aggregation's axis.
+double CellValue(const numfmt::NumericGrid& numeric, const Aggregation& aggregation,
+                 int index) {
+  return aggregation.axis == Axis::kRow ? numeric.value(aggregation.line, index)
+                                        : numeric.value(index, aggregation.line);
+}
+
+bool CellRangeUsable(const numfmt::NumericGrid& numeric, const Aggregation& aggregation,
+                     int index) {
+  return aggregation.axis == Axis::kRow
+             ? numeric.IsRangeUsable(aggregation.line, index)
+             : numeric.IsRangeUsable(index, aggregation.line);
+}
+
+bool CellNumeric(const numfmt::NumericGrid& numeric, const Aggregation& aggregation,
+                 int index) {
+  return aggregation.axis == Axis::kRow ? numeric.IsNumeric(aggregation.line, index)
+                                        : numeric.IsNumeric(index, aggregation.line);
+}
+
+int LineLength(const numfmt::NumericGrid& numeric, const Aggregation& aggregation) {
+  return aggregation.axis == Axis::kRow ? numeric.columns() : numeric.rows();
+}
+
+// Observed error level of a (canonical) aggregation on the grid.
+double ObservedError(const numfmt::NumericGrid& numeric, const Aggregation& aggregation) {
+  std::vector<double> values;
+  values.reserve(aggregation.range.size());
+  for (int index : aggregation.range) {
+    values.push_back(CellValue(numeric, aggregation, index));
+  }
+  const auto calculated = core::Apply(aggregation.function, values);
+  if (!calculated.has_value()) return std::numeric_limits<double>::infinity();
+  return core::ErrorLevel(CellValue(numeric, aggregation, aggregation.aggregate),
+                          *calculated);
+}
+
+// Distance of the farthest operand from the aggregate, counted in
+// range-usable cells (the metric the sliding window uses).
+int WindowDistance(const numfmt::NumericGrid& numeric, const Aggregation& aggregation) {
+  int max_distance = 0;
+  for (int operand : aggregation.range) {
+    const int step = operand > aggregation.aggregate ? 1 : -1;
+    int distance = 0;
+    for (int index = aggregation.aggregate + step;; index += step) {
+      if (index < 0 || index >= LineLength(numeric, aggregation)) break;
+      if (CellRangeUsable(numeric, aggregation, index)) ++distance;
+      if (index == operand) break;
+    }
+    max_distance = std::max(max_distance, distance);
+  }
+  return max_distance;
+}
+
+FalseNegativeCause ClassifyFalseNegative(const numfmt::NumericGrid& numeric,
+                                         const Aggregation& missed,
+                                         const core::AggreColConfig& config) {
+  const double observed = ObservedError(numeric, missed);
+  if (!core::WithinErrorLevel(observed, config.error_level(missed.function))) {
+    return FalseNegativeCause::kErrorLevel;
+  }
+  if (core::TraitsOf(missed.function).pairwise &&
+      WindowDistance(numeric, missed) > config.window_size) {
+    return FalseNegativeCause::kWindowSize;
+  }
+  if (core::TraitsOf(missed.function).commutative && !missed.range.empty()) {
+    // Zero value at the range end farthest from the aggregate: the greedy
+    // adjacency list stops before reaching it.
+    const auto [min_it, max_it] =
+        std::minmax_element(missed.range.begin(), missed.range.end());
+    const int far_end = *max_it > missed.aggregate ? *max_it : *min_it;
+    if (CellValue(numeric, missed, far_end) == 0.0) {
+      return FalseNegativeCause::kZeroTail;
+    }
+  }
+  // Numeric cells inside the range span that are neither range elements nor
+  // the aggregate block the adjacency scan.
+  if (!missed.range.empty()) {
+    const auto [min_it, max_it] =
+        std::minmax_element(missed.range.begin(), missed.range.end());
+    const int lo = std::min(*min_it, missed.aggregate);
+    const int hi = std::max(*max_it, missed.aggregate);
+    for (int index = lo; index <= hi; ++index) {
+      if (index == missed.aggregate) continue;
+      if (std::find(missed.range.begin(), missed.range.end(), index) !=
+          missed.range.end()) {
+        continue;
+      }
+      if (CellNumeric(numeric, missed, index)) {
+        return FalseNegativeCause::kBlockedRange;
+      }
+    }
+  }
+  return FalseNegativeCause::kOther;
+}
+
+FalsePositiveCause ClassifyFalsePositive(const numfmt::NumericGrid& numeric,
+                                         const Aggregation& spurious,
+                                         const std::vector<Aggregation>& truth) {
+  // Zero-cell artifact: zero aggregate derived from zero operands.
+  const double aggregate_value =
+      CellValue(numeric, spurious, spurious.aggregate);
+  if (aggregate_value == 0.0) {
+    bool leading_zero = true;
+    if (spurious.function == AggregationFunction::kDivision ||
+        spurious.function == AggregationFunction::kRelativeChange) {
+      leading_zero = CellValue(numeric, spurious, spurious.range[0]) == 0.0;
+    } else {
+      for (int index : spurious.range) {
+        if (CellValue(numeric, spurious, index) != 0.0) {
+          leading_zero = false;
+          break;
+        }
+      }
+    }
+    if (leading_zero) return FalsePositiveCause::kZeroCells;
+  }
+
+  for (const auto& real : truth) {
+    if (real.axis != spurious.axis || real.line != spurious.line) continue;
+    if (spurious.function == AggregationFunction::kDivision &&
+        real.function == AggregationFunction::kDivision) {
+      const bool mutual =
+          std::find(real.range.begin(), real.range.end(), spurious.aggregate) !=
+              real.range.end() &&
+          std::find(spurious.range.begin(), spurious.range.end(), real.aggregate) !=
+              spurious.range.end();
+      if (mutual) return FalsePositiveCause::kInverseDivision;
+    }
+    if (real.function == spurious.function &&
+        real.aggregate == spurious.aggregate && real.range != spurious.range) {
+      return FalsePositiveCause::kAlternativeDecomposition;
+    }
+  }
+  return FalsePositiveCause::kCoincidence;
+}
+
+}  // namespace
+
+std::string ToString(FalseNegativeCause cause) {
+  switch (cause) {
+    case FalseNegativeCause::kErrorLevel:
+      return "error beyond tolerance";
+    case FalseNegativeCause::kWindowSize:
+      return "operand beyond window";
+    case FalseNegativeCause::kZeroTail:
+      return "zero-valued range tail";
+    case FalseNegativeCause::kBlockedRange:
+      return "blocked (interrupt) range";
+    case FalseNegativeCause::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::string ToString(FalsePositiveCause cause) {
+  switch (cause) {
+    case FalsePositiveCause::kZeroCells:
+      return "zero-valued cells";
+    case FalsePositiveCause::kInverseDivision:
+      return "inverse division";
+    case FalsePositiveCause::kAlternativeDecomposition:
+      return "alternative decomposition";
+    case FalsePositiveCause::kCoincidence:
+      return "arithmetic coincidence";
+  }
+  return "?";
+}
+
+int ErrorBreakdown::TotalFalseNegatives() const {
+  int total = 0;
+  for (int count : false_negatives) total += count;
+  return total;
+}
+
+int ErrorBreakdown::TotalFalsePositives() const {
+  int total = 0;
+  for (int count : false_positives) total += count;
+  return total;
+}
+
+void ErrorBreakdown::Add(const ErrorBreakdown& other) {
+  for (size_t i = 0; i < false_negatives.size(); ++i) {
+    false_negatives[i] += other.false_negatives[i];
+  }
+  for (size_t i = 0; i < false_positives.size(); ++i) {
+    false_positives[i] += other.false_positives[i];
+  }
+}
+
+ErrorBreakdown AnalyzeErrors(const numfmt::NumericGrid& numeric,
+                             const std::vector<core::Aggregation>& predicted,
+                             const std::vector<core::Aggregation>& truth,
+                             const core::AggreColConfig& config) {
+  const auto p = core::CanonicalizeAll(predicted);
+  const auto t = core::CanonicalizeAll(truth);
+
+  ErrorBreakdown breakdown;
+  for (const auto& real : t) {
+    if (std::binary_search(p.begin(), p.end(), real, core::AggregationLess)) continue;
+    const auto cause = ClassifyFalseNegative(numeric, real, config);
+    ++breakdown.false_negatives[static_cast<size_t>(cause)];
+  }
+  for (const auto& candidate : p) {
+    if (std::binary_search(t.begin(), t.end(), candidate, core::AggregationLess)) {
+      continue;
+    }
+    const auto cause = ClassifyFalsePositive(numeric, candidate, t);
+    ++breakdown.false_positives[static_cast<size_t>(cause)];
+  }
+  return breakdown;
+}
+
+}  // namespace aggrecol::eval

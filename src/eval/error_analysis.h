@@ -1,0 +1,78 @@
+#ifndef AGGRECOL_EVAL_ERROR_ANALYSIS_H_
+#define AGGRECOL_EVAL_ERROR_ANALYSIS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/aggrecol.h"
+#include "core/aggregation.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::eval {
+
+/// Causes of missed true aggregations, mirroring the paper's analysis of
+/// detection errors (Sec. 4.5.2).
+enum class FalseNegativeCause {
+  /// The observed error level exceeds the configured tolerance for the
+  /// function (rounding beyond tolerance — "the fixed error level might be
+  /// too small for small numbers").
+  kErrorLevel,
+  /// A pairwise operand lies beyond the sliding window ("the selection of a
+  /// fixed window size cannot cover the whole ground truth").
+  kWindowSize,
+  /// The far end of a commutative range is zero-valued, so the greedy
+  /// adjacency search stops early ("ranges whose last cells are '0'-valued
+  /// could be missed").
+  kZeroTail,
+  /// Numeric cells that are not part of the range sit inside its span — an
+  /// interrupt shape whose blockers were not detected as aggregates, so the
+  /// supplemental stage cannot remove them.
+  kBlockedRange,
+  /// Anything else (pruning interactions, coverage shortfalls, ...).
+  kOther,
+};
+
+/// Causes of spurious detections (Sec. 4.5.1).
+enum class FalsePositiveCause {
+  /// Zero-valued aggregate over zero-valued cells ("most mistakes involved
+  /// many '0' valued cells").
+  kZeroCells,
+  /// The inverse direction of a true division (A = B/C reported as
+  /// C = B/A).
+  kInverseDivision,
+  /// Same aggregate and function as a true aggregation but a different
+  /// range — an alternative decomposition (e.g. members substituted for
+  /// intermediate totals).
+  kAlternativeDecomposition,
+  /// Arithmetic coincidence with sufficient coverage.
+  kCoincidence,
+};
+
+inline constexpr size_t kFalseNegativeCauses = 5;
+inline constexpr size_t kFalsePositiveCauses = 4;
+
+std::string ToString(FalseNegativeCause cause);
+std::string ToString(FalsePositiveCause cause);
+
+/// Aggregated cause counts for one file or a whole corpus.
+struct ErrorBreakdown {
+  std::array<int, kFalseNegativeCauses> false_negatives{};
+  std::array<int, kFalsePositiveCauses> false_positives{};
+
+  int TotalFalseNegatives() const;
+  int TotalFalsePositives() const;
+  void Add(const ErrorBreakdown& other);
+};
+
+/// Classifies every mismatch between `predicted` and `truth` on `numeric`
+/// into the taxonomies above. Both sides are canonicalized first; `config`
+/// provides the error levels and window size the detector ran with.
+ErrorBreakdown AnalyzeErrors(const numfmt::NumericGrid& numeric,
+                             const std::vector<core::Aggregation>& predicted,
+                             const std::vector<core::Aggregation>& truth,
+                             const core::AggreColConfig& config);
+
+}  // namespace aggrecol::eval
+
+#endif  // AGGRECOL_EVAL_ERROR_ANALYSIS_H_

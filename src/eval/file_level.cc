@@ -1,0 +1,50 @@
+#include "eval/file_level.h"
+
+namespace aggrecol::eval {
+
+int FileLevelBin(double score) {
+  if (score <= 0.05) return 0;
+  if (score <= 0.35) return 1;
+  if (score <= 0.65) return 2;
+  if (score <= 0.95) return 3;
+  return 4;
+}
+
+std::string FileLevelBinLabel(int bin) {
+  switch (bin) {
+    case 0:
+      return "[0, 0.05]";
+    case 1:
+      return "(0.05, 0.35]";
+    case 2:
+      return "(0.35, 0.65]";
+    case 3:
+      return "(0.65, 0.95]";
+    case 4:
+      return "(0.95, 1]";
+    default:
+      return "?";
+  }
+}
+
+void FileLevelHistogram::Add(double score) {
+  ++counts[FileLevelBin(score)];
+  ++total;
+}
+
+double FileLevelHistogram::Fraction(int bin) const {
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts[bin]) / total;
+}
+
+FileLevelResult BuildFileLevel(const std::vector<Scores>& per_file) {
+  FileLevelResult result;
+  for (const auto& scores : per_file) {
+    result.precision.Add(scores.precision);
+    result.recall.Add(scores.recall);
+    result.f1.Add(scores.F1());
+  }
+  return result;
+}
+
+}  // namespace aggrecol::eval

@@ -1,0 +1,47 @@
+#ifndef AGGRECOL_EVAL_FILE_LEVEL_H_
+#define AGGRECOL_EVAL_FILE_LEVEL_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace aggrecol::eval {
+
+/// The five display bins of the file-level figures (Figs. 9-11): the paper
+/// divides [0, 1] into twenty 0.05-wide bins and groups the sparse middle
+/// into three 0.3-wide groups.
+inline constexpr int kFileLevelBins = 5;
+
+/// Bin index of `score`: 0 for [0, 0.05], 1 for (0.05, 0.35],
+/// 2 for (0.35, 0.65], 3 for (0.65, 0.95], 4 for (0.95, 1].
+int FileLevelBin(double score);
+
+/// Human-readable label of bin `bin`, e.g. "(0.95, 1]".
+std::string FileLevelBinLabel(int bin);
+
+/// Histogram of a per-file score across a corpus.
+struct FileLevelHistogram {
+  std::array<int, kFileLevelBins> counts{};
+  int total = 0;
+
+  void Add(double score);
+
+  /// Fraction of files in bin `bin`.
+  double Fraction(int bin) const;
+};
+
+/// Per-file scores of one corpus run, for one function filter.
+struct FileLevelResult {
+  FileLevelHistogram precision;
+  FileLevelHistogram recall;
+  FileLevelHistogram f1;
+};
+
+/// Builds file-level histograms from per-file Scores.
+FileLevelResult BuildFileLevel(const std::vector<Scores>& per_file);
+
+}  // namespace aggrecol::eval
+
+#endif  // AGGRECOL_EVAL_FILE_LEVEL_H_

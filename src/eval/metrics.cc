@@ -1,0 +1,63 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace aggrecol::eval {
+namespace {
+
+std::vector<core::Aggregation> Prepare(const std::vector<core::Aggregation>& in,
+                                       FunctionFilter filter) {
+  std::vector<core::Aggregation> canonical = core::CanonicalizeAll(in);
+  if (filter.has_value()) {
+    std::erase_if(canonical, [&filter](const core::Aggregation& aggregation) {
+      return aggregation.function != *filter;
+    });
+  }
+  return canonical;
+}
+
+}  // namespace
+
+Scores Score(const std::vector<core::Aggregation>& predicted,
+             const std::vector<core::Aggregation>& truth, FunctionFilter filter) {
+  const std::vector<core::Aggregation> p = Prepare(predicted, filter);
+  const std::vector<core::Aggregation> t = Prepare(truth, filter);
+
+  // Prepare() returns the canonical sets sorted by AggregationLess, so
+  // membership is a binary search even for huge baseline result sets.
+  Scores scores;
+  for (const auto& prediction : p) {
+    if (std::binary_search(t.begin(), t.end(), prediction, core::AggregationLess)) {
+      ++scores.correct;
+    } else {
+      ++scores.incorrect;
+    }
+  }
+  scores.missed = static_cast<int>(t.size()) - scores.correct;
+
+  const int predicted_count = scores.correct + scores.incorrect;
+  const int truth_count = scores.correct + scores.missed;
+  scores.precision =
+      predicted_count == 0 ? 1.0 : static_cast<double>(scores.correct) / predicted_count;
+  scores.recall =
+      truth_count == 0 ? 1.0 : static_cast<double>(scores.correct) / truth_count;
+  return scores;
+}
+
+Scores Accumulate(const std::vector<Scores>& parts) {
+  Scores total;
+  for (const auto& part : parts) {
+    total.correct += part.correct;
+    total.incorrect += part.incorrect;
+    total.missed += part.missed;
+  }
+  const int predicted_count = total.correct + total.incorrect;
+  const int truth_count = total.correct + total.missed;
+  total.precision =
+      predicted_count == 0 ? 1.0 : static_cast<double>(total.correct) / predicted_count;
+  total.recall =
+      truth_count == 0 ? 1.0 : static_cast<double>(total.correct) / truth_count;
+  return total;
+}
+
+}  // namespace aggrecol::eval

@@ -1,0 +1,47 @@
+#ifndef AGGRECOL_EVAL_METRICS_H_
+#define AGGRECOL_EVAL_METRICS_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/aggregation.h"
+
+namespace aggrecol::eval {
+
+/// Precision/recall/F1 of a result set against a ground truth (Sec. 4.3.1).
+/// A detected aggregation is correct when aggregate, range, and function all
+/// match a true aggregation; difference is merged into sum before matching
+/// (Sec. 4.3.2). Undefined precision (no predictions) and undefined recall
+/// (no true aggregations) are set to 1, as in the paper.
+struct Scores {
+  int correct = 0;
+  int incorrect = 0;
+  int missed = 0;
+  double precision = 1.0;
+  double recall = 1.0;
+
+  double F1() const {
+    if (precision + recall == 0.0) return 0.0;
+    return 2.0 * precision * recall / (precision + recall);
+  }
+};
+
+/// Which functions a scoring run considers. Sum and difference form one
+/// merged class (kSumDifference); std::nullopt means "all functions".
+using FunctionFilter = std::optional<core::AggregationFunction>;
+
+/// Scores `predicted` against `truth`. Both sides are canonicalized
+/// (difference -> sum, sorted commutative ranges) and deduplicated first.
+/// With `filter` set, only aggregations of that (canonical) function count —
+/// pass kSum to evaluate the merged sum/difference class.
+Scores Score(const std::vector<core::Aggregation>& predicted,
+             const std::vector<core::Aggregation>& truth,
+             FunctionFilter filter = std::nullopt);
+
+/// Accumulates per-file or per-run score counts into corpus-level scores
+/// (the aggregation-level evaluation of Sec. 4.3.2 pools all files).
+Scores Accumulate(const std::vector<Scores>& parts);
+
+}  // namespace aggrecol::eval
+
+#endif  // AGGRECOL_EVAL_METRICS_H_

@@ -1,0 +1,239 @@
+#include "numfmt/number_format.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace aggrecol::numfmt {
+namespace {
+
+struct ParsedShape {
+  bool negative = false;
+  bool percent = false;
+  std::string digits;  // integer digits, group separators removed
+  std::string fraction;
+};
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Parses the shape of `text` under `format`; returns std::nullopt on mismatch.
+std::optional<ParsedShape> ParseShape(std::string_view raw, NumberFormat format) {
+  std::string_view text = util::StripWhitespace(raw);
+  if (text.empty()) return std::nullopt;
+
+  ParsedShape shape;
+
+  // Accounting negatives: (123) == -123.
+  if (text.size() >= 2 && text.front() == '(' && text.back() == ')') {
+    shape.negative = true;
+    text = util::StripWhitespace(text.substr(1, text.size() - 2));
+    if (text.empty()) return std::nullopt;
+  }
+
+  if (text.front() == '+' || text.front() == '-') {
+    if (text.front() == '-') shape.negative = !shape.negative;
+    text.remove_prefix(1);
+    if (text.empty()) return std::nullopt;
+  }
+
+  // Currency prefixes, common in statistical tables: "$1,234.50", "€12",
+  // and the UTF-8 encoded "€"/"£" byte sequences.
+  for (std::string_view currency : {std::string_view{"$"}, std::string_view{"\u20ac"},
+                                    std::string_view{"\u00a3"}}) {
+    if (text.size() > currency.size() && text.substr(0, currency.size()) == currency) {
+      text = util::StripWhitespace(text.substr(currency.size()));
+      break;
+    }
+  }
+  if (text.empty()) return std::nullopt;
+
+  if (text.back() == '%') {
+    shape.percent = true;
+    text = util::StripWhitespace(text.substr(0, text.size() - 1));
+    if (text.empty()) return std::nullopt;
+  }
+
+  const char group = GroupSeparator(format);
+  const char decimal = DecimalSeparator(format);
+
+  // Split off the decimal part: the *last* decimal separator, which must be
+  // followed by plain digits only.
+  size_t decimal_pos = text.rfind(decimal);
+  std::string_view integer_part = text;
+  std::string_view fraction_part;
+  if (decimal_pos != std::string_view::npos) {
+    fraction_part = text.substr(decimal_pos + 1);
+    integer_part = text.substr(0, decimal_pos);
+    if (fraction_part.empty()) return std::nullopt;
+    for (char c : fraction_part) {
+      if (!IsDigit(c)) return std::nullopt;
+    }
+    // When the group and decimal separators coincide in no-group formats this
+    // cannot happen (group == '\0' there), so no ambiguity arises here.
+  }
+  if (integer_part.empty()) return std::nullopt;
+
+  // Validate the integer part: plain digits, or 1-3 digits followed by
+  // (group + exactly 3 digits)+ when the format has a group separator.
+  bool plain = true;
+  for (char c : integer_part) {
+    if (!IsDigit(c)) {
+      plain = false;
+      break;
+    }
+  }
+  if (plain) {
+    shape.digits = std::string(integer_part);
+  } else {
+    if (group == '\0') return std::nullopt;
+    // Grouped form.
+    const auto groups = util::Split(integer_part, group);
+    if (groups.size() < 2) return std::nullopt;
+    if (groups[0].empty() || groups[0].size() > 3 || !util::IsAllDigits(groups[0])) {
+      return std::nullopt;
+    }
+    shape.digits = groups[0];
+    for (size_t i = 1; i < groups.size(); ++i) {
+      if (groups[i].size() != 3 || !util::IsAllDigits(groups[i])) return std::nullopt;
+      shape.digits += groups[i];
+    }
+  }
+  shape.fraction = std::string(fraction_part);
+  return shape;
+}
+
+}  // namespace
+
+char GroupSeparator(NumberFormat format) {
+  switch (format) {
+    case NumberFormat::kSpaceComma:
+    case NumberFormat::kSpaceDot:
+      return ' ';
+    case NumberFormat::kCommaDot:
+      return ',';
+    case NumberFormat::kNoneComma:
+    case NumberFormat::kNoneDot:
+      return '\0';
+  }
+  return '\0';
+}
+
+char DecimalSeparator(NumberFormat format) {
+  switch (format) {
+    case NumberFormat::kSpaceComma:
+    case NumberFormat::kNoneComma:
+      return ',';
+    case NumberFormat::kSpaceDot:
+    case NumberFormat::kCommaDot:
+    case NumberFormat::kNoneDot:
+      return '.';
+  }
+  return '.';
+}
+
+double OccurrencePrior(NumberFormat format) {
+  // Occurrence ratios among the 200 Troy files (Table 4).
+  switch (format) {
+    case NumberFormat::kSpaceComma:
+      return 0.245;
+    case NumberFormat::kSpaceDot:
+      return 0.060;
+    case NumberFormat::kCommaDot:
+      return 0.665;
+    case NumberFormat::kNoneComma:
+      return 0.015;
+    case NumberFormat::kNoneDot:
+      return 0.015;
+  }
+  return 0.0;
+}
+
+std::string ToString(NumberFormat format) {
+  switch (format) {
+    case NumberFormat::kSpaceComma:
+      return "space/comma";
+    case NumberFormat::kSpaceDot:
+      return "space/dot";
+    case NumberFormat::kCommaDot:
+      return "comma/dot";
+    case NumberFormat::kNoneComma:
+      return "none/comma";
+    case NumberFormat::kNoneDot:
+      return "none/dot";
+  }
+  return "unknown";
+}
+
+bool MatchesFormat(std::string_view text, NumberFormat format) {
+  return ParseShape(text, format).has_value();
+}
+
+std::optional<double> ParseNumber(std::string_view text, NumberFormat format) {
+  const auto shape = ParseShape(text, format);
+  if (!shape.has_value()) return std::nullopt;
+  std::string canonical = shape->digits;
+  if (!shape->fraction.empty()) {
+    canonical += '.';
+    canonical += shape->fraction;
+  }
+  double value = std::strtod(canonical.c_str(), nullptr);
+  if (shape->negative) value = -value;
+  if (shape->percent) value /= 100.0;
+  return value;
+}
+
+NumberFormat ElectFormat(const csv::Grid& grid) {
+  std::array<int, kAllNumberFormats.size()> counts{};
+  for (int i = 0; i < grid.rows(); ++i) {
+    for (int j = 0; j < grid.columns(); ++j) {
+      const std::string& cell = grid.at(i, j);
+      if (util::StripWhitespace(cell).empty()) continue;
+      for (size_t f = 0; f < kAllNumberFormats.size(); ++f) {
+        if (MatchesFormat(cell, kAllNumberFormats[f])) ++counts[f];
+      }
+    }
+  }
+  size_t best = 0;
+  for (size_t f = 1; f < kAllNumberFormats.size(); ++f) {
+    if (counts[f] > counts[best] ||
+        (counts[f] == counts[best] &&
+         OccurrencePrior(kAllNumberFormats[f]) > OccurrencePrior(kAllNumberFormats[best]))) {
+      best = f;
+    }
+  }
+  return kAllNumberFormats[best];
+}
+
+std::string FormatNumber(double value, NumberFormat format, int decimals) {
+  const bool negative = std::signbit(value) && value != 0.0;
+  const std::string plain = util::FormatDouble(std::fabs(value), decimals);
+  // Split integer and fraction around the '.' emitted by FormatDouble.
+  const size_t dot = plain.find('.');
+  std::string integer_digits = dot == std::string::npos ? plain : plain.substr(0, dot);
+  const std::string fraction = dot == std::string::npos ? "" : plain.substr(dot + 1);
+
+  std::string grouped;
+  const char group = GroupSeparator(format);
+  if (group != '\0' && integer_digits.size() > 3) {
+    const size_t first = integer_digits.size() % 3 == 0 ? 3 : integer_digits.size() % 3;
+    grouped = integer_digits.substr(0, first);
+    for (size_t pos = first; pos < integer_digits.size(); pos += 3) {
+      grouped += group;
+      grouped += integer_digits.substr(pos, 3);
+    }
+  } else {
+    grouped = integer_digits;
+  }
+
+  std::string out = negative ? "-" : "";
+  out += grouped;
+  if (!fraction.empty()) {
+    out += DecimalSeparator(format);
+    out += fraction;
+  }
+  return out;
+}
+
+}  // namespace aggrecol::numfmt

@@ -1,0 +1,62 @@
+#ifndef AGGRECOL_NUMFMT_NUMBER_FORMAT_H_
+#define AGGRECOL_NUMFMT_NUMBER_FORMAT_H_
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "csv/grid.h"
+
+namespace aggrecol::numfmt {
+
+/// The five valid number formats observed in the Troy dataset (Table 4).
+enum class NumberFormat {
+  kSpaceComma,  // 12 345,67
+  kSpaceDot,    // 12 345.67
+  kCommaDot,    // 12,345.67
+  kNoneComma,   // 12345,67
+  kNoneDot,     // 12345.67
+};
+
+/// All formats, in the order of Table 4.
+inline constexpr std::array<NumberFormat, 5> kAllNumberFormats = {
+    NumberFormat::kSpaceComma, NumberFormat::kSpaceDot, NumberFormat::kCommaDot,
+    NumberFormat::kNoneComma, NumberFormat::kNoneDot};
+
+/// Digit-group separator of `format`, or '\0' when the format has none.
+char GroupSeparator(NumberFormat format);
+
+/// Decimal separator of `format`.
+char DecimalSeparator(NumberFormat format);
+
+/// Occurrence prior of `format` among the 200 Troy files (Table 4), used to
+/// break ties during per-file format election.
+double OccurrencePrior(NumberFormat format);
+
+/// Short name, e.g. "space/comma".
+std::string ToString(NumberFormat format);
+
+/// True if the whitespace-stripped `text` is a complete number under
+/// `format`: optional sign (or accounting parentheses), digits either plain
+/// or grouped in threes by the group separator, and an optional decimal part.
+bool MatchesFormat(std::string_view text, NumberFormat format);
+
+/// Parses `text` as a number under `format`. Returns std::nullopt when the
+/// text does not match the format. A trailing '%' divides the value by 100;
+/// accounting parentheses negate it.
+std::optional<double> ParseNumber(std::string_view text, NumberFormat format);
+
+/// Elects the number format of a file by counting, for each candidate format,
+/// the cells that fully match it; the format with the highest count wins and
+/// ties are broken by the Troy occurrence prior (Sec. 4.2).
+NumberFormat ElectFormat(const csv::Grid& grid);
+
+/// Renders `value` under `format` with `decimals` digits after the decimal
+/// point, grouping digits when the format has a group separator. Used by the
+/// data generator to serialize numbers the way real files do.
+std::string FormatNumber(double value, NumberFormat format, int decimals);
+
+}  // namespace aggrecol::numfmt
+
+#endif  // AGGRECOL_NUMFMT_NUMBER_FORMAT_H_

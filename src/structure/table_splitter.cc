@@ -1,0 +1,28 @@
+#include "structure/table_splitter.h"
+
+namespace aggrecol::structure {
+
+std::vector<TableRegion> SplitTables(const csv::Grid& grid) {
+  std::vector<TableRegion> regions;
+  int region_start = -1;
+  for (int row = 0; row <= grid.rows(); ++row) {
+    bool blank = true;
+    if (row < grid.rows()) {
+      for (int col = 0; col < grid.columns(); ++col) {
+        if (!grid.IsEmpty(row, col)) {
+          blank = false;
+          break;
+        }
+      }
+    }
+    if (!blank && region_start < 0) {
+      region_start = row;
+    } else if (blank && region_start >= 0) {
+      regions.push_back({region_start, row - region_start});
+      region_start = -1;
+    }
+  }
+  return regions;
+}
+
+}  // namespace aggrecol::structure

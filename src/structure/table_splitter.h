@@ -1,0 +1,29 @@
+#ifndef AGGRECOL_STRUCTURE_TABLE_SPLITTER_H_
+#define AGGRECOL_STRUCTURE_TABLE_SPLITTER_H_
+
+#include <vector>
+
+#include "csv/grid.h"
+
+namespace aggrecol::structure {
+
+/// A contiguous block of non-blank rows — a candidate table region of a
+/// verbose CSV file (titles and footnote blocks form regions of their own,
+/// which simply yield no detections).
+struct TableRegion {
+  int first_row = 0;
+  int row_count = 0;
+
+  friend bool operator==(const TableRegion&, const TableRegion&) = default;
+};
+
+/// Splits a verbose CSV file into blank-row-separated regions. Verbose files
+/// often stack several tables (Sec. 2.1 allows any configuration); treating
+/// the whole file as one table dilutes the per-pattern coverage scores when
+/// the stacked tables have different layouts — splitting restores them.
+/// A row is blank when every cell is empty after whitespace stripping.
+std::vector<TableRegion> SplitTables(const csv::Grid& grid);
+
+}  // namespace aggrecol::structure
+
+#endif  // AGGRECOL_STRUCTURE_TABLE_SPLITTER_H_

@@ -1,0 +1,19 @@
+#ifndef AGGRECOL_UTIL_FILE_IO_H_
+#define AGGRECOL_UTIL_FILE_IO_H_
+
+#include <optional>
+#include <string>
+
+namespace aggrecol::util {
+
+/// Reads the whole file at `path` into a string. Returns std::nullopt when
+/// the file cannot be opened or read.
+std::optional<std::string> ReadFile(const std::string& path);
+
+/// Writes `content` to `path`, replacing any existing file. Returns false on
+/// I/O failure.
+bool WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace aggrecol::util
+
+#endif  // AGGRECOL_UTIL_FILE_IO_H_

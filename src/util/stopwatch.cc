@@ -1,0 +1,19 @@
+#include "util/stopwatch.h"
+
+namespace aggrecol::util {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::Reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+double Stopwatch::ElapsedMillis() const {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start_)
+      .count();
+}
+
+}  // namespace aggrecol::util

@@ -1,0 +1,29 @@
+#ifndef AGGRECOL_UTIL_STOPWATCH_H_
+#define AGGRECOL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace aggrecol::util {
+
+/// Simple wall-clock stopwatch used by the experiment harnesses to impose
+/// per-file budgets (the paper uses a 5-minute timeout for the baseline).
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Restarts the stopwatch.
+  void Reset();
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aggrecol::util
+
+#endif  // AGGRECOL_UTIL_STOPWATCH_H_

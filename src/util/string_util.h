@@ -1,0 +1,37 @@
+#ifndef AGGRECOL_UTIL_STRING_UTIL_H_
+#define AGGRECOL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aggrecol::util {
+
+/// Removes leading and trailing ASCII whitespace from `s`.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits `s` on every occurrence of `delimiter`. An empty input yields a
+/// single empty field, matching the behaviour of spreadsheet CSV exports.
+std::vector<std::string> Split(std::string_view s, char delimiter);
+
+/// Joins `parts` with `delimiter` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view delimiter);
+
+/// Returns a copy of `s` with all ASCII letters lower-cased.
+std::string ToLower(std::string_view s);
+
+/// True if `s` contains `needle` case-insensitively (ASCII).
+bool ContainsIgnoreCase(std::string_view s, std::string_view needle);
+
+/// True if every character of `s` is an ASCII digit and `s` is non-empty.
+bool IsAllDigits(std::string_view s);
+
+/// Replaces every occurrence of `from` in `s` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+/// Formats `value` with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace aggrecol::util
+
+#endif  // AGGRECOL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,73 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aggrecol::util {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back({kSeparatorMarker});
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  size_t columns = header_.size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) continue;
+    columns = std::max(columns, row.size());
+  }
+  std::vector<size_t> widths(columns, 0);
+  auto measure = [&widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) continue;
+    measure(row);
+  }
+
+  auto print_line = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto print_rule = [&]() {
+    os << "|";
+    for (size_t i = 0; i < columns; ++i) {
+      os << std::string(widths[i] + 2, '-') << "|";
+    }
+    os << "\n";
+  };
+
+  if (!header_.empty()) {
+    print_line(header_);
+    print_rule();
+  }
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorMarker) {
+      print_rule();
+    } else {
+      print_line(row);
+    }
+  }
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace aggrecol::util

@@ -1,0 +1,38 @@
+#ifndef AGGRECOL_UTIL_TABLE_PRINTER_H_
+#define AGGRECOL_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aggrecol::util {
+
+/// Renders rows of string cells as an aligned, pipe-separated ASCII table.
+/// Used by the experiment harnesses to print paper-style tables.
+class TablePrinter {
+ public:
+  /// Sets the header row. Column count of subsequent rows should match.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at the current position.
+  void AddSeparator();
+
+  /// Writes the formatted table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Returns the formatted table as a string.
+  std::string ToString() const;
+
+ private:
+  static constexpr const char* kSeparatorMarker = "\x01--";
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aggrecol::util
+
+#endif  // AGGRECOL_UTIL_TABLE_PRINTER_H_

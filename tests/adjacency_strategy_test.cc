@@ -1,0 +1,124 @@
+#include "core/adjacency_strategy.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::core {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::AllActive;
+using aggrecol::testing::Contains;
+using aggrecol::testing::MakeNumeric;
+
+TEST(Adjacency, SumWithRangeOnTheRight) {
+  const auto grid = MakeNumeric({{"6", "1", "2", "3"}});
+  const auto found =
+      DetectAdjacentCommutative(grid, AllActive(grid), 0, AggregationFunction::kSum, 0.0);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 2, 3}, AggregationFunction::kSum)));
+}
+
+TEST(Adjacency, SumWithRangeOnTheLeft) {
+  const auto grid = MakeNumeric({{"1", "2", "3", "6"}});
+  const auto found =
+      DetectAdjacentCommutative(grid, AllActive(grid), 0, AggregationFunction::kSum, 0.0);
+  // The range is reported in ascending column order.
+  EXPECT_TRUE(Contains(found, Agg(0, 3, {0, 1, 2}, AggregationFunction::kSum)));
+}
+
+TEST(Adjacency, GreedyStopsAtFirstMatch) {
+  // 3 = 1 + 2 matches before the longer 1 + 2 + 0 is reached.
+  const auto grid = MakeNumeric({{"3", "1", "2", "0"}});
+  const auto found =
+      DetectAdjacentCommutative(grid, AllActive(grid), 0, AggregationFunction::kSum, 0.0);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 2}, AggregationFunction::kSum)));
+  EXPECT_FALSE(Contains(found, Agg(0, 0, {1, 2, 3}, AggregationFunction::kSum)));
+}
+
+TEST(Adjacency, RequiresTwoRangeElements) {
+  // 5 = 5 alone must not be reported (Sec. 3.1: single-element ranges are
+  // false-positive factories).
+  const auto grid = MakeNumeric({{"5", "5", "9"}});
+  const auto found =
+      DetectAdjacentCommutative(grid, AllActive(grid), 0, AggregationFunction::kSum, 0.0);
+  EXPECT_FALSE(Contains(found, Agg(0, 0, {1}, AggregationFunction::kSum)));
+}
+
+TEST(Adjacency, AverageDetection) {
+  const auto grid = MakeNumeric({{"2", "1", "2", "3"}});
+  const auto found = DetectAdjacentCommutative(grid, AllActive(grid), 0,
+                                               AggregationFunction::kAverage, 0.0);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 2, 3}, AggregationFunction::kAverage)));
+}
+
+TEST(Adjacency, SkipsTextCellsWithoutBlocking) {
+  // The text cell between aggregate and range is skipped, not a barrier.
+  const auto grid = MakeNumeric({{"6", "note", "1", "2", "3"}});
+  const auto found =
+      DetectAdjacentCommutative(grid, AllActive(grid), 0, AggregationFunction::kSum, 0.0);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {2, 3, 4}, AggregationFunction::kSum)));
+}
+
+TEST(Adjacency, EmptyCellsCountAsZero) {
+  // 6 = 1 + (empty=0) fails at size 2, then + 5 matches at size 3.
+  const auto grid = MakeNumeric({{"6", "1", "", "5"}});
+  const auto found =
+      DetectAdjacentCommutative(grid, AllActive(grid), 0, AggregationFunction::kSum, 0.0);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 2, 3}, AggregationFunction::kSum)));
+}
+
+TEST(Adjacency, EmptyCellIsNotAnAggregateCandidate) {
+  const auto grid = MakeNumeric({{"", "0", "0"}});
+  const auto found =
+      DetectAdjacentCommutative(grid, AllActive(grid), 0, AggregationFunction::kSum, 0.0);
+  EXPECT_FALSE(Contains(found, Agg(0, 0, {1, 2}, AggregationFunction::kSum)));
+}
+
+TEST(Adjacency, InactiveColumnsAreInvisible) {
+  // With column 1 masked out, 6 = 2 + 4 over columns {2, 3}.
+  const auto grid = MakeNumeric({{"6", "99", "2", "4"}});
+  std::vector<bool> active = {true, false, true, true};
+  const auto found =
+      DetectAdjacentCommutative(grid, active, 0, AggregationFunction::kSum, 0.0);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {2, 3}, AggregationFunction::kSum)));
+  // And the masked aggregate candidate is not scanned at all.
+  for (const auto& aggregation : found) EXPECT_NE(aggregation.aggregate, 1);
+}
+
+TEST(Adjacency, ToleratesErrorWithinLevel) {
+  // 100 vs 98+3=101: error 1% <= 1%.
+  const auto grid = MakeNumeric({{"100", "98", "3"}});
+  const auto found = DetectAdjacentCommutative(grid, AllActive(grid), 0,
+                                               AggregationFunction::kSum, 0.01);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 2}, AggregationFunction::kSum)));
+  const auto strict = DetectAdjacentCommutative(grid, AllActive(grid), 0,
+                                                AggregationFunction::kSum, 0.0);
+  EXPECT_TRUE(strict.empty());
+}
+
+TEST(Adjacency, ReportsObservedError) {
+  const auto grid = MakeNumeric({{"100", "98", "3"}});
+  const auto found = DetectAdjacentCommutative(grid, AllActive(grid), 0,
+                                               AggregationFunction::kSum, 0.05);
+  ASSERT_FALSE(found.empty());
+  EXPECT_NEAR(found[0].error, 0.01, 1e-9);
+}
+
+TEST(Adjacency, NegativeValues) {
+  const auto grid = MakeNumeric({{"-1", "4", "-5"}});
+  const auto found =
+      DetectAdjacentCommutative(grid, AllActive(grid), 0, AggregationFunction::kSum, 0.0);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 2}, AggregationFunction::kSum)));
+}
+
+TEST(Adjacency, BothDirectionsFromOneAggregate) {
+  // 5 sits between {2, 3} and {1, 4}; both directions match.
+  const auto grid = MakeNumeric({{"2", "3", "5", "1", "4"}});
+  const auto found =
+      DetectAdjacentCommutative(grid, AllActive(grid), 0, AggregationFunction::kSum, 0.0);
+  EXPECT_TRUE(Contains(found, Agg(0, 2, {0, 1}, AggregationFunction::kSum)));
+  EXPECT_TRUE(Contains(found, Agg(0, 2, {3, 4}, AggregationFunction::kSum)));
+}
+
+}  // namespace
+}  // namespace aggrecol::core

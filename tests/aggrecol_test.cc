@@ -1,0 +1,192 @@
+#include "core/aggrecol.h"
+
+#include "csv/writer.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::core {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::Contains;
+using aggrecol::testing::ContainsCanonical;
+using aggrecol::testing::Figure5Grid;
+using aggrecol::testing::MakeGrid;
+
+AggreColConfig StrictRowConfig() {
+  AggreColConfig config;
+  config.error_levels.fill(1e-6);
+  config.detect_columns = false;
+  return config;
+}
+
+TEST(AggreCol, Figure5EndToEnd) {
+  const auto result = AggreCol(StrictRowConfig()).Detect(Figure5Grid());
+  // a1, a2, a3, a4 as in the paper (row 1 shown; a1 also checked on its
+  // non-compliant row).
+  EXPECT_TRUE(Contains(result.aggregations,
+                       Agg(1, 1, {2, 3, 4, 5, 6, 7}, AggregationFunction::kSum)));
+  EXPECT_TRUE(
+      Contains(result.aggregations, Agg(1, 8, {9, 10}, AggregationFunction::kSum)));
+  EXPECT_TRUE(
+      Contains(result.aggregations, Agg(1, 12, {1, 8, 11}, AggregationFunction::kSum)));
+  EXPECT_TRUE(
+      Contains(result.aggregations, Agg(1, 13, {9, 8}, AggregationFunction::kDivision)));
+  EXPECT_FALSE(Contains(result.aggregations,
+                        Agg(6, 1, {2, 3, 4, 5, 6, 7}, AggregationFunction::kSum)));
+}
+
+TEST(AggreCol, StagesAreMonotonicSnapshots) {
+  const auto result = AggreCol(StrictRowConfig()).Detect(Figure5Grid());
+  // Stage C only removes candidates; stage S only adds.
+  for (const auto& aggregation : result.collective_stage) {
+    EXPECT_TRUE(Contains(result.individual_stage, aggregation));
+    EXPECT_TRUE(Contains(result.aggregations, aggregation));
+  }
+  EXPECT_GE(result.individual_stage.size(), result.collective_stage.size());
+  EXPECT_GE(result.aggregations.size(), result.collective_stage.size());
+}
+
+TEST(AggreCol, ColumnWiseDetection) {
+  // A total row: column-wise sums over the data rows.
+  const auto grid = MakeGrid({
+      {"Item", "A", "B"},
+      {"x", "1", "4"},
+      {"y", "2", "5"},
+      {"z", "3", "6"},
+      {"Total", "6", "15"},
+  });
+  AggreColConfig config;
+  config.error_levels.fill(0.0);
+  config.detect_rows = false;
+  const auto result = AggreCol(config).Detect(grid);
+  EXPECT_TRUE(Contains(result.aggregations,
+                       Agg(1, 4, {1, 2, 3}, AggregationFunction::kSum, Axis::kColumn)));
+  EXPECT_TRUE(Contains(result.aggregations,
+                       Agg(2, 4, {1, 2, 3}, AggregationFunction::kSum, Axis::kColumn)));
+}
+
+TEST(AggreCol, RowsAndColumnsTogether) {
+  const auto grid = MakeGrid({
+      {"Item", "A", "B", "Sum"},
+      {"x", "1", "4", "5"},
+      {"y", "2", "5", "7"},
+      {"z", "3", "6", "9"},
+      {"Total", "6", "15", "21"},
+  });
+  AggreColConfig config;
+  config.error_levels.fill(0.0);
+  const auto result = AggreCol(config).Detect(grid);
+  // Row-wise sums in every data row and the total row.
+  for (int row = 1; row <= 4; ++row) {
+    EXPECT_TRUE(ContainsCanonical(result.aggregations,
+                                  Agg(row, 3, {1, 2}, AggregationFunction::kSum)))
+        << "row " << row;
+  }
+  // Column-wise sums for all three numeric columns.
+  for (int col = 1; col <= 3; ++col) {
+    EXPECT_TRUE(Contains(result.aggregations,
+                         Agg(col, 4, {1, 2, 3}, AggregationFunction::kSum, Axis::kColumn)))
+        << "col " << col;
+  }
+}
+
+TEST(AggreCol, DetectTextSniffsDialect) {
+  const std::string csv =
+      "Item;A;B;Sum\n"
+      "x;1;4;5\n"
+      "y;2;5;7\n"
+      "z;3;6;9\n";
+  AggreColConfig config;
+  config.error_levels.fill(0.0);
+  config.detect_columns = false;
+  const auto result = AggreCol(config).DetectText(csv);
+  EXPECT_TRUE(ContainsCanonical(result.aggregations,
+                                Agg(1, 3, {1, 2}, AggregationFunction::kSum)));
+}
+
+TEST(AggreCol, NumberFormatNormalizationBeforeDetection) {
+  // Space-grouped, comma-decimal numbers: 1 912,5 = 1 900,0 + 12,5.
+  const auto grid = MakeGrid({
+      {"Total", "A", "B"},
+      {"1 912,5", "1 900,0", "12,5"},
+      {"3 500,5", "3 000,0", "500,5"},
+      {"2 001,0", "2 000,5", "0,5"},
+  });
+  AggreColConfig config;
+  config.error_levels.fill(0.0);
+  config.detect_columns = false;
+  const auto result = AggreCol(config).Detect(grid);
+  EXPECT_EQ(result.format, numfmt::NumberFormat::kSpaceComma);
+  for (int row = 1; row <= 3; ++row) {
+    EXPECT_TRUE(
+        Contains(result.aggregations, Agg(row, 0, {1, 2}, AggregationFunction::kSum)))
+        << "row " << row;
+  }
+}
+
+TEST(AggreCol, FunctionSubsetRestrictsDetection) {
+  AggreColConfig config;
+  config.error_levels.fill(1e-6);
+  config.detect_columns = false;
+  config.functions = {AggregationFunction::kSum};
+  const auto result = AggreCol(config).Detect(Figure5Grid());
+  for (const auto& aggregation : result.aggregations) {
+    EXPECT_EQ(aggregation.function, AggregationFunction::kSum);
+  }
+}
+
+TEST(AggreCol, NoAggregationsInPlainText) {
+  const auto grid = MakeGrid({
+      {"Notes", ""},
+      {"This file has no numbers at all", ""},
+  });
+  const auto result = AggreCol().Detect(grid);
+  EXPECT_TRUE(result.aggregations.empty());
+}
+
+TEST(AggreCol, TimingsArePopulated) {
+  const auto result = AggreCol(StrictRowConfig()).Detect(Figure5Grid());
+  EXPECT_GE(result.seconds_individual, 0.0);
+  EXPECT_GE(result.seconds_collective, 0.0);
+  EXPECT_GE(result.seconds_supplemental, 0.0);
+}
+
+// End-to-end detection must work identically under every number format the
+// generator can emit (Sec. 4.2: normalization precedes detection).
+class FormatSweep : public ::testing::TestWithParam<numfmt::NumberFormat> {};
+
+TEST_P(FormatSweep, DetectionIsFormatInvariant) {
+  const numfmt::NumberFormat format = GetParam();
+  auto render = [format](double value, int decimals) {
+    return numfmt::FormatNumber(value, format, decimals);
+  };
+  const auto grid = MakeGrid({
+      {"Item", "A", "B", "Sum"},
+      {"x", render(1234.5, 1), render(4321.5, 1), render(5556.0, 1)},
+      {"y", render(2000.25, 2), render(3000.75, 2), render(5001.0, 2)},
+      {"z", render(10.0, 0), render(20.0, 0), render(30.0, 0)},
+  });
+  AggreColConfig config;
+  config.error_levels.fill(0.0);
+  config.detect_columns = false;
+  const auto result = AggreCol(config).Detect(grid);
+  for (int row = 1; row <= 3; ++row) {
+    EXPECT_TRUE(ContainsCanonical(result.aggregations,
+                                  Agg(row, 3, {1, 2}, AggregationFunction::kSum)))
+        << ToString(format) << " row " << row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, FormatSweep,
+                         ::testing::ValuesIn(numfmt::kAllNumberFormats));
+
+TEST(AggreCol, ErrorLevelAccessor) {
+  AggreColConfig config;
+  config.error_level(AggregationFunction::kDivision) = 0.05;
+  EXPECT_DOUBLE_EQ(config.error_level(AggregationFunction::kDivision), 0.05);
+  EXPECT_DOUBLE_EQ(config.error_levels[IndexOf(AggregationFunction::kDivision)], 0.05);
+}
+
+}  // namespace
+}  // namespace aggrecol::core

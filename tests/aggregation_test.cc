@@ -1,0 +1,125 @@
+#include "core/aggregation.h"
+
+#include "eval/annotations.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::core {
+namespace {
+
+using aggrecol::testing::Agg;
+
+TEST(ErrorLevel, NormalizedByObservedValue) {
+  // Definition 5: e = |(r' - r) / r|.
+  EXPECT_DOUBLE_EQ(ErrorLevel(100.0, 103.0), 0.03);
+  EXPECT_DOUBLE_EQ(ErrorLevel(100.0, 97.0), 0.03);
+  EXPECT_DOUBLE_EQ(ErrorLevel(-100.0, -97.0), 0.03);
+  EXPECT_DOUBLE_EQ(ErrorLevel(50.0, 50.0), 0.0);
+}
+
+TEST(ErrorLevel, AbsoluteDifferenceWhenObservedIsZero) {
+  EXPECT_DOUBLE_EQ(ErrorLevel(0.0, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(ErrorLevel(0.0, 0.0), 0.0);
+}
+
+TEST(ErrorLevel, SlackAbsorbsFloatNoise) {
+  EXPECT_TRUE(WithinErrorLevel(1e-12, 0.0));
+  EXPECT_TRUE(WithinErrorLevel(0.01, 0.01));
+  EXPECT_FALSE(WithinErrorLevel(0.02, 0.01));
+}
+
+TEST(Aggregation, EqualityIgnoresError) {
+  const Aggregation a = Agg(1, 2, {3, 4}, AggregationFunction::kSum, Axis::kRow, 0.0);
+  const Aggregation b = Agg(1, 2, {3, 4}, AggregationFunction::kSum, Axis::kRow, 0.5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Aggregation, EqualityDiscriminates) {
+  const Aggregation base = Agg(1, 2, {3, 4}, AggregationFunction::kSum);
+  EXPECT_NE(base, Agg(2, 2, {3, 4}, AggregationFunction::kSum));
+  EXPECT_NE(base, Agg(1, 5, {3, 4}, AggregationFunction::kSum));
+  EXPECT_NE(base, Agg(1, 2, {3, 5}, AggregationFunction::kSum));
+  EXPECT_NE(base, Agg(1, 2, {3, 4}, AggregationFunction::kAverage));
+  EXPECT_NE(base, Agg(1, 2, {3, 4}, AggregationFunction::kSum, Axis::kColumn));
+}
+
+TEST(Aggregation, ToStringUsesPaperNotation) {
+  const Aggregation a = Agg(2, 1, {2, 3, 4}, AggregationFunction::kSum);
+  EXPECT_EQ(ToString(a), "(row:2, 1 <- {2, 3, 4}, sum, e=0)");
+}
+
+TEST(Pattern, StripsLineIndex) {
+  const Aggregation a = Agg(7, 1, {2, 3}, AggregationFunction::kAverage);
+  const Aggregation b = Agg(9, 1, {2, 3}, AggregationFunction::kAverage);
+  EXPECT_EQ(PatternOf(a), PatternOf(b));
+  EXPECT_NE(PatternOf(a), PatternOf(Agg(7, 1, {2, 4}, AggregationFunction::kAverage)));
+}
+
+TEST(Canonicalize, DifferenceBecomesSum) {
+  // A = B - C  ==>  B = A + C (Sec. 4.3.2).
+  const Aggregation difference = Agg(3, 5, {6, 7}, AggregationFunction::kDifference);
+  const Aggregation canonical = Canonicalize(difference);
+  EXPECT_EQ(canonical.function, AggregationFunction::kSum);
+  EXPECT_EQ(canonical.aggregate, 6);
+  EXPECT_EQ(canonical.range, (std::vector<int>{5, 7}));
+  EXPECT_EQ(canonical.line, 3);
+}
+
+TEST(Canonicalize, SortsCommutativeRanges) {
+  const Aggregation sum = Agg(0, 9, {8, 2, 5}, AggregationFunction::kSum);
+  EXPECT_EQ(Canonicalize(sum).range, (std::vector<int>{2, 5, 8}));
+  // Pairwise order is meaningful and preserved.
+  const Aggregation division = Agg(0, 9, {8, 2}, AggregationFunction::kDivision);
+  EXPECT_EQ(Canonicalize(division).range, (std::vector<int>{8, 2}));
+}
+
+TEST(Canonicalize, DifferenceAndEquivalentSumUnify) {
+  // net = gross - expense  vs  gross = net + expense.
+  const Aggregation difference = Agg(1, 0, {1, 2}, AggregationFunction::kDifference);
+  const Aggregation sum = Agg(1, 1, {2, 0}, AggregationFunction::kSum);
+  EXPECT_EQ(Canonicalize(difference), Canonicalize(sum));
+}
+
+TEST(CanonicalizeAll, Deduplicates) {
+  const std::vector<Aggregation> in = {
+      Agg(0, 1, {2, 3}, AggregationFunction::kSum),
+      Agg(0, 1, {3, 2}, AggregationFunction::kSum),
+      Agg(0, 2, {1, 3}, AggregationFunction::kDifference),
+  };
+  const auto out = CanonicalizeAll(in);
+  // The two sums unify; the difference becomes 1 = 2 + 3 which also unifies.
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Annotations, SerializeParseRoundTrip) {
+  const std::vector<Aggregation> in = {
+      Agg(2, 1, {2, 3, 4}, AggregationFunction::kSum, Axis::kRow, 0.0),
+      Agg(5, 0, {1, 2}, AggregationFunction::kDivision, Axis::kColumn, 0.025),
+      Agg(1, 9, {7, 8}, AggregationFunction::kRelativeChange, Axis::kRow, 0.5),
+  };
+  const std::string text = eval::SerializeAnnotations(in);
+  const auto parsed = eval::ParseAnnotations(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ((*parsed)[i], in[i]);
+    EXPECT_NEAR((*parsed)[i].error, in[i].error, 1e-12);
+  }
+}
+
+TEST(Annotations, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(eval::ParseAnnotations("row,1,2,sum\n").has_value());
+  EXPECT_FALSE(eval::ParseAnnotations("diag,1,2,sum,3;4,0\n").has_value());
+  EXPECT_FALSE(eval::ParseAnnotations("row,x,2,sum,3;4,0\n").has_value());
+  EXPECT_FALSE(eval::ParseAnnotations("row,1,2,sigma,3;4,0\n").has_value());
+}
+
+TEST(Annotations, ParseSkipsCommentsAndBlanks) {
+  const auto parsed =
+      eval::ParseAnnotations("# header\n\nrow,1,2,sum,3;4,0\n  \n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+}  // namespace
+}  // namespace aggrecol::core

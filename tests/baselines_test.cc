@@ -1,0 +1,169 @@
+#include <algorithm>
+
+#include "baselines/adjacent_only_detector.h"
+#include "baselines/eager_baseline.h"
+#include "baselines/keyword_baseline.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::baselines {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::Contains;
+using aggrecol::testing::MakeGrid;
+using aggrecol::testing::MakeNumeric;
+using core::AggregationFunction;
+using core::Axis;
+
+TEST(EagerBaseline, FindsPlantedSum) {
+  const auto grid = MakeNumeric({{"10", "1", "9", "17", "4"}});
+  EagerBaselineConfig config;
+  config.function = AggregationFunction::kSum;
+  config.columns = false;
+  const auto result = RunEagerBaseline(grid, config);
+  EXPECT_TRUE(result.finished);
+  EXPECT_TRUE(Contains(result.aggregations, Agg(0, 0, {1, 2}, AggregationFunction::kSum)));
+}
+
+TEST(EagerBaseline, FindsNonAdjacentCombinations) {
+  // 14 = 1 + 9 + 4: elements scattered, skipping 17 — the eager search's one
+  // genuine capability over the adjacency strategy.
+  const auto grid = MakeNumeric({{"14", "1", "9", "17", "4"}});
+  EagerBaselineConfig config;
+  config.function = AggregationFunction::kSum;
+  config.columns = false;
+  const auto result = RunEagerBaseline(grid, config);
+  EXPECT_TRUE(Contains(result.aggregations,
+                       Agg(0, 0, {1, 2, 4}, AggregationFunction::kSum)));
+}
+
+TEST(EagerBaseline, ManyFalsePositivesOnBinaryData) {
+  // A 0/1 roster row: the eager enumeration reports a flood of subsets
+  // (Sec. 4.4's precision collapse).
+  const auto grid = MakeNumeric({{"1", "0", "1", "0", "1", "0"}});
+  EagerBaselineConfig config;
+  config.function = AggregationFunction::kSum;
+  config.columns = false;
+  const auto result = RunEagerBaseline(grid, config);
+  EXPECT_GT(result.aggregations.size(), 20u);
+}
+
+TEST(EagerBaseline, PairwiseDivision) {
+  const auto grid = MakeNumeric({{"0.5", "7", "2", "4"}});
+  EagerBaselineConfig config;
+  config.function = AggregationFunction::kDivision;
+  config.columns = false;
+  const auto result = RunEagerBaseline(grid, config);
+  EXPECT_TRUE(Contains(result.aggregations,
+                       Agg(0, 0, {2, 3}, AggregationFunction::kDivision)));
+}
+
+TEST(EagerBaseline, BudgetExpiryFlagsUnfinished) {
+  // 2 rows x 40 numeric columns: ~2^39 subsets per aggregate; a microscopic
+  // budget must expire and return partial results.
+  std::vector<std::vector<std::string>> rows(2, std::vector<std::string>(40));
+  for (auto& row : rows) {
+    for (auto& cell : row) cell = "7";
+  }
+  const auto grid =
+      numfmt::NumericGrid::FromGrid(csv::Grid(rows), numfmt::NumberFormat::kCommaDot);
+  EagerBaselineConfig config;
+  config.function = AggregationFunction::kSum;
+  config.budget_seconds = 0.02;
+  const auto result = RunEagerBaseline(grid, config);
+  EXPECT_FALSE(result.finished);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(EagerBaseline, ScansColumnsToo) {
+  const auto grid = MakeNumeric({{"2"}, {"3"}, {"5"}});
+  EagerBaselineConfig config;
+  config.function = AggregationFunction::kSum;
+  const auto result = RunEagerBaseline(grid, config);
+  EXPECT_TRUE(Contains(result.aggregations,
+                       Agg(0, 2, {0, 1}, AggregationFunction::kSum, Axis::kColumn)));
+}
+
+TEST(KeywordBaseline, SumDictionaryMatchesPaper) {
+  const auto& keywords = KeywordsFor(AggregationFunction::kSum);
+  for (const char* expected : {"total", "all", "sum", "subtotal", "overall"}) {
+    EXPECT_NE(std::find(keywords.begin(), keywords.end(), expected), keywords.end())
+        << expected;
+  }
+}
+
+TEST(KeywordBaseline, FlagsColumnsUnderKeywordHeaders) {
+  const auto grid = MakeGrid({
+      {"Item", "Total", "France"},
+      {"a", "10", "4"},
+      {"b", "20", "8"},
+  });
+  const auto numeric = numfmt::NumericGrid::FromGrid(grid, numfmt::NumberFormat::kCommaDot);
+  const auto prediction = RunKeywordBaseline(grid, numeric, AggregationFunction::kSum);
+  EXPECT_NE(std::find(prediction.aggregate_cells.begin(), prediction.aggregate_cells.end(),
+                      std::make_pair(1, 1)),
+            prediction.aggregate_cells.end());
+  EXPECT_EQ(std::find(prediction.aggregate_cells.begin(), prediction.aggregate_cells.end(),
+                      std::make_pair(1, 2)),
+            prediction.aggregate_cells.end());
+}
+
+TEST(KeywordBaseline, FlagsRowsWithKeywordLabels) {
+  const auto grid = MakeGrid({
+      {"Item", "A", "B"},
+      {"x", "1", "4"},
+      {"Total", "6", "15"},
+  });
+  const auto numeric = numfmt::NumericGrid::FromGrid(grid, numfmt::NumberFormat::kCommaDot);
+  const auto prediction = RunKeywordBaseline(grid, numeric, AggregationFunction::kSum);
+  EXPECT_NE(std::find(prediction.aggregate_cells.begin(), prediction.aggregate_cells.end(),
+                      std::make_pair(2, 1)),
+            prediction.aggregate_cells.end());
+  EXPECT_EQ(std::find(prediction.aggregate_cells.begin(), prediction.aggregate_cells.end(),
+                      std::make_pair(1, 1)),
+            prediction.aggregate_cells.end());
+}
+
+TEST(KeywordBaseline, KeywordsAreUnreliable) {
+  // A keyword header over a plain data column: every cell below becomes a
+  // false positive (the Sec. 4.4 precision problem).
+  const auto grid = MakeGrid({
+      {"All items", "B"},
+      {"1", "2"},
+      {"3", "4"},
+  });
+  const auto numeric = numfmt::NumericGrid::FromGrid(grid, numfmt::NumberFormat::kCommaDot);
+  const auto prediction = RunKeywordBaseline(grid, numeric, AggregationFunction::kSum);
+  EXPECT_EQ(prediction.aggregate_cells.size(), 2u);
+}
+
+TEST(AdjacentOnly, FindsAdjacentSumAndAverage) {
+  const auto grid = MakeNumeric({
+      {"6", "1", "2", "3"},
+      {"9", "2", "3", "4"},
+  });
+  const auto found = DetectAdjacentOnly(grid, 0.0);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 2, 3}, AggregationFunction::kSum)));
+  EXPECT_TRUE(Contains(found, Agg(1, 0, {1, 2, 3}, AggregationFunction::kSum)));
+}
+
+TEST(AdjacentOnly, MissesCumulativeAggregations) {
+  // Grand = G1 + G2 is invisible without the cumulative iteration.
+  const auto grid = MakeNumeric({
+      {"10", "3", "1", "2", "7", "3", "4"},
+  });
+  const auto found = DetectAdjacentOnly(grid, 0.0);
+  EXPECT_FALSE(Contains(found, Agg(0, 0, {1, 4}, AggregationFunction::kSum)));
+}
+
+TEST(AdjacentOnly, MissesInterruptAggregations) {
+  const auto grid = MakeNumeric({
+      {"6", "2", "1", "2", "3"},  // total | avg | m1 m2 m3
+  });
+  const auto found = DetectAdjacentOnly(grid, 0.0);
+  EXPECT_FALSE(Contains(found, Agg(0, 0, {2, 3, 4}, AggregationFunction::kSum)));
+}
+
+}  // namespace
+}  // namespace aggrecol::baselines

@@ -1,0 +1,237 @@
+#include <random>
+
+#include "cellclass/features.h"
+#include "cellclass/line_classifier.h"
+#include "cellclass/random_forest.h"
+#include "cellclass/strudel_experiment.h"
+#include "datagen/corpus.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::cellclass {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::MakeGrid;
+
+TEST(Features, NamesMatchCount) {
+  EXPECT_EQ(FeatureNames().size(), static_cast<size_t>(kFeatureCount));
+  EXPECT_EQ(FeatureNames()[kAggregateFeature], "is_aggregate");
+}
+
+TEST(Features, ShapeAndBasicValues) {
+  const auto grid = MakeGrid({
+      {"Total", "10"},
+      {"", "3.5"},
+  });
+  const auto numeric =
+      numfmt::NumericGrid::FromGrid(grid, numfmt::NumberFormat::kCommaDot);
+  const std::vector<bool> mask(4, false);
+  const auto features = ExtractFeatures(grid, numeric, mask);
+  ASSERT_EQ(features.size(), 4u);
+  for (const auto& row : features) EXPECT_EQ(row.size(), size_t{kFeatureCount});
+
+  // (0,0) "Total": text, keyword, first column.
+  EXPECT_EQ(features[0][0], 0.0f);  // is_numeric
+  EXPECT_EQ(features[0][9], 1.0f);  // has_keyword
+  EXPECT_EQ(features[0][16], 1.0f);  // is_first_column
+  // (0,1) "10": numeric, no decimals.
+  EXPECT_EQ(features[1][0], 1.0f);
+  EXPECT_EQ(features[1][4], 0.0f);
+  // (1,0) empty.
+  EXPECT_EQ(features[2][1], 1.0f);
+  // (1,1) "3.5": numeric with decimals.
+  EXPECT_EQ(features[3][0], 1.0f);
+  EXPECT_EQ(features[3][4], 1.0f);
+}
+
+TEST(Features, AggregateMaskMapsAxes) {
+  const auto grid = MakeGrid({
+      {"1", "2", "3"},
+      {"4", "5", "6"},
+  });
+  const std::vector<core::Aggregation> aggregations = {
+      Agg(0, 2, {0, 1}, core::AggregationFunction::kSum),  // row 0, column 2
+      Agg(1, 1, {0}, core::AggregationFunction::kSum, core::Axis::kColumn),
+      // column 1, row 1
+  };
+  const auto mask = AggregateMask(grid, aggregations);
+  EXPECT_TRUE(mask[0 * 3 + 2]);
+  EXPECT_TRUE(mask[1 * 3 + 1]);
+  EXPECT_FALSE(mask[0 * 3 + 0]);
+}
+
+TEST(Features, AggregateFeatureFollowsMask) {
+  const auto grid = MakeGrid({{"1", "2"}});
+  const auto numeric =
+      numfmt::NumericGrid::FromGrid(grid, numfmt::NumberFormat::kCommaDot);
+  std::vector<bool> mask = {true, false};
+  const auto features = ExtractFeatures(grid, numeric, mask);
+  EXPECT_EQ(features[0][kAggregateFeature], 1.0f);
+  EXPECT_EQ(features[1][kAggregateFeature], 0.0f);
+}
+
+Dataset MakeSeparableDataset(int n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> uniform(0.0f, 1.0f);
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    const float x0 = uniform(rng);
+    const float x1 = uniform(rng);
+    const float x2 = uniform(rng);
+    data.features.push_back({x0, x1, x2});
+    data.labels.push_back(x0 > 0.5f ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(RandomForest, LearnsSeparableData) {
+  const Dataset train = MakeSeparableDataset(500, 1);
+  const Dataset test = MakeSeparableDataset(200, 2);
+  ForestConfig config;
+  config.tree_count = 10;
+  RandomForest forest(config);
+  forest.Fit(train, 2);
+  int correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (forest.Predict(test.features[i]) == test.labels[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+}
+
+TEST(RandomForest, LearnsThreeClasses) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<float> noise(-0.1f, 0.1f);
+  Dataset train;
+  for (int i = 0; i < 600; ++i) {
+    const int label = i % 3;
+    train.features.push_back({label * 1.0f + noise(rng), noise(rng)});
+    train.labels.push_back(label);
+  }
+  RandomForest forest;
+  forest.Fit(train, 3);
+  EXPECT_EQ(forest.Predict({0.0f, 0.0f}), 0);
+  EXPECT_EQ(forest.Predict({1.0f, 0.0f}), 1);
+  EXPECT_EQ(forest.Predict({2.0f, 0.0f}), 2);
+}
+
+TEST(RandomForest, DeterministicForFixedSeed) {
+  const Dataset train = MakeSeparableDataset(300, 5);
+  ForestConfig config;
+  config.seed = 17;
+  RandomForest a(config);
+  RandomForest b(config);
+  a.Fit(train, 2);
+  b.Fit(train, 2);
+  const Dataset test = MakeSeparableDataset(50, 6);
+  EXPECT_EQ(a.PredictAll(test.features), b.PredictAll(test.features));
+}
+
+TEST(RandomForest, EmptyTrainingSetIsSafe) {
+  RandomForest forest;
+  forest.Fit(Dataset{}, 2);
+  SUCCEED();
+}
+
+TEST(RandomForest, SingleClassDataPredictsThatClass) {
+  Dataset train;
+  for (int i = 0; i < 50; ++i) {
+    train.features.push_back({static_cast<float>(i)});
+    train.labels.push_back(1);
+  }
+  RandomForest forest;
+  forest.Fit(train, 2);
+  EXPECT_EQ(forest.Predict({25.0f}), 1);
+}
+
+TEST(StrudelExperiment, RunsOnSmallCorpus) {
+  const auto files = datagen::GenerateSmallCorpus(8, 77);
+  ForestConfig config;
+  config.tree_count = 8;
+  config.max_depth = 8;
+  const auto result =
+      RunStrudelExperiment(files, AggregateFeatureSource::kAggreCol, 2, config);
+  EXPECT_GT(result.cells, 100);
+  EXPECT_GT(result.accuracy, 0.5);
+  // Data cells dominate and should be classified well.
+  EXPECT_GT(result.per_role[eval::IndexOf(eval::CellRole::kData)].F1(), 0.45);
+}
+
+TEST(StrudelExperiment, BothFeatureSourcesProduceScores) {
+  const auto files = datagen::GenerateSmallCorpus(6, 78);
+  ForestConfig config;
+  config.tree_count = 6;
+  config.max_depth = 8;
+  const auto original =
+      RunStrudelExperiment(files, AggregateFeatureSource::kAdjacentOnly, 2, config);
+  const auto aggrecol =
+      RunStrudelExperiment(files, AggregateFeatureSource::kAggreCol, 2, config);
+  EXPECT_EQ(original.cells, aggrecol.cells);
+  EXPECT_GT(original.accuracy, 0.0);
+  EXPECT_GT(aggrecol.accuracy, 0.0);
+}
+
+TEST(LineFeatures, ShapeAndContent) {
+  const auto grid = MakeGrid({
+      {"Population report", "", ""},
+      {"Item", "A", "Total"},
+      {"x", "1", "1"},
+      {"Total", "1", "1"},
+  });
+  const auto numeric =
+      numfmt::NumericGrid::FromGrid(grid, numfmt::NumberFormat::kCommaDot);
+  const std::vector<core::Aggregation> aggregations = {
+      Agg(2, 2, {1}, core::AggregationFunction::kSum),
+      Agg(3, 2, {1}, core::AggregationFunction::kSum),
+  };
+  const auto features = ExtractLineFeatures(grid, numeric, aggregations);
+  ASSERT_EQ(features.size(), 4u);
+  for (const auto& line : features) {
+    EXPECT_EQ(line.size(), static_cast<size_t>(kLineFeatureCount));
+  }
+  // Title row: only the leading cell is populated, no numerics.
+  EXPECT_EQ(features[0][0], 0.0f);
+  EXPECT_EQ(features[0][10], 1.0f);
+  // Data row: numeric cells present; one of two numerics is an aggregate.
+  EXPECT_GT(features[2][0], 0.0f);
+  EXPECT_FLOAT_EQ(features[2][kAggregateLineFeature], 0.5f);
+  // "Total" row carries a keyword in its leading cell.
+  EXPECT_EQ(features[3][8], 1.0f);
+}
+
+TEST(LineFeatures, DominantRole) {
+  using eval::CellRole;
+  EXPECT_EQ(DominantLineRole({CellRole::kHeader, CellRole::kHeader,
+                              CellRole::kEmpty}),
+            CellRole::kHeader);
+  EXPECT_EQ(DominantLineRole({CellRole::kEmpty, CellRole::kEmpty}),
+            CellRole::kEmpty);
+  EXPECT_EQ(DominantLineRole({CellRole::kHeader, CellRole::kData, CellRole::kData}),
+            CellRole::kData);
+}
+
+TEST(LineExperiment, RunsOnSmallCorpus) {
+  const auto files = datagen::GenerateSmallCorpus(8, 81);
+  ForestConfig config;
+  config.tree_count = 8;
+  config.max_depth = 8;
+  const auto result =
+      RunLineExperiment(files, AggregateFeatureSource::kAggreCol, 2, config);
+  EXPECT_GT(result.lines, 50);
+  EXPECT_GT(result.accuracy, 0.7);
+  // Data lines dominate and should classify very well.
+  EXPECT_GT(result.per_role[eval::IndexOf(eval::CellRole::kData)].F1(), 0.8);
+}
+
+TEST(ClassScores, Formulas) {
+  ClassScores scores;
+  scores.true_positives = 8;
+  scores.false_positives = 2;
+  scores.false_negatives = 8;
+  EXPECT_DOUBLE_EQ(scores.Precision(), 0.8);
+  EXPECT_DOUBLE_EQ(scores.Recall(), 0.5);
+  EXPECT_NEAR(scores.F1(), 2 * 0.8 * 0.5 / 1.3, 1e-12);
+}
+
+}  // namespace
+}  // namespace aggrecol::cellclass

@@ -1,0 +1,173 @@
+#include "core/collective_detector.h"
+
+#include "core/individual_detector.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::core {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::Contains;
+using aggrecol::testing::MakeNumeric;
+
+TEST(Collective, Figure6SpuriousAverageRemoved) {
+  // The fictitious Figure 6 table: total = heating + water + electricity +
+  // garbage, while garbage coincidentally averages the other three items in
+  // three of four rows. The sum group has the larger range and wins; the
+  // average group is completely included in it and is pruned.
+  const auto grid = MakeNumeric({
+      {"total", "heating", "water", "electricity", "garbage"},
+      {"280", "110", "30", "70", "70"},
+      {"320", "120", "45", "75", "80"},
+      {"217", "74", "35", "58", "50"},  // 50 is not the mean here
+      {"240", "75", "33", "72", "60"},
+  });
+  IndividualConfig config;
+  config.error_level = 0.0;
+  config.coverage = 0.7;
+  std::vector<Aggregation> candidates =
+      DetectIndividualRowwise(grid, AggregationFunction::kSum, config);
+  const auto averages =
+      DetectIndividualRowwise(grid, AggregationFunction::kAverage, config);
+  candidates.insert(candidates.end(), averages.begin(), averages.end());
+
+  // Both the true sums and the spurious averages survive stage 1.
+  EXPECT_TRUE(
+      Contains(candidates, Agg(1, 0, {1, 2, 3, 4}, AggregationFunction::kSum)));
+  EXPECT_TRUE(
+      Contains(candidates, Agg(1, 4, {1, 2, 3}, AggregationFunction::kAverage)));
+
+  const auto refined = CollectivePrune(grid, candidates);
+  EXPECT_TRUE(Contains(refined, Agg(1, 0, {1, 2, 3, 4}, AggregationFunction::kSum)));
+  for (const auto& aggregation : refined) {
+    EXPECT_NE(aggregation.function, AggregationFunction::kAverage);
+  }
+}
+
+TEST(Collective, DivisionAlwaysIncluded) {
+  // Fig. 5's a2/a4: the division "Kenya in Africa" (13 <- {9, 8}) overlaps
+  // the sum a2 (8 <- {9, 10}) via complete inclusion, yet both must survive.
+  const std::vector<Aggregation> candidates = {
+      Agg(1, 8, {9, 10}, AggregationFunction::kSum),
+      Agg(2, 8, {9, 10}, AggregationFunction::kSum),
+      Agg(1, 13, {9, 8}, AggregationFunction::kDivision),
+      Agg(2, 13, {9, 8}, AggregationFunction::kDivision),
+  };
+  const auto grid = MakeNumeric({
+      {"x", "x", "x", "x", "x", "x", "x", "x", "64", "58", "6", "x", "x", "0.90625"},
+      {"x", "x", "x", "x", "x", "x", "x", "x", "22", "6", "16", "x", "x", "0.272727"},
+      {"x", "x", "x", "x", "x", "x", "x", "x", "23", "6", "17", "x", "x", "0.260870"},
+  });
+  const auto refined = CollectivePrune(grid, candidates);
+  EXPECT_TRUE(Contains(refined, Agg(1, 8, {9, 10}, AggregationFunction::kSum)));
+  EXPECT_TRUE(Contains(refined, Agg(1, 13, {9, 8}, AggregationFunction::kDivision)));
+}
+
+TEST(Collective, CircularRelativeChangeAgainstDivisionRemoved) {
+  // share = B / C implies relchange(share -> B) = C - 1 ~= C: a circular
+  // (mutually inclusive) artifact that must not survive against the division.
+  const std::vector<Aggregation> candidates = {
+      Agg(0, 2, {0, 1}, AggregationFunction::kDivision),      // share = B/C
+      Agg(1, 2, {0, 1}, AggregationFunction::kDivision),
+      Agg(0, 1, {2, 0}, AggregationFunction::kRelativeChange),  // C ~ (B-share)/share
+      Agg(1, 1, {2, 0}, AggregationFunction::kRelativeChange),
+  };
+  const auto grid = MakeNumeric({
+      {"58", "64", "0.90625"},
+      {"30", "60", "0.5"},
+  });
+  const auto refined = CollectivePrune(grid, candidates);
+  EXPECT_TRUE(Contains(refined, Agg(0, 2, {0, 1}, AggregationFunction::kDivision)));
+  for (const auto& aggregation : refined) {
+    EXPECT_NE(aggregation.function, AggregationFunction::kRelativeChange);
+  }
+}
+
+TEST(Collective, SameAggregateDisjointRangesAllowed) {
+  // Net income can be both gross - expense (canonicalized as a sum group
+  // elsewhere) and the sum of quarters: same aggregate, disjoint ranges.
+  const std::vector<Aggregation> candidates = {
+      Agg(0, 0, {1, 2, 3, 4}, AggregationFunction::kSum),  // quarters
+      Agg(1, 0, {1, 2, 3, 4}, AggregationFunction::kSum),
+      Agg(0, 0, {5, 6}, AggregationFunction::kDifference),  // gross - expense
+      Agg(1, 0, {5, 6}, AggregationFunction::kDifference),
+  };
+  const auto grid = MakeNumeric({
+      {"10", "1", "2", "3", "4", "16", "6"},
+      {"14", "2", "3", "4", "5", "20", "6"},
+  });
+  const auto refined = CollectivePrune(grid, candidates);
+  EXPECT_TRUE(Contains(refined, Agg(0, 0, {1, 2, 3, 4}, AggregationFunction::kSum)));
+  EXPECT_TRUE(Contains(refined, Agg(0, 0, {5, 6}, AggregationFunction::kDifference)));
+}
+
+TEST(Collective, SameAggregateOverlappingRangesConflict) {
+  // An average and a sum over overlapping ranges into the same aggregate
+  // cannot both hold semantically; the larger range wins.
+  const std::vector<Aggregation> candidates = {
+      Agg(0, 0, {1, 2, 3}, AggregationFunction::kSum),
+      Agg(1, 0, {1, 2, 3}, AggregationFunction::kSum),
+      Agg(0, 0, {1, 2}, AggregationFunction::kAverage),
+      Agg(1, 0, {1, 2}, AggregationFunction::kAverage),
+  };
+  const auto grid = MakeNumeric({
+      {"6", "4", "8", "-6"},
+      {"6", "4", "8", "-6"},
+  });
+  const auto refined = CollectivePrune(grid, candidates);
+  EXPECT_TRUE(Contains(refined, Agg(0, 0, {1, 2, 3}, AggregationFunction::kSum)));
+  for (const auto& aggregation : refined) {
+    EXPECT_NE(aggregation.function, AggregationFunction::kAverage);
+  }
+}
+
+TEST(Collective, RanksByRangeSizeFirst) {
+  // A 2-element group with many members loses to a 3-element group with
+  // fewer members when they conflict.
+  const std::vector<Aggregation> candidates = {
+      Agg(0, 0, {1, 2, 3}, AggregationFunction::kSum),
+      Agg(0, 1, {2, 0}, AggregationFunction::kSum),  // mutually inclusive w/ above
+      Agg(1, 1, {2, 0}, AggregationFunction::kSum),
+      Agg(2, 1, {2, 0}, AggregationFunction::kSum),
+  };
+  const auto grid = MakeNumeric({
+      {"6", "1", "2", "3"},
+      {"6", "1", "2", "3"},
+      {"6", "1", "2", "3"},
+  });
+  const auto refined = CollectivePrune(grid, candidates);
+  EXPECT_TRUE(Contains(refined, Agg(0, 0, {1, 2, 3}, AggregationFunction::kSum)));
+  for (const auto& aggregation : refined) {
+    EXPECT_NE(aggregation.aggregate, 1);
+  }
+}
+
+TEST(Collective, AxesDoNotConflict) {
+  // A row-wise and a column-wise pattern with numerically colliding indices
+  // must both survive: the inclusion rules only apply within one axis.
+  const std::vector<Aggregation> candidates = {
+      Agg(0, 0, {1, 2}, AggregationFunction::kSum, Axis::kRow),
+      Agg(1, 0, {1, 2}, AggregationFunction::kSum, Axis::kRow),
+      Agg(0, 1, {0, 2}, AggregationFunction::kSum, Axis::kColumn),
+      Agg(1, 1, {0, 2}, AggregationFunction::kSum, Axis::kColumn),
+  };
+  const auto grid = MakeNumeric({
+      {"3", "1", "2"},
+      {"5", "2", "3"},
+      {"8", "3", "5"},
+  });
+  const auto refined = CollectivePrune(grid, candidates);
+  EXPECT_TRUE(
+      Contains(refined, Agg(0, 0, {1, 2}, AggregationFunction::kSum, Axis::kRow)));
+  EXPECT_TRUE(
+      Contains(refined, Agg(0, 1, {0, 2}, AggregationFunction::kSum, Axis::kColumn)));
+}
+
+TEST(Collective, EmptyInput) {
+  const auto grid = MakeNumeric({{"1"}});
+  EXPECT_TRUE(CollectivePrune(grid, {}).empty());
+}
+
+}  // namespace
+}  // namespace aggrecol::core

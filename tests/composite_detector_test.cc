@@ -1,0 +1,153 @@
+#include "core/composite_detector.h"
+
+#include "core/aggrecol.h"
+#include "datagen/corpus.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::core {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::MakeNumeric;
+
+CompositeConfig Config(double error = 1e-6) {
+  CompositeConfig config;
+  config.error_level = error;
+  return config;
+}
+
+bool ContainsComposite(const std::vector<CompositeAggregation>& composites,
+                       const CompositeAggregation& wanted) {
+  for (const auto& composite : composites) {
+    if (composite == wanted) return true;
+  }
+  return false;
+}
+
+CompositeAggregation Composite(int line, int aggregate, std::vector<int> numerator,
+                               int denominator) {
+  CompositeAggregation composite;
+  composite.line = line;
+  composite.aggregate = aggregate;
+  composite.numerator = std::move(numerator);
+  composite.denominator = denominator;
+  return composite;
+}
+
+TEST(Composite, DetectsSumThenDivide) {
+  // share = (10 + 20 + 30) / 200 = 0.3, no intermediate sum column.
+  const auto grid = MakeNumeric({
+      {"200", "10", "20", "30", "0.3"},
+      {"400", "40", "50", "70", "0.4"},
+      {"500", "60", "70", "120", "0.5"},
+  });
+  const auto found = DetectCompositeRowwise(grid, Config(), {});
+  for (int row = 0; row < 3; ++row) {
+    EXPECT_TRUE(ContainsComposite(found, Composite(row, 4, {1, 2, 3}, 0)))
+        << "row " << row;
+  }
+}
+
+TEST(Composite, RedundantWithDetectedSumSuppressed) {
+  // Same table but with an intermediate "Total degrees" column whose sum
+  // aggregation is already detected: the plain division covers the relation.
+  const auto grid = MakeNumeric({
+      {"200", "10", "20", "30", "60", "0.3"},
+      {"400", "40", "50", "70", "160", "0.4"},
+  });
+  const std::vector<Aggregation> detected = {
+      Agg(0, 4, {1, 2, 3}, AggregationFunction::kSum),
+      Agg(1, 4, {1, 2, 3}, AggregationFunction::kSum),
+  };
+  const auto found = DetectCompositeRowwise(grid, Config(), detected);
+  EXPECT_FALSE(ContainsComposite(found, Composite(0, 5, {1, 2, 3}, 0)));
+}
+
+TEST(Composite, DivisionAggregateCellsSkipped) {
+  // A cell already explained as a plain division must not also be reported
+  // as a composite.
+  const auto grid = MakeNumeric({
+      {"200", "10", "20", "30", "0.3"},
+      {"400", "40", "50", "70", "0.4"},
+  });
+  const std::vector<Aggregation> detected = {
+      Agg(0, 4, {3, 0}, AggregationFunction::kDivision),
+      Agg(1, 4, {3, 0}, AggregationFunction::kDivision),
+  };
+  const auto found = DetectCompositeRowwise(grid, Config(), detected);
+  EXPECT_FALSE(ContainsComposite(found, Composite(0, 4, {1, 2, 3}, 0)));
+}
+
+TEST(Composite, CoveragePrunesCoincidences) {
+  // The relation holds in only one of four rows.
+  const auto grid = MakeNumeric({
+      {"200", "10", "20", "30", "0.3"},
+      {"400", "40", "50", "70", "0.9"},
+      {"500", "60", "70", "120", "0.1"},
+      {"300", "10", "10", "10", "0.7"},
+  });
+  const auto found = DetectCompositeRowwise(grid, Config(), {});
+  EXPECT_FALSE(ContainsComposite(found, Composite(0, 4, {1, 2, 3}, 0)));
+}
+
+TEST(Composite, ToleratesRoundedRatios) {
+  // 0.31 vs 60/200 = 0.30: within 5%, not within 1e-6.
+  const auto grid = MakeNumeric({
+      {"200", "10", "20", "30", "0.31"},
+      {"400", "40", "50", "70", "0.41"},
+  });
+  EXPECT_TRUE(DetectCompositeRowwise(grid, Config(1e-6), {}).empty());
+  const auto tolerant = DetectCompositeRowwise(grid, Config(0.05), {});
+  EXPECT_TRUE(ContainsComposite(tolerant, Composite(0, 4, {1, 2, 3}, 0)));
+}
+
+TEST(Composite, EndToEndThroughPipeline) {
+  datagen::GeneratorProfile profile;
+  profile.p_no_aggregation = 0.0;
+  profile.p_composite = 1.0;
+  profile.p_second_table = 0.0;
+  profile.p_big_file = 0.0;
+  profile.p_tiny_file = 0.0;
+  const auto file = datagen::GenerateFile(profile, 321, "composite.csv");
+  ASSERT_FALSE(file.composites.empty());
+
+  core::AggreColConfig config;
+  config.detect_composites = true;
+  const auto result = core::AggreCol(config).Detect(file.grid);
+
+  int matched = 0;
+  for (const auto& truth : file.composites) {
+    if (ContainsComposite(result.composites, truth)) ++matched;
+  }
+  // Most of the planted composites surface (rounding keeps this below 100%).
+  EXPECT_GT(static_cast<double>(matched) / file.composites.size(), 0.7);
+}
+
+TEST(Composite, OffByDefault) {
+  datagen::GeneratorProfile profile;
+  profile.p_no_aggregation = 0.0;
+  profile.p_composite = 1.0;
+  const auto file = datagen::GenerateFile(profile, 321, "composite.csv");
+  const auto result = core::AggreCol().Detect(file.grid);
+  EXPECT_TRUE(result.composites.empty());
+}
+
+TEST(Composite, SerializationRoundTrip) {
+  const std::vector<CompositeAggregation> in = {
+      Composite(2, 5, {1, 2, 3}, 0),
+      Composite(7, 9, {4, 6}, 8),
+  };
+  const std::string text = eval::SerializeComposites(in);
+  const auto parsed = eval::ParseComposites(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) EXPECT_EQ((*parsed)[i], in[i]);
+  // Plain-aggregation parsing skips composite lines.
+  const auto aggregations = eval::ParseAnnotations(text);
+  ASSERT_TRUE(aggregations.has_value());
+  EXPECT_TRUE(aggregations->empty());
+}
+
+}  // namespace
+}  // namespace aggrecol::core

@@ -1,0 +1,129 @@
+#include "csv/parser.h"
+
+#include "csv/grid.h"
+#include "gtest/gtest.h"
+
+namespace aggrecol::csv {
+namespace {
+
+const Dialect kComma{',', '"'};
+
+TEST(ParseRows, SimpleRows) {
+  const auto rows = ParseRows("a,b\nc,d\n", kComma);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseRows, NoTrailingNewline) {
+  const auto rows = ParseRows("a,b\nc,d", kComma);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseRows, EmptyFields) {
+  const auto rows = ParseRows(",a,\n,,\n", kComma);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseRows, QuotedFieldWithDelimiter) {
+  const auto rows = ParseRows("\"1,234\",b\n", kComma);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"1,234", "b"}));
+}
+
+TEST(ParseRows, EscapedQuote) {
+  const auto rows = ParseRows("\"say \"\"hi\"\"\",x\n", kComma);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(ParseRows, QuotedFieldWithNewline) {
+  const auto rows = ParseRows("\"line1\nline2\",b\n", kComma);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(ParseRows, CrLfLineEndings) {
+  const auto rows = ParseRows("a,b\r\nc,d\r\n", kComma);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseRows, BareCarriageReturnEndsRow) {
+  const auto rows = ParseRows("a,b\rc,d", kComma);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseRows, EmptyLineBecomesEmptyRow) {
+  const auto rows = ParseRows("a\n\nb\n", kComma);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{""}));
+}
+
+TEST(ParseRows, EmptyInput) {
+  EXPECT_TRUE(ParseRows("", kComma).empty());
+}
+
+TEST(ParseRows, MalformedQuoteKeptLossless) {
+  // `"a"b` is malformed per RFC 4180; the parser keeps the stray content.
+  const auto rows = ParseRows("\"a\"b,c\n", kComma);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "ab");
+  EXPECT_EQ(rows[0][1], "c");
+}
+
+TEST(ParseRows, SemicolonDialect) {
+  const Dialect semicolon{';', '"'};
+  const auto rows = ParseRows("a;b,c\n", semicolon);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b,c"}));
+}
+
+TEST(ParseRows, SingleQuoteDialect) {
+  const Dialect single{',', '\''};
+  const auto rows = ParseRows("'a,b',c\n", single);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+}
+
+TEST(ParseGrid, PadsRaggedRows) {
+  const Grid grid = ParseGrid("a,b,c\nd\n", kComma);
+  EXPECT_EQ(grid.rows(), 2);
+  EXPECT_EQ(grid.columns(), 3);
+  EXPECT_EQ(grid.at(1, 0), "d");
+  EXPECT_EQ(grid.at(1, 2), "");
+}
+
+TEST(Grid, Transposed) {
+  const Grid grid(std::vector<std::vector<std::string>>{{"a", "b"}, {"c", "d"}});
+  const Grid transposed = grid.Transposed();
+  EXPECT_EQ(transposed.at(0, 0), "a");
+  EXPECT_EQ(transposed.at(0, 1), "c");
+  EXPECT_EQ(transposed.at(1, 0), "b");
+  EXPECT_EQ(transposed.Transposed(), grid);
+}
+
+TEST(Grid, WithColumns) {
+  const Grid grid(std::vector<std::vector<std::string>>{{"a", "b", "c"},
+                                                        {"d", "e", "f"}});
+  const Grid projected = grid.WithColumns({2, 0});
+  EXPECT_EQ(projected.columns(), 2);
+  EXPECT_EQ(projected.at(0, 0), "c");
+  EXPECT_EQ(projected.at(0, 1), "a");
+  EXPECT_EQ(projected.at(1, 0), "f");
+}
+
+TEST(Grid, IsEmptyAndCounts) {
+  const Grid grid(std::vector<std::vector<std::string>>{{" ", "x"}, {"", "y"}});
+  EXPECT_TRUE(grid.IsEmpty(0, 0));
+  EXPECT_FALSE(grid.IsEmpty(0, 1));
+  EXPECT_EQ(grid.CountNonEmpty(), 2);
+}
+
+}  // namespace
+}  // namespace aggrecol::csv

@@ -1,0 +1,85 @@
+#include "csv/sniffer.h"
+
+#include <string>
+#include <tuple>
+
+#include "csv/parser.h"
+#include "csv/writer.h"
+#include "gtest/gtest.h"
+
+namespace aggrecol::csv {
+namespace {
+
+TEST(Sniffer, CommaDetected) {
+  const auto result = SniffDialect("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(result.dialect.delimiter, ',');
+}
+
+TEST(Sniffer, SemicolonDetected) {
+  const auto result = SniffDialect("a;b;c\n1;2;3\n4;5;6\n");
+  EXPECT_EQ(result.dialect.delimiter, ';');
+}
+
+TEST(Sniffer, TabDetected) {
+  const auto result = SniffDialect("a\tb\tc\n1\t2\t3\n");
+  EXPECT_EQ(result.dialect.delimiter, '\t');
+}
+
+TEST(Sniffer, PipeDetected) {
+  const auto result = SniffDialect("a|b|c\n1|2|3\n");
+  EXPECT_EQ(result.dialect.delimiter, '|');
+}
+
+TEST(Sniffer, SemicolonWithDecimalCommas) {
+  // Decimal commas inside fields must not fool the sniffer: the semicolon
+  // splits consistently, the comma does not.
+  const auto result = SniffDialect("Jahr;Wert\n2001;12,5\n2002;13,0\n2003;9,25\n");
+  EXPECT_EQ(result.dialect.delimiter, ';');
+}
+
+TEST(Sniffer, QuotedDelimitersFavorQuoteAwareDialect) {
+  const std::string text = "name,value\n\"a,b\",1\n\"c,d\",2\n\"e,f\",3\n";
+  const auto result = SniffDialect(text);
+  EXPECT_EQ(result.dialect.delimiter, ',');
+  EXPECT_EQ(result.dialect.quote, '"');
+  // The winning dialect parses every row to width 2.
+  const auto rows = ParseRows(text, result.dialect);
+  for (const auto& row : rows) EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(Sniffer, NoStructureFallsBackToComma) {
+  const auto result = SniffDialect("just a plain sentence\nanother line\n");
+  EXPECT_EQ(result.dialect.delimiter, ',');
+  EXPECT_EQ(result.dialect.quote, '"');
+}
+
+TEST(Sniffer, EmptyInputFallsBack) {
+  const auto result = SniffDialect("");
+  EXPECT_EQ(result.dialect.delimiter, ',');
+}
+
+class SnifferRoundTrip : public ::testing::TestWithParam<std::tuple<char, char>> {};
+
+TEST_P(SnifferRoundTrip, RecoversWritingDialect) {
+  const auto [delimiter, quote] = GetParam();
+  const Dialect dialect{delimiter, quote};
+  Grid grid(4, 3);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      grid.set(i, j, "v" + std::to_string(i) + std::to_string(j));
+    }
+  }
+  // Add a cell that needs quoting under this dialect.
+  grid.set(1, 1, std::string("x") + delimiter + "y");
+  const std::string text = WriteGrid(grid, dialect);
+  const auto sniffed = SniffDialect(text);
+  EXPECT_EQ(sniffed.dialect.delimiter, delimiter);
+  EXPECT_EQ(ParseGrid(text, sniffed.dialect), grid);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDialects, SnifferRoundTrip,
+                         ::testing::Combine(::testing::Values(',', ';', '\t', '|'),
+                                            ::testing::Values('"')));
+
+}  // namespace
+}  // namespace aggrecol::csv

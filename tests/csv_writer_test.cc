@@ -1,0 +1,84 @@
+#include "csv/writer.h"
+
+#include <random>
+
+#include "csv/parser.h"
+#include "gtest/gtest.h"
+
+namespace aggrecol::csv {
+namespace {
+
+const Dialect kComma{',', '"'};
+
+TEST(EscapeField, PlainFieldUnchanged) {
+  EXPECT_EQ(EscapeField("abc", kComma), "abc");
+  EXPECT_EQ(EscapeField("", kComma), "");
+}
+
+TEST(EscapeField, DelimiterTriggersQuoting) {
+  EXPECT_EQ(EscapeField("a,b", kComma), "\"a,b\"");
+}
+
+TEST(EscapeField, QuoteIsDoubled) {
+  EXPECT_EQ(EscapeField("say \"hi\"", kComma), "\"say \"\"hi\"\"\"");
+}
+
+TEST(EscapeField, NewlineTriggersQuoting) {
+  EXPECT_EQ(EscapeField("a\nb", kComma), "\"a\nb\"");
+  EXPECT_EQ(EscapeField("a\rb", kComma), "\"a\rb\"");
+}
+
+TEST(WriteGrid, SimpleOutput) {
+  Grid grid(2, 2);
+  grid.set(0, 0, "a");
+  grid.set(0, 1, "b");
+  grid.set(1, 0, "1,5");
+  EXPECT_EQ(WriteGrid(grid, kComma), "a,b\n\"1,5\",\n");
+}
+
+TEST(WriteGrid, RoundTripsAwkwardContent) {
+  Grid grid(3, 3);
+  grid.set(0, 0, "plain");
+  grid.set(0, 1, "with,comma");
+  grid.set(0, 2, "with\"quote");
+  grid.set(1, 0, "multi\nline");
+  grid.set(1, 1, "");
+  grid.set(1, 2, " leading space");
+  grid.set(2, 0, "\"fully quoted\"");
+  grid.set(2, 1, ",");
+  grid.set(2, 2, "\r\n");
+  EXPECT_EQ(ParseGrid(WriteGrid(grid, kComma), kComma), grid);
+}
+
+// Property: write-then-parse is the identity for random printable content,
+// under every candidate dialect.
+class WriterRoundTripProperty : public ::testing::TestWithParam<char> {};
+
+TEST_P(WriterRoundTripProperty, RandomGrids) {
+  const Dialect dialect{GetParam(), '"'};
+  std::mt19937_64 rng(99);
+  const std::string alphabet = "abc123,;\t|\"' \n.%-";
+  for (int trial = 0; trial < 50; ++trial) {
+    const int rows = 1 + static_cast<int>(rng() % 5);
+    const int columns = 1 + static_cast<int>(rng() % 5);
+    Grid grid(rows, columns);
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < columns; ++j) {
+        std::string cell;
+        const size_t length = rng() % 8;
+        for (size_t k = 0; k < length; ++k) {
+          cell.push_back(alphabet[rng() % alphabet.size()]);
+        }
+        grid.set(i, j, cell);
+      }
+    }
+    ASSERT_EQ(ParseGrid(WriteGrid(grid, dialect), dialect), grid)
+        << "dialect " << ToString(dialect) << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Delimiters, WriterRoundTripProperty,
+                         ::testing::Values(',', ';', '\t', '|'));
+
+}  // namespace
+}  // namespace aggrecol::csv

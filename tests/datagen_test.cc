@@ -1,0 +1,178 @@
+#include "datagen/corpus.h"
+#include "datagen/file_generator.h"
+
+#include "core/aggregation.h"
+#include "csv/parser.h"
+#include "csv/writer.h"
+#include "gtest/gtest.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol::datagen {
+namespace {
+
+using core::Aggregation;
+using core::Axis;
+
+TEST(Generator, DeterministicFromSeed) {
+  const GeneratorProfile profile;
+  const auto a = GenerateFile(profile, 42, "a.csv");
+  const auto b = GenerateFile(profile, 42, "a.csv");
+  EXPECT_EQ(a.grid, b.grid);
+  ASSERT_EQ(a.annotations.size(), b.annotations.size());
+  for (size_t i = 0; i < a.annotations.size(); ++i) {
+    EXPECT_EQ(a.annotations[i], b.annotations[i]);
+  }
+  EXPECT_EQ(a.format, b.format);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const GeneratorProfile profile;
+  const auto a = GenerateFile(profile, 1, "a.csv");
+  const auto b = GenerateFile(profile, 2, "b.csv");
+  EXPECT_NE(a.grid, b.grid);
+}
+
+TEST(Generator, RolesMatchGridShape) {
+  const auto file = GenerateFile(GeneratorProfile{}, 7, "f.csv");
+  ASSERT_EQ(static_cast<int>(file.roles.size()), file.grid.rows());
+  for (const auto& row : file.roles) {
+    EXPECT_EQ(static_cast<int>(row.size()), file.grid.columns());
+  }
+}
+
+TEST(Generator, AggregateCellsCarryAggregationRole) {
+  const auto file = GenerateFile(GeneratorProfile{}, 11, "f.csv");
+  for (const auto& annotation : file.annotations) {
+    const int row = annotation.axis == Axis::kRow ? annotation.line
+                                                  : annotation.aggregate;
+    const int col = annotation.axis == Axis::kRow ? annotation.aggregate
+                                                  : annotation.line;
+    EXPECT_EQ(file.roles[row][col], eval::CellRole::kAggregation)
+        << ToString(annotation);
+  }
+}
+
+// The central ground-truth property: every annotation, re-evaluated on the
+// file as a detector would parse it (dialect defaults, elected number
+// format, empty-as-zero), reproduces its recorded error level.
+class GroundTruthProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroundTruthProperty, AnnotationsAreArithmeticallyConsistent) {
+  const auto file = GenerateFile(GeneratorProfile{}, GetParam(), "p.csv");
+  const auto numeric = numfmt::NumericGrid::FromGrid(file.grid);
+  for (const auto& annotation : file.annotations) {
+    const bool row_wise = annotation.axis == Axis::kRow;
+    const int agg_row = row_wise ? annotation.line : annotation.aggregate;
+    const int agg_col = row_wise ? annotation.aggregate : annotation.line;
+    ASSERT_TRUE(numeric.IsNumeric(agg_row, agg_col)) << ToString(annotation);
+
+    std::vector<double> values;
+    for (int index : annotation.range) {
+      const int row = row_wise ? annotation.line : index;
+      const int col = row_wise ? index : annotation.line;
+      ASSERT_TRUE(numeric.IsRangeUsable(row, col)) << ToString(annotation);
+      values.push_back(numeric.value(row, col));
+    }
+    const auto calculated = core::Apply(annotation.function, values);
+    ASSERT_TRUE(calculated.has_value()) << ToString(annotation);
+    const double error =
+        core::ErrorLevel(numeric.value(agg_row, agg_col), *calculated);
+    EXPECT_NEAR(error, annotation.error, 1e-9) << ToString(annotation);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroundTruthProperty,
+                         ::testing::Range<uint64_t>(0, 40));
+
+TEST(Corpus, ValidationShapeMatchesPaper) {
+  const auto spec = ValidationCorpus();
+  EXPECT_EQ(spec.file_count, 385);
+  const auto files = GenerateCorpus(spec);
+  ASSERT_EQ(files.size(), 385u);
+  int without = 0;
+  for (const auto& file : files) {
+    if (file.annotations.empty()) ++without;
+  }
+  // The paper's VALIDATION set has 50/385 files without aggregations; the
+  // sampled fraction should be in that neighbourhood.
+  EXPECT_GT(without, 25);
+  EXPECT_LT(without, 80);
+}
+
+TEST(Corpus, UnseenFilesAllHaveAggregations) {
+  const auto files = GenerateCorpus(UnseenCorpus());
+  ASSERT_EQ(files.size(), 81u);
+  for (const auto& file : files) {
+    EXPECT_FALSE(file.annotations.empty()) << file.name;
+  }
+}
+
+TEST(Corpus, SumDominatesFunctionMix) {
+  const auto files = GenerateCorpus(ValidationCorpus());
+  int sum = 0;
+  int total = 0;
+  for (const auto& file : files) {
+    for (const auto& annotation : core::CanonicalizeAll(file.annotations)) {
+      ++total;
+      if (annotation.function == core::AggregationFunction::kSum) ++sum;
+    }
+  }
+  ASSERT_GT(total, 0);
+  // Sum accounts for about 70% of aggregations in the paper (Table 3).
+  EXPECT_GT(static_cast<double>(sum) / total, 0.5);
+}
+
+TEST(Corpus, RoundingErrorsPresent) {
+  const auto files = GenerateCorpus(ValidationCorpus());
+  int with_error = 0;
+  int total = 0;
+  for (const auto& file : files) {
+    for (const auto& annotation : file.annotations) {
+      ++total;
+      if (annotation.error > 1e-9) ++with_error;
+    }
+  }
+  const double fraction = static_cast<double>(with_error) / total;
+  // Around 29% in the paper (Sec. 4.1); accept a generous band.
+  EXPECT_GT(fraction, 0.10);
+  EXPECT_LT(fraction, 0.55);
+}
+
+TEST(Corpus, ElectedFormatsAgreeOnEveryCellValue) {
+  // The elected format may differ from the serialized one when the content
+  // does not pin it down (e.g. no-group formats are subsumed by the grouped
+  // ones), but every cell the writing format would parse must parse to the
+  // same value under the elected format.
+  const auto files = GenerateSmallCorpus(40, 5);
+  for (const auto& file : files) {
+    const auto elected = numfmt::ElectFormat(file.grid);
+    for (int i = 0; i < file.grid.rows(); ++i) {
+      for (int j = 0; j < file.grid.columns(); ++j) {
+        const std::string& cell = file.grid.at(i, j);
+        const auto written = numfmt::ParseNumber(cell, file.format);
+        if (!written.has_value()) continue;
+        const auto parsed = numfmt::ParseNumber(cell, elected);
+        ASSERT_TRUE(parsed.has_value()) << file.name << " cell '" << cell << "'";
+        EXPECT_EQ(*parsed, *written) << file.name << " cell '" << cell << "'";
+      }
+    }
+  }
+}
+
+TEST(Corpus, SmallCorpusHelper) {
+  const auto files = GenerateSmallCorpus(3, 9);
+  EXPECT_EQ(files.size(), 3u);
+  EXPECT_NE(files[0].grid, files[1].grid);
+}
+
+TEST(Corpus, FilesSerializeToParseableCsv) {
+  const auto files = GenerateSmallCorpus(10, 31);
+  const csv::Dialect dialect{',', '"'};
+  for (const auto& file : files) {
+    const std::string text = csv::WriteGrid(file.grid, dialect);
+    EXPECT_EQ(csv::ParseGrid(text, dialect), file.grid) << file.name;
+  }
+}
+
+}  // namespace
+}  // namespace aggrecol::datagen

@@ -1,0 +1,76 @@
+// Differential property: on small grids the eager baseline enumerates every
+// arithmetically valid candidate, so every aggregation AggreCol reports —
+// through any of its three stages — must appear in the baseline's output at
+// the same error levels. This cross-checks the adjacency, window, extension,
+// and supplemental machinery against an independent oracle.
+#include <random>
+
+#include "baselines/eager_baseline.h"
+#include "core/aggrecol.h"
+#include "gtest/gtest.h"
+
+namespace aggrecol {
+namespace {
+
+std::vector<core::Aggregation> EagerOracle(const numfmt::NumericGrid& numeric,
+                                           const core::AggreColConfig& config) {
+  std::vector<core::Aggregation> all;
+  for (core::AggregationFunction function : core::kAllFunctions) {
+    baselines::EagerBaselineConfig eager;
+    eager.function = function;
+    eager.error_level = config.error_level(function);
+    eager.budget_seconds = 30.0;
+    const auto result = baselines::RunEagerBaseline(numeric, eager);
+    EXPECT_TRUE(result.finished);
+    all.insert(all.end(), result.aggregations.begin(), result.aggregations.end());
+  }
+  return core::CanonicalizeAll(all);
+}
+
+class Differential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Differential, AggreColIsSubsetOfEagerEnumeration) {
+  std::mt19937_64 rng(GetParam());
+  // Small random grid with planted structure: a sum column plus noise.
+  const int rows = 3 + static_cast<int>(rng() % 4);
+  const int columns = 5 + static_cast<int>(rng() % 3);
+  csv::Grid grid(rows, columns);
+  for (int i = 0; i < rows; ++i) {
+    double sum = 0.0;
+    for (int j = 1; j < columns; ++j) {
+      const int value = 1 + static_cast<int>(rng() % 30);
+      grid.set(i, j, std::to_string(value));
+      if (j <= 3) sum += value;
+    }
+    grid.set(i, 0, std::to_string(static_cast<int>(sum)));  // 0 = 1+2+3
+  }
+
+  core::AggreColConfig config;  // defaults, all three stages
+  const auto numeric = numfmt::NumericGrid::FromGrid(grid);
+  const auto detected =
+      core::CanonicalizeAll(core::AggreCol(config).Detect(numeric).aggregations);
+  const auto oracle = EagerOracle(numeric, config);
+
+  for (const auto& aggregation : detected) {
+    EXPECT_TRUE(std::binary_search(oracle.begin(), oracle.end(), aggregation,
+                                   core::AggregationLess))
+        << ToString(aggregation);
+  }
+  // And the planted sum is found by both.
+  core::Aggregation planted;
+  planted.axis = core::Axis::kRow;
+  planted.line = 0;
+  planted.aggregate = 0;
+  planted.range = {1, 2, 3};
+  planted.function = core::AggregationFunction::kSum;
+  EXPECT_TRUE(std::binary_search(oracle.begin(), oracle.end(),
+                                 core::Canonicalize(planted),
+                                 core::AggregationLess));
+  EXPECT_NE(std::find(detected.begin(), detected.end(), core::Canonicalize(planted)),
+            detected.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential, ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace aggrecol

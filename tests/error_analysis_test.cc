@@ -1,0 +1,141 @@
+#include "eval/error_analysis.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::eval {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::MakeNumeric;
+using core::AggregationFunction;
+
+core::AggreColConfig DefaultConfig() { return core::AggreColConfig{}; }
+
+TEST(ErrorAnalysis, PerfectDetectionHasNoErrors) {
+  const auto numeric = MakeNumeric({{"3", "1", "2"}});
+  const std::vector<core::Aggregation> truth = {
+      Agg(0, 0, {1, 2}, AggregationFunction::kSum)};
+  const auto breakdown = AnalyzeErrors(numeric, truth, truth, DefaultConfig());
+  EXPECT_EQ(breakdown.TotalFalseNegatives(), 0);
+  EXPECT_EQ(breakdown.TotalFalsePositives(), 0);
+}
+
+TEST(ErrorAnalysis, ErrorLevelFalseNegative) {
+  // 110 vs 1+2=3: observed error far beyond the 1% sum tolerance.
+  const auto numeric = MakeNumeric({{"110", "1", "2"}});
+  const std::vector<core::Aggregation> truth = {
+      Agg(0, 0, {1, 2}, AggregationFunction::kSum)};
+  const auto breakdown = AnalyzeErrors(numeric, {}, truth, DefaultConfig());
+  EXPECT_EQ(breakdown.false_negatives[static_cast<size_t>(
+                FalseNegativeCause::kErrorLevel)],
+            1);
+}
+
+TEST(ErrorAnalysis, WindowFalseNegative) {
+  // Division operands sit 11+ usable cells away from the aggregate.
+  std::vector<std::string> row(14, "7");
+  row[0] = "2";   // aggregate
+  row[12] = "6";  // B
+  row[13] = "3";  // C: 6/3 = 2
+  const auto numeric = numfmt::NumericGrid::FromGrid(
+      csv::Grid(std::vector<std::vector<std::string>>{row}),
+      numfmt::NumberFormat::kCommaDot);
+  const std::vector<core::Aggregation> truth = {
+      Agg(0, 0, {12, 13}, AggregationFunction::kDivision)};
+  const auto breakdown = AnalyzeErrors(numeric, {}, truth, DefaultConfig());
+  EXPECT_EQ(breakdown.false_negatives[static_cast<size_t>(
+                FalseNegativeCause::kWindowSize)],
+            1);
+}
+
+TEST(ErrorAnalysis, ZeroTailFalseNegative) {
+  // 3 = 1 + 2 + 0: the greedy scan stops at {1, 2}.
+  const auto numeric = MakeNumeric({{"3", "1", "2", "0"}});
+  const std::vector<core::Aggregation> truth = {
+      Agg(0, 0, {1, 2, 3}, AggregationFunction::kSum)};
+  const auto breakdown = AnalyzeErrors(numeric, {}, truth, DefaultConfig());
+  EXPECT_EQ(
+      breakdown.false_negatives[static_cast<size_t>(FalseNegativeCause::kZeroTail)],
+      1);
+}
+
+TEST(ErrorAnalysis, BlockedRangeFalseNegative) {
+  // 6 = 1 + 2 + 3 with an unrelated numeric cell (9) inside the span.
+  const auto numeric = MakeNumeric({{"6", "9", "1", "2", "3"}});
+  const std::vector<core::Aggregation> truth = {
+      Agg(0, 0, {2, 3, 4}, AggregationFunction::kSum)};
+  const auto breakdown = AnalyzeErrors(numeric, {}, truth, DefaultConfig());
+  EXPECT_EQ(breakdown.false_negatives[static_cast<size_t>(
+                FalseNegativeCause::kBlockedRange)],
+            1);
+}
+
+TEST(ErrorAnalysis, ZeroCellFalsePositive) {
+  const auto numeric = MakeNumeric({{"0", "0", "0"}});
+  const std::vector<core::Aggregation> predicted = {
+      Agg(0, 0, {1, 2}, AggregationFunction::kSum)};
+  const auto breakdown = AnalyzeErrors(numeric, predicted, {}, DefaultConfig());
+  EXPECT_EQ(
+      breakdown.false_positives[static_cast<size_t>(FalsePositiveCause::kZeroCells)],
+      1);
+}
+
+TEST(ErrorAnalysis, InverseDivisionFalsePositive) {
+  // Truth: 2 <- {0, 1} (0.90625 = 58/64); predicted inverse: 1 <- {0, 2}.
+  const auto numeric = MakeNumeric({{"58", "64", "0.90625"}});
+  const std::vector<core::Aggregation> truth = {
+      Agg(0, 2, {0, 1}, AggregationFunction::kDivision)};
+  const std::vector<core::Aggregation> predicted = {
+      Agg(0, 1, {0, 2}, AggregationFunction::kDivision)};
+  const auto breakdown = AnalyzeErrors(numeric, predicted, truth, DefaultConfig());
+  EXPECT_EQ(breakdown.false_positives[static_cast<size_t>(
+                FalsePositiveCause::kInverseDivision)],
+            1);
+}
+
+TEST(ErrorAnalysis, AlternativeDecompositionFalsePositive) {
+  // Truth: grand = G1 + G2; predicted: grand = members.
+  const auto numeric = MakeNumeric({{"10", "3", "1", "2", "7", "3", "4"}});
+  const std::vector<core::Aggregation> truth = {
+      Agg(0, 0, {1, 4}, AggregationFunction::kSum)};
+  const std::vector<core::Aggregation> predicted = {
+      Agg(0, 0, {2, 3, 5, 6}, AggregationFunction::kSum)};
+  const auto breakdown = AnalyzeErrors(numeric, predicted, truth, DefaultConfig());
+  EXPECT_EQ(breakdown.false_positives[static_cast<size_t>(
+                FalsePositiveCause::kAlternativeDecomposition)],
+            1);
+}
+
+TEST(ErrorAnalysis, CoincidenceFalsePositive) {
+  const auto numeric = MakeNumeric({{"5", "2", "3"}});
+  const std::vector<core::Aggregation> predicted = {
+      Agg(0, 0, {1, 2}, AggregationFunction::kSum)};
+  const auto breakdown = AnalyzeErrors(numeric, predicted, {}, DefaultConfig());
+  EXPECT_EQ(breakdown.false_positives[static_cast<size_t>(
+                FalsePositiveCause::kCoincidence)],
+            1);
+}
+
+TEST(ErrorAnalysis, BreakdownAccumulates) {
+  ErrorBreakdown a;
+  a.false_negatives[0] = 2;
+  a.false_positives[1] = 3;
+  ErrorBreakdown b;
+  b.false_negatives[0] = 1;
+  b.false_positives[3] = 4;
+  a.Add(b);
+  EXPECT_EQ(a.false_negatives[0], 3);
+  EXPECT_EQ(a.false_positives[1], 3);
+  EXPECT_EQ(a.false_positives[3], 4);
+  EXPECT_EQ(a.TotalFalseNegatives(), 3);
+  EXPECT_EQ(a.TotalFalsePositives(), 7);
+}
+
+TEST(ErrorAnalysis, CauseNamesAreStable) {
+  EXPECT_EQ(ToString(FalseNegativeCause::kErrorLevel), "error beyond tolerance");
+  EXPECT_EQ(ToString(FalsePositiveCause::kZeroCells), "zero-valued cells");
+}
+
+}  // namespace
+}  // namespace aggrecol::eval

@@ -1,0 +1,117 @@
+#include "core/extension.h"
+
+#include "core/adjacency_strategy.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::core {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::AllActive;
+using aggrecol::testing::Contains;
+using aggrecol::testing::MakeNumeric;
+
+TEST(Extension, ValidatesPatternOnOtherRows) {
+  // Row 0's greedy search stops at the coincidental short range {1, 2}
+  // (4 = 1 + 3); row 1 detects the full pattern {1, 2, 3}; the extension step
+  // validates the full pattern back on row 0 (the Figure 5 scenario).
+  const auto grid = MakeNumeric({
+      {"4", "1", "3", "0"},
+      {"9", "2", "3", "4"},
+  });
+  const auto active = AllActive(grid);
+  std::vector<Aggregation> detected;
+  for (int row = 0; row < grid.rows(); ++row) {
+    const auto found =
+        DetectAdjacentCommutative(grid, active, row, AggregationFunction::kSum, 0.0);
+    detected.insert(detected.end(), found.begin(), found.end());
+  }
+  EXPECT_TRUE(Contains(detected, Agg(0, 0, {1, 2}, AggregationFunction::kSum)));
+  EXPECT_FALSE(Contains(detected, Agg(0, 0, {1, 2, 3}, AggregationFunction::kSum)));
+
+  const auto extended = ExtendAggregations(grid, active, detected, 0.0);
+  EXPECT_TRUE(Contains(extended, Agg(0, 0, {1, 2, 3}, AggregationFunction::kSum)));
+  // The originals are preserved.
+  EXPECT_TRUE(Contains(extended, Agg(1, 0, {1, 2, 3}, AggregationFunction::kSum)));
+}
+
+TEST(Extension, DoesNotValidateInvalidRows) {
+  // Row 1 does not satisfy the pattern (10 != 2 + 3).
+  const auto grid = MakeNumeric({
+      {"5", "2", "3"},
+      {"10", "2", "3"},
+  });
+  const auto active = AllActive(grid);
+  const std::vector<Aggregation> detected = {
+      Agg(0, 0, {1, 2}, AggregationFunction::kSum)};
+  const auto extended = ExtendAggregations(grid, active, detected, 0.0);
+  EXPECT_FALSE(Contains(extended, Agg(1, 0, {1, 2}, AggregationFunction::kSum)));
+}
+
+TEST(Extension, RequiresNumericAggregate) {
+  const auto grid = MakeNumeric({
+      {"5", "2", "3"},
+      {"", "2", "3"},  // empty aggregate cell: no extension despite 0+... no
+  });
+  const auto active = AllActive(grid);
+  const std::vector<Aggregation> detected = {
+      Agg(0, 0, {1, 2}, AggregationFunction::kSum)};
+  const auto extended = ExtendAggregations(grid, active, detected, 0.0);
+  EXPECT_EQ(extended.size(), 1u);
+}
+
+TEST(Extension, RespectsErrorLevel) {
+  const auto grid = MakeNumeric({
+      {"5", "2", "3"},
+      {"5.04", "2", "3"},  // error 0.79%
+  });
+  const auto active = AllActive(grid);
+  const std::vector<Aggregation> detected = {
+      Agg(0, 0, {1, 2}, AggregationFunction::kSum)};
+  const auto strict = ExtendAggregations(grid, active, detected, 0.0);
+  EXPECT_EQ(strict.size(), 1u);
+  const auto tolerant = ExtendAggregations(grid, active, detected, 0.01);
+  EXPECT_TRUE(Contains(tolerant, Agg(1, 0, {1, 2}, AggregationFunction::kSum)));
+}
+
+TEST(Extension, WorksForPairwiseFunctions) {
+  const auto grid = MakeNumeric({
+      {"0.5", "1", "2"},
+      {"0.25", "1", "4"},
+  });
+  const auto active = AllActive(grid);
+  const std::vector<Aggregation> detected = {
+      Agg(0, 0, {1, 2}, AggregationFunction::kDivision)};
+  const auto extended = ExtendAggregations(grid, active, detected, 0.0);
+  EXPECT_TRUE(Contains(extended, Agg(1, 0, {1, 2}, AggregationFunction::kDivision)));
+}
+
+TEST(Extension, SkipsPatternsWithInactiveColumns) {
+  const auto grid = MakeNumeric({
+      {"5", "2", "3"},
+      {"5", "2", "3"},
+  });
+  std::vector<bool> active = {true, true, false};
+  const std::vector<Aggregation> detected = {
+      Agg(0, 0, {1, 2}, AggregationFunction::kSum)};
+  const auto extended = ExtendAggregations(grid, active, detected, 0.0);
+  // Column 2 is inactive: the pattern cannot be validated anywhere else.
+  EXPECT_EQ(extended.size(), 1u);
+}
+
+TEST(Extension, NoDuplicatesForAlreadyDetectedRows) {
+  const auto grid = MakeNumeric({
+      {"5", "2", "3"},
+      {"7", "3", "4"},
+  });
+  const auto active = AllActive(grid);
+  const std::vector<Aggregation> detected = {
+      Agg(0, 0, {1, 2}, AggregationFunction::kSum),
+      Agg(1, 0, {1, 2}, AggregationFunction::kSum)};
+  const auto extended = ExtendAggregations(grid, active, detected, 0.0);
+  EXPECT_EQ(extended.size(), 2u);
+}
+
+}  // namespace
+}  // namespace aggrecol::core

@@ -1,0 +1,104 @@
+#include "core/formula_export.h"
+
+#include "core/aggrecol.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::core {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::MakeGrid;
+
+TEST(CellNames, A1Notation) {
+  EXPECT_EQ(CellName(0, 0), "A1");
+  EXPECT_EQ(CellName(2, 3), "D3");
+  EXPECT_EQ(CellName(0, 25), "Z1");
+  EXPECT_EQ(CellName(0, 26), "AA1");
+  EXPECT_EQ(CellName(9, 27), "AB10");
+  EXPECT_EQ(CellName(0, 701), "ZZ1");
+  EXPECT_EQ(CellName(0, 702), "AAA1");
+}
+
+TEST(Formulas, ContiguousSumBecomesRange) {
+  const auto cell = FormulaFor(Agg(1, 1, {2, 3, 4}, AggregationFunction::kSum));
+  EXPECT_EQ(cell.row, 1);
+  EXPECT_EQ(cell.column, 1);
+  EXPECT_EQ(cell.formula, "=SUM(C2:E2)");
+}
+
+TEST(Formulas, ScatteredSumListsArguments) {
+  const auto cell = FormulaFor(Agg(0, 0, {1, 3, 5}, AggregationFunction::kSum));
+  EXPECT_EQ(cell.formula, "=SUM(B1;D1;F1)");
+}
+
+TEST(Formulas, ColumnWiseSum) {
+  // Column-wise: line = column index, aggregate/range = row indices.
+  const auto cell =
+      Agg(1, 4, {1, 2, 3}, AggregationFunction::kSum, Axis::kColumn);
+  const auto formula = FormulaFor(cell);
+  EXPECT_EQ(formula.row, 4);
+  EXPECT_EQ(formula.column, 1);
+  EXPECT_EQ(formula.formula, "=SUM(B2:B4)");
+}
+
+TEST(Formulas, AverageDifferenceDivisionRelChange) {
+  EXPECT_EQ(FormulaFor(Agg(0, 0, {1, 2}, AggregationFunction::kAverage)).formula,
+            "=AVERAGE(B1:C1)");
+  EXPECT_EQ(FormulaFor(Agg(0, 0, {1, 2}, AggregationFunction::kDifference)).formula,
+            "=B1-C1");
+  EXPECT_EQ(FormulaFor(Agg(0, 5, {1, 3}, AggregationFunction::kDivision)).formula,
+            "=B1/D1");
+  EXPECT_EQ(
+      FormulaFor(Agg(2, 4, {1, 2}, AggregationFunction::kRelativeChange)).formula,
+      "=(C3-B3)/B3");
+}
+
+TEST(Formulas, CompositeSumThenDivide) {
+  CompositeAggregation composite;
+  composite.line = 1;
+  composite.aggregate = 5;
+  composite.numerator = {1, 2, 3};
+  composite.denominator = 0;
+  EXPECT_EQ(FormulaFor(composite).formula, "=SUM(B2:D2)/A2");
+}
+
+TEST(Formulas, ExportSortsByPosition) {
+  const std::vector<Aggregation> aggregations = {
+      Agg(2, 3, {1, 2}, AggregationFunction::kSum),
+      Agg(0, 3, {1, 2}, AggregationFunction::kSum),
+      Agg(0, 1, {2, 3}, AggregationFunction::kAverage),
+  };
+  const auto formulas = ExportFormulas(aggregations);
+  ASSERT_EQ(formulas.size(), 3u);
+  EXPECT_EQ(formulas[0].row, 0);
+  EXPECT_EQ(formulas[0].column, 1);
+  EXPECT_EQ(formulas[2].row, 2);
+}
+
+TEST(Formulas, EndToEndFromDetection) {
+  const auto grid = MakeGrid({
+      {"Item", "A", "B", "Sum"},
+      {"x", "1", "4", "5"},
+      {"y", "2", "5", "7"},
+      {"z", "3", "6", "9"},
+      {"Total", "6", "15", "21"},
+  });
+  AggreColConfig config;
+  config.error_levels.fill(0.0);
+  const auto result = AggreCol(config).Detect(grid);
+  const auto formulas = ExportFormulas(CanonicalizeAll(result.aggregations));
+  // Every formula lands on a cell of the grid, and the total-row sums exist.
+  bool found_column_sum = false;
+  for (const auto& formula : formulas) {
+    EXPECT_GE(formula.row, 0);
+    EXPECT_LT(formula.row, grid.rows());
+    EXPECT_GE(formula.column, 0);
+    EXPECT_LT(formula.column, grid.columns());
+    if (formula.formula == "=SUM(B2:B4)") found_column_sum = true;
+  }
+  EXPECT_TRUE(found_column_sum);
+}
+
+}  // namespace
+}  // namespace aggrecol::core

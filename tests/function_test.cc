@@ -1,0 +1,83 @@
+#include "core/function.h"
+
+#include "gtest/gtest.h"
+
+namespace aggrecol::core {
+namespace {
+
+TEST(Traits, MatchTable1) {
+  // Sum: >= 1 element formally, cumulative, commutative.
+  EXPECT_FALSE(TraitsOf(AggregationFunction::kSum).pairwise);
+  EXPECT_TRUE(TraitsOf(AggregationFunction::kSum).commutative);
+  EXPECT_TRUE(TraitsOf(AggregationFunction::kSum).cumulative);
+  // Difference: exactly 2, cumulative, not commutative.
+  EXPECT_TRUE(TraitsOf(AggregationFunction::kDifference).pairwise);
+  EXPECT_FALSE(TraitsOf(AggregationFunction::kDifference).commutative);
+  EXPECT_TRUE(TraitsOf(AggregationFunction::kDifference).cumulative);
+  // Average: not cumulative.
+  EXPECT_FALSE(TraitsOf(AggregationFunction::kAverage).pairwise);
+  EXPECT_TRUE(TraitsOf(AggregationFunction::kAverage).commutative);
+  EXPECT_FALSE(TraitsOf(AggregationFunction::kAverage).cumulative);
+  // Division / relative change: pairwise, non-cumulative.
+  EXPECT_TRUE(TraitsOf(AggregationFunction::kDivision).pairwise);
+  EXPECT_FALSE(TraitsOf(AggregationFunction::kDivision).cumulative);
+  EXPECT_TRUE(TraitsOf(AggregationFunction::kRelativeChange).pairwise);
+  EXPECT_FALSE(TraitsOf(AggregationFunction::kRelativeChange).cumulative);
+}
+
+TEST(Traits, IndexOfIsDense) {
+  for (size_t i = 0; i < kAllFunctions.size(); ++i) {
+    EXPECT_EQ(IndexOf(kAllFunctions[i]), i);
+  }
+}
+
+TEST(Names, AreStable) {
+  EXPECT_EQ(ToString(AggregationFunction::kSum), "sum");
+  EXPECT_EQ(ToString(AggregationFunction::kDifference), "difference");
+  EXPECT_EQ(ToString(AggregationFunction::kAverage), "average");
+  EXPECT_EQ(ToString(AggregationFunction::kDivision), "division");
+  EXPECT_EQ(ToString(AggregationFunction::kRelativeChange), "relative change");
+}
+
+TEST(ApplyCommutative, SumAndAverage) {
+  EXPECT_DOUBLE_EQ(ApplyCommutative(AggregationFunction::kSum, {1, 2, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(ApplyCommutative(AggregationFunction::kAverage, {1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(ApplyCommutative(AggregationFunction::kSum, {-5, 5}), 0.0);
+}
+
+TEST(ApplyPairwise, FormulasPerTable1) {
+  EXPECT_DOUBLE_EQ(*ApplyPairwise(AggregationFunction::kDifference, 10, 4), 6.0);
+  EXPECT_DOUBLE_EQ(*ApplyPairwise(AggregationFunction::kDivision, 10, 4), 2.5);
+  // Relative change from B to C, normalized by B.
+  EXPECT_DOUBLE_EQ(*ApplyPairwise(AggregationFunction::kRelativeChange, 100, 125),
+                   0.25);
+  EXPECT_DOUBLE_EQ(*ApplyPairwise(AggregationFunction::kRelativeChange, 100, 75),
+                   -0.25);
+}
+
+TEST(ApplyPairwise, UndefinedCases) {
+  EXPECT_FALSE(ApplyPairwise(AggregationFunction::kDivision, 1, 0).has_value());
+  EXPECT_FALSE(ApplyPairwise(AggregationFunction::kRelativeChange, 0, 5).has_value());
+  // Sum is not a pairwise function.
+  EXPECT_FALSE(ApplyPairwise(AggregationFunction::kSum, 1, 2).has_value());
+}
+
+TEST(Apply, DispatchesOnTraits) {
+  EXPECT_DOUBLE_EQ(*Apply(AggregationFunction::kSum, {1, 2, 3, 4}), 10.0);
+  EXPECT_DOUBLE_EQ(*Apply(AggregationFunction::kAverage, {2, 4}), 3.0);
+  EXPECT_DOUBLE_EQ(*Apply(AggregationFunction::kDifference, {9, 5}), 4.0);
+  EXPECT_DOUBLE_EQ(*Apply(AggregationFunction::kDivision, {9, 3}), 3.0);
+  EXPECT_FALSE(Apply(AggregationFunction::kDifference, {1, 2, 3}).has_value());
+  EXPECT_FALSE(Apply(AggregationFunction::kSum, {}).has_value());
+}
+
+TEST(MinRange, TwoElementsForAllFunctions) {
+  // Sec. 3.1: single-element sums/averages would flood the result with false
+  // positives, so AggreCol requires two elements everywhere.
+  for (AggregationFunction function : kAllFunctions) {
+    EXPECT_EQ(MinRangeSize(function), 2);
+  }
+}
+
+}  // namespace
+}  // namespace aggrecol::core

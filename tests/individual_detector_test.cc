@@ -1,0 +1,157 @@
+#include "core/individual_detector.h"
+
+#include "gtest/gtest.h"
+#include "numfmt/numeric_grid.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::core {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::Contains;
+using aggrecol::testing::Figure5Grid;
+using aggrecol::testing::MakeNumeric;
+
+IndividualConfig Config(double error = 0.0, double coverage = 0.7, int window = 10) {
+  IndividualConfig config;
+  config.error_level = error;
+  config.coverage = coverage;
+  config.window_size = window;
+  return config;
+}
+
+TEST(Individual, SimpleSumTable) {
+  const auto grid = MakeNumeric({
+      {"total", "a", "b"},
+      {"3", "1", "2"},
+      {"7", "3", "4"},
+      {"11", "5", "6"},
+  });
+  const auto found =
+      DetectIndividualRowwise(grid, AggregationFunction::kSum, Config());
+  EXPECT_EQ(found.size(), 3u);
+  EXPECT_TRUE(Contains(found, Agg(1, 0, {1, 2}, AggregationFunction::kSum)));
+  EXPECT_TRUE(Contains(found, Agg(3, 0, {1, 2}, AggregationFunction::kSum)));
+}
+
+TEST(Individual, Figure5SumDetection) {
+  const auto numeric =
+      numfmt::NumericGrid::FromGrid(Figure5Grid(), numfmt::NumberFormat::kCommaDot);
+  const auto found =
+      DetectIndividualRowwise(numeric, AggregationFunction::kSum, Config());
+
+  // a1: C1 = C2+...+C7 for all data rows except 2018 (the paper's own
+  // deviation: 5791 vs a true sum of 5792).
+  for (int row : {1, 2, 3, 4, 5, 7}) {
+    EXPECT_TRUE(
+        Contains(found, Agg(row, 1, {2, 3, 4, 5, 6, 7}, AggregationFunction::kSum)))
+        << "a1 row " << row;
+  }
+  EXPECT_FALSE(
+      Contains(found, Agg(6, 1, {2, 3, 4, 5, 6, 7}, AggregationFunction::kSum)));
+
+  // a2: C8 = C9 + C10 for every data row.
+  for (int row = 1; row <= 7; ++row) {
+    EXPECT_TRUE(Contains(found, Agg(row, 8, {9, 10}, AggregationFunction::kSum)))
+        << "a2 row " << row;
+  }
+
+  // a3 (cumulative): C12 = C1 + C8 + C11, discovered after the member columns
+  // are consumed by the first iteration.
+  for (int row : {1, 2, 3, 4, 5, 7}) {
+    EXPECT_TRUE(Contains(found, Agg(row, 12, {1, 8, 11}, AggregationFunction::kSum)))
+        << "a3 row " << row;
+  }
+}
+
+TEST(Individual, Figure5DivisionDetection) {
+  const auto numeric =
+      numfmt::NumericGrid::FromGrid(Figure5Grid(), numfmt::NumberFormat::kCommaDot);
+  const auto found = DetectIndividualRowwise(numeric, AggregationFunction::kDivision,
+                                             Config(1e-6));
+  // a4: C13 = C9 / C8 for every data row.
+  for (int row = 1; row <= 7; ++row) {
+    EXPECT_TRUE(Contains(found, Agg(row, 13, {9, 8}, AggregationFunction::kDivision)))
+        << "a4 row " << row;
+  }
+}
+
+TEST(Individual, CumulativeIterationConsumesRangeColumns) {
+  // Grand = G1 + G2 where G1 = a+b and G2 = c+d; the grand total is only
+  // adjacent once the member columns are consumed (Fig. 3b).
+  const auto grid = MakeNumeric({
+      {"10", "3", "1", "2", "7", "3", "4"},
+      {"14", "5", "2", "3", "9", "4", "5"},
+      {"22", "9", "4", "5", "13", "6", "7"},
+  });
+  const auto found =
+      DetectIndividualRowwise(grid, AggregationFunction::kSum, Config());
+  EXPECT_TRUE(Contains(found, Agg(0, 1, {2, 3}, AggregationFunction::kSum)));
+  EXPECT_TRUE(Contains(found, Agg(0, 4, {5, 6}, AggregationFunction::kSum)));
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 4}, AggregationFunction::kSum)));
+}
+
+TEST(Individual, NonCumulativeFunctionsRunOnce) {
+  // Average of averages must not be stacked: after detecting the averages,
+  // the detector stops (Table 1: average is not cumulative).
+  const auto grid = MakeNumeric({
+      {"2", "2", "1", "3", "2", "1", "3"},
+      {"4", "4", "3", "5", "4", "3", "5"},
+      {"6", "6", "5", "7", "6", "5", "7"},
+  });
+  const auto found =
+      DetectIndividualRowwise(grid, AggregationFunction::kAverage, Config());
+  // Column 1 averages {2,3}; column 4 averages {5,6}. Column 0 would average
+  // {1,4} only across a second iteration, which must not happen.
+  EXPECT_FALSE(Contains(found, Agg(0, 0, {1, 4}, AggregationFunction::kAverage)));
+}
+
+TEST(Individual, CoveragePrunesSpuriousPatterns) {
+  // A coincidental sum in a single row is dropped by the coverage threshold.
+  const auto grid = MakeNumeric({
+      {"3", "1", "2"},
+      {"9", "1", "2"},
+      {"8", "1", "2"},
+      {"7", "1", "2"},
+  });
+  const auto found =
+      DetectIndividualRowwise(grid, AggregationFunction::kSum, Config(0.0, 0.7));
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(Individual, InitialMaskRestrictsDetection) {
+  const auto grid = MakeNumeric({
+      {"3", "9", "1", "2"},
+      {"5", "9", "2", "3"},
+  });
+  std::vector<bool> active = {true, false, true, true};
+  const auto found = DetectIndividualRowwise(grid, AggregationFunction::kSum,
+                                             Config(), &active);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {2, 3}, AggregationFunction::kSum)));
+  for (const auto& aggregation : found) {
+    EXPECT_NE(aggregation.aggregate, 1);
+  }
+}
+
+TEST(Individual, EmptyGridYieldsNothing) {
+  const auto grid = MakeNumeric({{""}});
+  EXPECT_TRUE(
+      DetectIndividualRowwise(grid, AggregationFunction::kSum, Config()).empty());
+}
+
+TEST(Individual, DifferenceDetectionViaWindow) {
+  const auto grid = MakeNumeric({
+      {"6", "10", "4"},
+      {"3", "8", "5"},
+      {"1", "9", "8"},
+  });
+  const auto found =
+      DetectIndividualRowwise(grid, AggregationFunction::kDifference, Config());
+  for (int row = 0; row < 3; ++row) {
+    EXPECT_TRUE(Contains(found, Agg(row, 0, {1, 2}, AggregationFunction::kDifference)))
+        << "row " << row;
+  }
+}
+
+}  // namespace
+}  // namespace aggrecol::core

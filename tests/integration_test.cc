@@ -1,0 +1,183 @@
+// Corpus-level integration tests: the full three-stage pipeline against the
+// synthetic ground truth, including the paper's headline shape claims on a
+// reduced corpus (the bench/ binaries run the full-size experiments).
+#include "baselines/eager_baseline.h"
+#include "core/aggrecol.h"
+#include "datagen/corpus.h"
+#include "eval/file_level.h"
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+
+namespace aggrecol {
+namespace {
+
+std::vector<eval::AnnotatedFile> SmallCorpus() {
+  static const auto* const kFiles =
+      new std::vector<eval::AnnotatedFile>(datagen::GenerateSmallCorpus(40, 123));
+  return *kFiles;
+}
+
+TEST(Integration, AggregationLevelQuality) {
+  core::AggreCol detector;
+  std::vector<eval::Scores> per_file;
+  for (const auto& file : SmallCorpus()) {
+    const auto result = detector.Detect(file.grid);
+    per_file.push_back(eval::Score(result.aggregations, file.annotations));
+  }
+  const auto total = eval::Accumulate(per_file);
+  // Corpus-level quality; recall is dominated by a few large files with
+  // coarsely rounded aggregates (the paper's error-level FN mode), so the
+  // bound is looser than the typical per-file score.
+  EXPECT_GT(total.precision, 0.9);
+  EXPECT_GT(total.recall, 0.85);
+  EXPECT_GT(total.F1(), 0.85);
+}
+
+TEST(Integration, FileLevelQuality) {
+  core::AggreCol detector;
+  std::vector<eval::Scores> per_file;
+  for (const auto& file : SmallCorpus()) {
+    const auto result = detector.Detect(file.grid);
+    per_file.push_back(eval::Score(result.aggregations, file.annotations));
+  }
+  const auto histograms = eval::BuildFileLevel(per_file);
+  // The paper's headline: most files land in the top precision/recall bin.
+  EXPECT_GT(histograms.precision.Fraction(4), 0.6);
+  EXPECT_GT(histograms.recall.Fraction(4), 0.6);
+}
+
+TEST(Integration, CollectiveStageImprovesPrecision) {
+  core::AggreColConfig with;
+  core::AggreColConfig without = with;
+  without.run_collective = false;
+  without.run_supplemental = false;
+  core::AggreColConfig individual_plus_collective = with;
+  individual_plus_collective.run_supplemental = false;
+
+  std::vector<eval::Scores> stage_i;
+  std::vector<eval::Scores> stage_c;
+  for (const auto& file : SmallCorpus()) {
+    const auto result_i = core::AggreCol(without).Detect(file.grid);
+    const auto result_c = core::AggreCol(individual_plus_collective).Detect(file.grid);
+    stage_i.push_back(eval::Score(result_i.aggregations, file.annotations));
+    stage_c.push_back(eval::Score(result_c.aggregations, file.annotations));
+  }
+  const auto total_i = eval::Accumulate(stage_i);
+  const auto total_c = eval::Accumulate(stage_c);
+  EXPECT_GE(total_c.precision, total_i.precision);
+}
+
+TEST(Integration, SupplementalStageImprovesRecall) {
+  core::AggreColConfig full;
+  core::AggreColConfig no_supplemental = full;
+  no_supplemental.run_supplemental = false;
+
+  std::vector<eval::Scores> stage_c;
+  std::vector<eval::Scores> stage_s;
+  for (const auto& file : SmallCorpus()) {
+    const auto result_c = core::AggreCol(no_supplemental).Detect(file.grid);
+    const auto result_s = core::AggreCol(full).Detect(file.grid);
+    stage_c.push_back(eval::Score(result_c.aggregations, file.annotations));
+    stage_s.push_back(eval::Score(result_s.aggregations, file.annotations));
+  }
+  const auto total_c = eval::Accumulate(stage_c);
+  const auto total_s = eval::Accumulate(stage_s);
+  EXPECT_GE(total_s.recall, total_c.recall);
+}
+
+TEST(Integration, EagerBaselinePrecisionCollapses) {
+  // On the same files, the eager baseline's sum precision is far below
+  // AggreCol's (Fig. 11 / Sec. 4.4).
+  core::AggreCol detector;
+  std::vector<eval::Scores> aggrecol_scores;
+  std::vector<eval::Scores> baseline_scores;
+  int examined = 0;
+  for (const auto& file : SmallCorpus()) {
+    if (file.annotations.empty()) continue;
+    if (++examined > 6) break;  // the baseline is expensive by design
+    const auto numeric = numfmt::NumericGrid::FromGrid(file.grid);
+
+    const auto result = detector.Detect(numeric);
+    aggrecol_scores.push_back(eval::Score(
+        result.aggregations, file.annotations, core::AggregationFunction::kSum));
+
+    baselines::EagerBaselineConfig config;
+    config.function = core::AggregationFunction::kSum;
+    config.error_level = 0.01;
+    config.budget_seconds = 5.0;
+    const auto baseline = baselines::RunEagerBaseline(numeric, config);
+    baseline_scores.push_back(eval::Score(baseline.aggregations, file.annotations,
+                                          core::AggregationFunction::kSum));
+  }
+  const auto aggrecol_total = eval::Accumulate(aggrecol_scores);
+  const auto baseline_total = eval::Accumulate(baseline_scores);
+  EXPECT_GT(aggrecol_total.precision, baseline_total.precision);
+  EXPECT_LT(baseline_total.precision, 0.5);
+}
+
+TEST(Integration, UnseenCorpusSmoke) {
+  // A slice of the UNSEEN profile: detection still works end to end.
+  auto spec = datagen::UnseenCorpus();
+  spec.file_count = 8;
+  const auto files = datagen::GenerateCorpus(spec);
+  core::AggreCol detector;
+  std::vector<eval::Scores> per_file;
+  for (const auto& file : files) {
+    const auto result = detector.Detect(file.grid);
+    per_file.push_back(eval::Score(result.aggregations, file.annotations));
+  }
+  const auto total = eval::Accumulate(per_file);
+  EXPECT_GT(total.recall, 0.7);
+}
+
+TEST(Integration, ParallelDetectionMatchesSequential) {
+  core::AggreColConfig sequential;
+  core::AggreColConfig threaded;
+  threaded.threads = 4;
+  core::AggreCol detector_seq(sequential);
+  core::AggreCol detector_par(threaded);
+  int checked = 0;
+  for (const auto& file : SmallCorpus()) {
+    if (++checked > 12) break;
+    const auto a = detector_seq.Detect(file.grid);
+    const auto b = detector_par.Detect(file.grid);
+    ASSERT_EQ(a.aggregations.size(), b.aggregations.size()) << file.name;
+    for (size_t i = 0; i < a.aggregations.size(); ++i) {
+      EXPECT_EQ(a.aggregations[i], b.aggregations[i]) << file.name;
+    }
+  }
+}
+
+TEST(Integration, PruningRulesAblationOnlyReducesPrecision) {
+  // Disabling the coverage threshold floods the result with per-row
+  // coincidences: precision must drop measurably.
+  core::AggreColConfig full;
+  core::AggreColConfig no_coverage;
+  no_coverage.pruning_rules.coverage_threshold = false;
+  std::vector<eval::Scores> full_scores;
+  std::vector<eval::Scores> ablated_scores;
+  int checked = 0;
+  for (const auto& file : SmallCorpus()) {
+    if (++checked > 12) break;
+    full_scores.push_back(eval::Score(
+        core::AggreCol(full).Detect(file.grid).aggregations, file.annotations));
+    ablated_scores.push_back(eval::Score(
+        core::AggreCol(no_coverage).Detect(file.grid).aggregations, file.annotations));
+  }
+  EXPECT_GT(eval::Accumulate(full_scores).precision,
+            eval::Accumulate(ablated_scores).precision);
+}
+
+TEST(Integration, DetectionIsDeterministic) {
+  const eval::AnnotatedFile file = SmallCorpus()[0];
+  core::AggreCol detector;
+  const auto a = detector.Detect(file.grid);
+  const auto b = detector.Detect(file.grid);
+  ASSERT_EQ(a.aggregations.size(), b.aggregations.size());
+  for (size_t i = 0; i < a.aggregations.size(); ++i) {
+    EXPECT_EQ(a.aggregations[i], b.aggregations[i]);
+  }
+}
+
+}  // namespace
+}  // namespace aggrecol

@@ -1,0 +1,177 @@
+#include "eval/metrics.h"
+
+#include "eval/file_level.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::eval {
+namespace {
+
+using aggrecol::testing::Agg;
+using core::AggregationFunction;
+using core::Axis;
+
+TEST(Score, PerfectMatch) {
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 0, {1, 2}, AggregationFunction::kSum)};
+  const auto scores = Score(truth, truth);
+  EXPECT_EQ(scores.correct, 1);
+  EXPECT_EQ(scores.incorrect, 0);
+  EXPECT_EQ(scores.missed, 0);
+  EXPECT_DOUBLE_EQ(scores.precision, 1.0);
+  EXPECT_DOUBLE_EQ(scores.recall, 1.0);
+  EXPECT_DOUBLE_EQ(scores.F1(), 1.0);
+}
+
+TEST(Score, CountsCorrectIncorrectMissed) {
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 0, {1, 2}, AggregationFunction::kSum),
+      Agg(2, 0, {1, 2}, AggregationFunction::kSum)};
+  const std::vector<core::Aggregation> predicted = {
+      Agg(1, 0, {1, 2}, AggregationFunction::kSum),
+      Agg(9, 9, {1, 2}, AggregationFunction::kSum)};
+  const auto scores = Score(predicted, truth);
+  EXPECT_EQ(scores.correct, 1);
+  EXPECT_EQ(scores.incorrect, 1);
+  EXPECT_EQ(scores.missed, 1);
+  EXPECT_DOUBLE_EQ(scores.precision, 0.5);
+  EXPECT_DOUBLE_EQ(scores.recall, 0.5);
+}
+
+TEST(Score, MatchRequiresFunctionEquality) {
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 0, {1, 2}, AggregationFunction::kSum)};
+  const std::vector<core::Aggregation> predicted = {
+      Agg(1, 0, {1, 2}, AggregationFunction::kAverage)};
+  const auto scores = Score(predicted, truth);
+  EXPECT_EQ(scores.correct, 0);
+}
+
+TEST(Score, UndefinedScoresDefaultToOne) {
+  // No predictions: precision undefined -> 1; no truth: recall undefined -> 1.
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 0, {1, 2}, AggregationFunction::kSum)};
+  const auto no_predictions = Score({}, truth);
+  EXPECT_DOUBLE_EQ(no_predictions.precision, 1.0);
+  EXPECT_DOUBLE_EQ(no_predictions.recall, 0.0);
+  const auto no_truth = Score(truth, {});
+  EXPECT_DOUBLE_EQ(no_truth.recall, 1.0);
+  EXPECT_DOUBLE_EQ(no_truth.precision, 0.0);
+  const auto both_empty = Score({}, {});
+  EXPECT_DOUBLE_EQ(both_empty.precision, 1.0);
+  EXPECT_DOUBLE_EQ(both_empty.recall, 1.0);
+}
+
+TEST(Score, DifferenceMergedIntoSum) {
+  // Prediction net = gross - expense; truth annotated as gross = net + expense.
+  const std::vector<core::Aggregation> predicted = {
+      Agg(1, 0, {1, 2}, AggregationFunction::kDifference)};
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 1, {0, 2}, AggregationFunction::kSum)};
+  const auto scores = Score(predicted, truth);
+  EXPECT_EQ(scores.correct, 1);
+  EXPECT_EQ(scores.missed, 0);
+}
+
+TEST(Score, CommutativeRangeOrderIgnored) {
+  const std::vector<core::Aggregation> predicted = {
+      Agg(1, 0, {3, 1, 2}, AggregationFunction::kSum)};
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 0, {1, 2, 3}, AggregationFunction::kSum)};
+  EXPECT_EQ(Score(predicted, truth).correct, 1);
+}
+
+TEST(Score, PairwiseRangeOrderSignificant) {
+  const std::vector<core::Aggregation> predicted = {
+      Agg(1, 0, {2, 1}, AggregationFunction::kDivision)};
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 0, {1, 2}, AggregationFunction::kDivision)};
+  EXPECT_EQ(Score(predicted, truth).correct, 0);
+}
+
+TEST(Score, FunctionFilterSelectsClass) {
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 0, {1, 2}, AggregationFunction::kSum),
+      Agg(1, 5, {3, 4}, AggregationFunction::kDivision)};
+  const auto sum_only = Score(truth, truth, AggregationFunction::kSum);
+  EXPECT_EQ(sum_only.correct, 1);
+  const auto division_only = Score(truth, truth, AggregationFunction::kDivision);
+  EXPECT_EQ(division_only.correct, 1);
+}
+
+TEST(Score, DuplicatePredictionsCollapse) {
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 0, {1, 2}, AggregationFunction::kSum)};
+  const std::vector<core::Aggregation> predicted = {
+      Agg(1, 0, {1, 2}, AggregationFunction::kSum),
+      Agg(1, 0, {2, 1}, AggregationFunction::kSum)};
+  const auto scores = Score(predicted, truth);
+  EXPECT_EQ(scores.correct, 1);
+  EXPECT_EQ(scores.incorrect, 0);
+}
+
+TEST(Accumulate, PoolsCounts) {
+  Scores a;
+  a.correct = 8;
+  a.incorrect = 2;
+  a.missed = 0;
+  Scores b;
+  b.correct = 2;
+  b.incorrect = 0;
+  b.missed = 6;
+  const auto total = Accumulate({a, b});
+  EXPECT_EQ(total.correct, 10);
+  EXPECT_DOUBLE_EQ(total.precision, 10.0 / 12.0);
+  EXPECT_DOUBLE_EQ(total.recall, 10.0 / 16.0);
+}
+
+TEST(FileLevel, BinBoundaries) {
+  EXPECT_EQ(FileLevelBin(0.0), 0);
+  EXPECT_EQ(FileLevelBin(0.05), 0);
+  EXPECT_EQ(FileLevelBin(0.051), 1);
+  EXPECT_EQ(FileLevelBin(0.35), 1);
+  EXPECT_EQ(FileLevelBin(0.5), 2);
+  EXPECT_EQ(FileLevelBin(0.65), 2);
+  EXPECT_EQ(FileLevelBin(0.95), 3);
+  EXPECT_EQ(FileLevelBin(0.951), 4);
+  EXPECT_EQ(FileLevelBin(1.0), 4);
+}
+
+TEST(FileLevel, HistogramFractions) {
+  FileLevelHistogram histogram;
+  histogram.Add(1.0);
+  histogram.Add(0.97);
+  histogram.Add(0.2);
+  histogram.Add(0.0);
+  EXPECT_EQ(histogram.total, 4);
+  EXPECT_DOUBLE_EQ(histogram.Fraction(4), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.Fraction(1), 0.25);
+  EXPECT_DOUBLE_EQ(histogram.Fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(histogram.Fraction(2), 0.0);
+}
+
+TEST(FileLevel, BuildFromScores) {
+  Scores perfect;
+  perfect.correct = 10;
+  perfect.precision = 1.0;
+  perfect.recall = 1.0;
+  Scores poor;
+  poor.correct = 0;
+  poor.incorrect = 5;
+  poor.missed = 5;
+  poor.precision = 0.0;
+  poor.recall = 0.0;
+  const auto result = BuildFileLevel({perfect, poor});
+  EXPECT_EQ(result.precision.counts[4], 1);
+  EXPECT_EQ(result.precision.counts[0], 1);
+  EXPECT_EQ(result.f1.counts[4], 1);
+  EXPECT_EQ(result.f1.counts[0], 1);
+}
+
+TEST(FileLevel, LabelsAreHumanReadable) {
+  EXPECT_EQ(FileLevelBinLabel(0), "[0, 0.05]");
+  EXPECT_EQ(FileLevelBinLabel(4), "(0.95, 1]");
+}
+
+}  // namespace
+}  // namespace aggrecol::eval

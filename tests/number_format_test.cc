@@ -1,0 +1,174 @@
+#include "numfmt/number_format.h"
+
+#include <random>
+
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+#include "util/string_util.h"
+
+namespace aggrecol::numfmt {
+namespace {
+
+TEST(FormatProperties, SeparatorsPerTable4) {
+  EXPECT_EQ(GroupSeparator(NumberFormat::kSpaceComma), ' ');
+  EXPECT_EQ(DecimalSeparator(NumberFormat::kSpaceComma), ',');
+  EXPECT_EQ(GroupSeparator(NumberFormat::kSpaceDot), ' ');
+  EXPECT_EQ(DecimalSeparator(NumberFormat::kSpaceDot), '.');
+  EXPECT_EQ(GroupSeparator(NumberFormat::kCommaDot), ',');
+  EXPECT_EQ(DecimalSeparator(NumberFormat::kCommaDot), '.');
+  EXPECT_EQ(GroupSeparator(NumberFormat::kNoneComma), '\0');
+  EXPECT_EQ(DecimalSeparator(NumberFormat::kNoneComma), ',');
+  EXPECT_EQ(GroupSeparator(NumberFormat::kNoneDot), '\0');
+  EXPECT_EQ(DecimalSeparator(NumberFormat::kNoneDot), '.');
+}
+
+TEST(FormatProperties, PriorsSumToOne) {
+  double total = 0.0;
+  for (NumberFormat format : kAllNumberFormats) total += OccurrencePrior(format);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // comma/dot is the most common format in Troy (66.5%).
+  EXPECT_GT(OccurrencePrior(NumberFormat::kCommaDot), 0.6);
+}
+
+struct MatchCase {
+  const char* text;
+  NumberFormat format;
+  bool matches;
+  double value;  // only meaningful when matches
+};
+
+class MatchTest : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(MatchTest, MatchAndParse) {
+  const MatchCase& c = GetParam();
+  EXPECT_EQ(MatchesFormat(c.text, c.format), c.matches) << c.text;
+  const auto parsed = ParseNumber(c.text, c.format);
+  EXPECT_EQ(parsed.has_value(), c.matches) << c.text;
+  if (c.matches) {
+    EXPECT_DOUBLE_EQ(*parsed, c.value) << c.text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4Examples, MatchTest,
+    ::testing::Values(
+        MatchCase{"12 345,67", NumberFormat::kSpaceComma, true, 12345.67},
+        MatchCase{"12 345.67", NumberFormat::kSpaceDot, true, 12345.67},
+        MatchCase{"12,345.67", NumberFormat::kCommaDot, true, 12345.67},
+        MatchCase{"12345,67", NumberFormat::kNoneComma, true, 12345.67},
+        MatchCase{"12345.67", NumberFormat::kNoneDot, true, 12345.67}));
+
+INSTANTIATE_TEST_SUITE_P(
+    CrossFormatRejections, MatchTest,
+    ::testing::Values(
+        // A comma-grouped number is not valid under space grouping.
+        MatchCase{"12,345.67", NumberFormat::kSpaceDot, false, 0},
+        // Wrong group width.
+        MatchCase{"12,34", NumberFormat::kCommaDot, false, 0},
+        MatchCase{"1 23 456", NumberFormat::kSpaceDot, false, 0},
+        // Group of four digits.
+        MatchCase{"1,2345", NumberFormat::kCommaDot, false, 0},
+        // Two decimal separators.
+        MatchCase{"1.2.3", NumberFormat::kNoneDot, false, 0},
+        // Trailing separator.
+        MatchCase{"123,", NumberFormat::kNoneComma, false, 0},
+        // Plain text.
+        MatchCase{"total", NumberFormat::kCommaDot, false, 0},
+        MatchCase{"", NumberFormat::kCommaDot, false, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    AmbiguityAndEdge, MatchTest,
+    ::testing::Values(
+        // Plain integers match any format.
+        MatchCase{"12345", NumberFormat::kSpaceComma, true, 12345},
+        MatchCase{"12345", NumberFormat::kNoneDot, true, 12345},
+        // "12,345" means 12345 with comma grouping but 12.345 with comma
+        // decimals (the Sec. 4.2 motivating ambiguity).
+        MatchCase{"12,345", NumberFormat::kCommaDot, true, 12345},
+        MatchCase{"12,345", NumberFormat::kNoneComma, true, 12.345},
+        // "1.000" is 1000 grouped or 1.0 decimal, depending on the format.
+        MatchCase{"1.000", NumberFormat::kNoneDot, true, 1.0},
+        // Signs.
+        MatchCase{"-42", NumberFormat::kCommaDot, true, -42},
+        MatchCase{"+3.5", NumberFormat::kCommaDot, true, 3.5},
+        // Accounting parentheses negate.
+        MatchCase{"(123)", NumberFormat::kCommaDot, true, -123},
+        MatchCase{"(1,234.5)", NumberFormat::kCommaDot, true, -1234.5},
+        // Percent divides by 100.
+        MatchCase{"45%", NumberFormat::kCommaDot, true, 0.45},
+        MatchCase{"12,5%", NumberFormat::kNoneComma, true, 0.125},
+        // Surrounding whitespace is tolerated.
+        MatchCase{"  7.5 ", NumberFormat::kCommaDot, true, 7.5},
+        // Currency prefixes are stripped.
+        MatchCase{"$1,234.50", NumberFormat::kCommaDot, true, 1234.5},
+        MatchCase{"$ 12 345,67", NumberFormat::kSpaceComma, true, 12345.67},
+        MatchCase{"\u20ac99", NumberFormat::kCommaDot, true, 99},
+        MatchCase{"\u00a37.5", NumberFormat::kCommaDot, true, 7.5},
+        MatchCase{"-$5", NumberFormat::kCommaDot, true, -5},
+        // A bare currency symbol is not a number.
+        MatchCase{"$", NumberFormat::kCommaDot, false, 0},
+        // Multi-group numbers.
+        MatchCase{"1 234 567,89", NumberFormat::kSpaceComma, true, 1234567.89},
+        MatchCase{"12,345,678", NumberFormat::kCommaDot, true, 12345678}));
+
+TEST(ElectFormat, PicksMajorityFormat) {
+  const auto grid = aggrecol::testing::MakeGrid({
+      {"Year", "Value"},
+      {"2001", "12 345,67"},
+      {"2002", "2 345,00"},
+      {"2003", "345,99"},
+  });
+  EXPECT_EQ(ElectFormat(grid), NumberFormat::kSpaceComma);
+}
+
+TEST(ElectFormat, TieBrokenByTroyPrior) {
+  // Pure integers match every format equally; comma/dot has the top prior.
+  const auto grid = aggrecol::testing::MakeGrid({{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(ElectFormat(grid), NumberFormat::kCommaDot);
+}
+
+TEST(ElectFormat, CommaDecimalsBeatCommaGroupsWhenWidthsWrong) {
+  // "12,5" is invalid comma-grouping, so the comma must be elected as the
+  // decimal separator. (Both comma-decimal formats match — grouping is
+  // optional — and the Troy prior picks space/comma; what matters is that
+  // the decimal interpretation is the comma.)
+  const auto grid = aggrecol::testing::MakeGrid({
+      {"12,5", "3,25"},
+      {"0,75", "19,1"},
+  });
+  EXPECT_EQ(DecimalSeparator(ElectFormat(grid)), ',');
+}
+
+TEST(FormatNumber, GroupsDigits) {
+  EXPECT_EQ(FormatNumber(1234567.89, NumberFormat::kSpaceComma, 2), "1 234 567,89");
+  EXPECT_EQ(FormatNumber(1234567.89, NumberFormat::kCommaDot, 2), "1,234,567.89");
+  EXPECT_EQ(FormatNumber(1234567.89, NumberFormat::kNoneComma, 2), "1234567,89");
+  EXPECT_EQ(FormatNumber(123.0, NumberFormat::kCommaDot, 0), "123");
+  EXPECT_EQ(FormatNumber(-1234.5, NumberFormat::kCommaDot, 1), "-1,234.5");
+  EXPECT_EQ(FormatNumber(0.0, NumberFormat::kCommaDot, 0), "0");
+}
+
+// Property: FormatNumber output always parses back to the same value under
+// the same format, for every format.
+class FormatRoundTrip : public ::testing::TestWithParam<NumberFormat> {};
+
+TEST_P(FormatRoundTrip, RandomValues) {
+  const NumberFormat format = GetParam();
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int decimals = static_cast<int>(rng() % 3);
+    double value = std::uniform_real_distribution<double>(-1e7, 1e7)(rng);
+    // Round through the decimal representation first, as the generator does.
+    value = std::strtod(util::FormatDouble(value, decimals).c_str(), nullptr);
+    const std::string text = FormatNumber(value, format, decimals);
+    const auto parsed = ParseNumber(text, format);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, value) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, FormatRoundTrip,
+                         ::testing::ValuesIn(kAllNumberFormats));
+
+}  // namespace
+}  // namespace aggrecol::numfmt

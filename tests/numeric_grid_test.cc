@@ -1,0 +1,129 @@
+#include "numfmt/numeric_grid.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::numfmt {
+namespace {
+
+using aggrecol::testing::MakeGrid;
+
+const NormalizeOptions kDefault{};
+
+TEST(InterpretCell, NumericCell) {
+  const auto cell = InterpretCell("1,234.5", NumberFormat::kCommaDot, kDefault);
+  EXPECT_EQ(cell.kind, CellKind::kNumeric);
+  EXPECT_DOUBLE_EQ(cell.value, 1234.5);
+}
+
+TEST(InterpretCell, EmptyIsZero) {
+  const auto cell = InterpretCell("   ", NumberFormat::kCommaDot, kDefault);
+  EXPECT_EQ(cell.kind, CellKind::kEmptyZero);
+  EXPECT_EQ(cell.value, 0.0);
+}
+
+TEST(InterpretCell, EmptyNotZeroWhenDisabled) {
+  NormalizeOptions options;
+  options.treat_empty_as_zero = false;
+  const auto cell = InterpretCell("", NumberFormat::kCommaDot, options);
+  EXPECT_EQ(cell.kind, CellKind::kText);
+}
+
+TEST(InterpretCell, ZeroMarkers) {
+  for (const char* marker : {"x", "X", "-"}) {
+    const auto cell = InterpretCell(marker, NumberFormat::kCommaDot, kDefault);
+    EXPECT_EQ(cell.kind, CellKind::kZeroMarker) << marker;
+    EXPECT_EQ(cell.value, 0.0);
+  }
+}
+
+TEST(InterpretCell, ZeroMarkersDisabled) {
+  NormalizeOptions options;
+  options.recognize_zero_markers = false;
+  const auto cell = InterpretCell("x", NumberFormat::kCommaDot, options);
+  EXPECT_EQ(cell.kind, CellKind::kText);
+}
+
+TEST(InterpretCell, LenientExtractionOfDecoratedNumber) {
+  // The paper's "+1.4 Points" example (Sec. 4.1).
+  const auto cell = InterpretCell("+1.4 Points", NumberFormat::kCommaDot, kDefault);
+  EXPECT_EQ(cell.kind, CellKind::kNumeric);
+  EXPECT_DOUBLE_EQ(cell.value, 1.4);
+}
+
+TEST(InterpretCell, LenientExtractionRejectsLeadingText) {
+  const auto cell = InterpretCell("Age 0-14", NumberFormat::kCommaDot, kDefault);
+  EXPECT_EQ(cell.kind, CellKind::kText);
+}
+
+TEST(InterpretCell, LenientExtractionDisabled) {
+  NormalizeOptions options;
+  options.lenient_extraction = false;
+  const auto cell = InterpretCell("+1.4 Points", NumberFormat::kCommaDot, options);
+  EXPECT_EQ(cell.kind, CellKind::kText);
+}
+
+TEST(InterpretCell, YearRangeStaysText) {
+  const auto cell = InterpretCell("1875-2009", NumberFormat::kCommaDot, kDefault);
+  EXPECT_EQ(cell.kind, CellKind::kText);
+}
+
+TEST(NumericGrid, KindsAndValues) {
+  const auto grid = MakeGrid({
+      {"Year", "Population", "Share"},
+      {"1875", "1,912,647", "34.5"},
+      {"1900", "", "x"},
+  });
+  const auto numeric = NumericGrid::FromGrid(grid, NumberFormat::kCommaDot);
+  EXPECT_EQ(numeric.kind(0, 0), CellKind::kText);
+  EXPECT_EQ(numeric.kind(1, 0), CellKind::kNumeric);
+  EXPECT_DOUBLE_EQ(numeric.value(1, 1), 1912647.0);
+  EXPECT_EQ(numeric.kind(2, 1), CellKind::kEmptyZero);
+  EXPECT_EQ(numeric.kind(2, 2), CellKind::kZeroMarker);
+  EXPECT_TRUE(numeric.IsRangeUsable(2, 1));
+  EXPECT_TRUE(numeric.IsRangeUsable(2, 2));
+  EXPECT_FALSE(numeric.IsNumeric(2, 1));
+  EXPECT_FALSE(numeric.IsRangeUsable(0, 0));
+}
+
+TEST(NumericGrid, ElectsFormatAutomatically) {
+  const auto grid = MakeGrid({{"12 345,67"}, {"9 876,50"}});
+  const auto numeric = NumericGrid::FromGrid(grid);
+  EXPECT_EQ(numeric.format(), NumberFormat::kSpaceComma);
+  EXPECT_DOUBLE_EQ(numeric.value(0, 0), 12345.67);
+}
+
+TEST(NumericGrid, CountsNumericCells) {
+  const auto grid = MakeGrid({
+      {"a", "1", "2"},
+      {"b", "3", ""},
+      {"c", "x", "4"},
+  });
+  const auto numeric = NumericGrid::FromGrid(grid, NumberFormat::kCommaDot);
+  EXPECT_EQ(numeric.NumericCountInColumn(0), 0);
+  EXPECT_EQ(numeric.NumericCountInColumn(1), 2);
+  EXPECT_EQ(numeric.NumericCountInColumn(2), 2);
+  EXPECT_EQ(numeric.NumericCountInRow(0), 2);
+  EXPECT_EQ(numeric.NumericCountInRow(1), 1);
+}
+
+TEST(NumericGrid, Transposed) {
+  const auto grid = MakeGrid({{"1", "2"}, {"3", "text"}});
+  const auto numeric = NumericGrid::FromGrid(grid, NumberFormat::kCommaDot);
+  const auto transposed = numeric.Transposed();
+  EXPECT_EQ(transposed.rows(), 2);
+  EXPECT_DOUBLE_EQ(transposed.value(1, 0), 2.0);
+  EXPECT_EQ(transposed.kind(1, 1), CellKind::kText);
+}
+
+TEST(NumericGrid, WithColumns) {
+  const auto grid = MakeGrid({{"1", "2", "3"}});
+  const auto numeric = NumericGrid::FromGrid(grid, NumberFormat::kCommaDot);
+  const auto projected = numeric.WithColumns({2, 0});
+  EXPECT_EQ(projected.columns(), 2);
+  EXPECT_DOUBLE_EQ(projected.value(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(projected.value(0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace aggrecol::numfmt

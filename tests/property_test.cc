@@ -1,0 +1,129 @@
+// Pipeline-wide invariants, checked over a sweep of generated files: every
+// reported aggregation must be arithmetically valid under its configured
+// tolerance, structurally well-formed (same-line, r not in E, Table-1
+// arities), and the stage snapshots must nest correctly.
+#include <algorithm>
+
+#include "core/aggrecol.h"
+#include "datagen/file_generator.h"
+#include "gtest/gtest.h"
+#include "numfmt/numeric_grid.h"
+
+namespace aggrecol {
+namespace {
+
+class PipelineProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static core::AggreColConfig Config() { return core::AggreColConfig{}; }
+};
+
+double CellValue(const numfmt::NumericGrid& numeric, const core::Aggregation& a,
+                 int index) {
+  return a.axis == core::Axis::kRow ? numeric.value(a.line, index)
+                                    : numeric.value(index, a.line);
+}
+
+TEST_P(PipelineProperty, DetectionsAreArithmeticallyValid) {
+  const auto file =
+      datagen::GenerateFile(datagen::GeneratorProfile{}, GetParam(), "p.csv");
+  const auto numeric = numfmt::NumericGrid::FromGrid(file.grid);
+  const auto config = Config();
+  const auto result = core::AggreCol(config).Detect(numeric);
+  for (const auto& aggregation : result.aggregations) {
+    std::vector<double> values;
+    for (int index : aggregation.range) {
+      values.push_back(CellValue(numeric, aggregation, index));
+    }
+    const auto calculated = core::Apply(aggregation.function, values);
+    ASSERT_TRUE(calculated.has_value()) << ToString(aggregation);
+    const double observed = CellValue(numeric, aggregation, aggregation.aggregate);
+    const double error = core::ErrorLevel(observed, *calculated);
+    EXPECT_TRUE(core::WithinErrorLevel(error, config.error_level(aggregation.function)))
+        << ToString(aggregation) << " error " << error;
+    // The reported error matches the recomputed one.
+    EXPECT_NEAR(error, aggregation.error, 1e-9) << ToString(aggregation);
+  }
+}
+
+TEST_P(PipelineProperty, DetectionsAreStructurallyWellFormed) {
+  const auto file =
+      datagen::GenerateFile(datagen::GeneratorProfile{}, GetParam(), "p.csv");
+  const auto numeric = numfmt::NumericGrid::FromGrid(file.grid);
+  const auto result = core::AggreCol(Config()).Detect(numeric);
+  for (const auto& aggregation : result.aggregations) {
+    const int line_length = aggregation.axis == core::Axis::kRow
+                                ? numeric.columns()
+                                : numeric.rows();
+    const int line_count = aggregation.axis == core::Axis::kRow
+                               ? numeric.rows()
+                               : numeric.columns();
+    // Indices in bounds; the aggregate is not part of its own range (r ∉ E).
+    ASSERT_GE(aggregation.line, 0);
+    ASSERT_LT(aggregation.line, line_count);
+    ASSERT_GE(aggregation.aggregate, 0);
+    ASSERT_LT(aggregation.aggregate, line_length);
+    for (int index : aggregation.range) {
+      ASSERT_GE(index, 0);
+      ASSERT_LT(index, line_length);
+      EXPECT_NE(index, aggregation.aggregate) << ToString(aggregation);
+    }
+    // Table-1 arities (two minimum everywhere, exactly two for pairwise).
+    if (core::TraitsOf(aggregation.function).pairwise) {
+      EXPECT_EQ(aggregation.range.size(), 2u) << ToString(aggregation);
+    } else {
+      EXPECT_GE(aggregation.range.size(), 2u) << ToString(aggregation);
+    }
+    // Aggregates are explicit numbers, ranges are range-usable cells.
+    const bool row_wise = aggregation.axis == core::Axis::kRow;
+    EXPECT_TRUE(row_wise
+                    ? numeric.IsNumeric(aggregation.line, aggregation.aggregate)
+                    : numeric.IsNumeric(aggregation.aggregate, aggregation.line))
+        << ToString(aggregation);
+    for (int index : aggregation.range) {
+      EXPECT_TRUE(row_wise ? numeric.IsRangeUsable(aggregation.line, index)
+                           : numeric.IsRangeUsable(index, aggregation.line))
+          << ToString(aggregation);
+    }
+    // No duplicate range elements.
+    std::vector<int> sorted = aggregation.range;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+        << ToString(aggregation);
+  }
+}
+
+TEST_P(PipelineProperty, StageSnapshotsNest) {
+  const auto file =
+      datagen::GenerateFile(datagen::GeneratorProfile{}, GetParam(), "p.csv");
+  const auto result = core::AggreCol(Config()).Detect(file.grid);
+  // Collective ⊆ individual; final ⊇ collective.
+  for (const auto& aggregation : result.collective_stage) {
+    EXPECT_NE(std::find(result.individual_stage.begin(),
+                        result.individual_stage.end(), aggregation),
+              result.individual_stage.end())
+        << ToString(aggregation);
+    EXPECT_NE(std::find(result.aggregations.begin(), result.aggregations.end(),
+                        aggregation),
+              result.aggregations.end())
+        << ToString(aggregation);
+  }
+  EXPECT_GE(result.individual_stage.size(), result.collective_stage.size());
+  EXPECT_GE(result.aggregations.size(), result.collective_stage.size());
+}
+
+TEST_P(PipelineProperty, NoDuplicateDetections) {
+  const auto file =
+      datagen::GenerateFile(datagen::GeneratorProfile{}, GetParam(), "p.csv");
+  const auto result = core::AggreCol(Config()).Detect(file.grid);
+  for (size_t i = 0; i < result.aggregations.size(); ++i) {
+    for (size_t j = i + 1; j < result.aggregations.size(); ++j) {
+      EXPECT_FALSE(result.aggregations[i] == result.aggregations[j])
+          << ToString(result.aggregations[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty, ::testing::Range<uint64_t>(100, 125));
+
+}  // namespace
+}  // namespace aggrecol

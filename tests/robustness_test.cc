@@ -1,0 +1,145 @@
+// Failure-injection and property tests: the pipeline must survive arbitrary
+// input bytes, degenerate shapes, and extreme values, and must be symmetric
+// under transposition.
+#include <random>
+#include <string>
+
+#include "core/aggrecol.h"
+#include "csv/parser.h"
+#include "csv/sniffer.h"
+#include "datagen/corpus.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol {
+namespace {
+
+using aggrecol::testing::MakeGrid;
+
+TEST(Robustness, RandomBytesDoNotCrashDetectText) {
+  std::mt19937_64 rng(2024);
+  core::AggreCol detector;
+  const std::string alphabet =
+      "abcXYZ0123456789,;\t|\"'\n\r .%-+()total\x01\x7f\xc3\xa9";
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string text;
+    const size_t length = rng() % 400;
+    for (size_t i = 0; i < length; ++i) {
+      text.push_back(alphabet[rng() % alphabet.size()]);
+    }
+    const auto result = detector.DetectText(text);  // must not crash or hang
+    (void)result;
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, RandomNumericGridsTerminate) {
+  std::mt19937_64 rng(7);
+  core::AggreCol detector;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int rows = 1 + static_cast<int>(rng() % 12);
+    const int columns = 1 + static_cast<int>(rng() % 12);
+    csv::Grid grid(rows, columns);
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < columns; ++j) {
+        switch (rng() % 5) {
+          case 0:
+            grid.set(i, j, std::to_string(rng() % 10));
+            break;
+          case 1:
+            grid.set(i, j, std::to_string(rng() % 10000));
+            break;
+          case 2:
+            grid.set(i, j, "");
+            break;
+          case 3:
+            grid.set(i, j, "x");
+            break;
+          default:
+            grid.set(i, j, "text");
+            break;
+        }
+      }
+    }
+    const auto result = detector.Detect(grid);
+    (void)result;
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, DegenerateShapes) {
+  core::AggreCol detector;
+  EXPECT_TRUE(detector.Detect(csv::Grid()).aggregations.empty());
+  EXPECT_TRUE(detector.Detect(csv::Grid(1, 1)).aggregations.empty());
+  EXPECT_TRUE(detector.DetectText("").aggregations.empty());
+  EXPECT_TRUE(detector.DetectText("\n\n\n").aggregations.empty());
+  // Single row / single column of numbers.
+  EXPECT_TRUE(detector.DetectText("5\n").aggregations.empty());
+  const auto row = detector.DetectText("2,3,5\n");  // one-line sum
+  (void)row;  // any result is fine; must not crash
+}
+
+TEST(Robustness, ExtremeValues) {
+  core::AggreCol detector;
+  // 400-digit integers overflow double to infinity; the pipeline must not
+  // produce NaN-driven matches or crash.
+  const std::string huge(400, '9');
+  const std::string csv = "a,b,c\n" + huge + "," + huge + "," + huge + "\n";
+  const auto result = detector.DetectText(csv);
+  for (const auto& aggregation : result.aggregations) {
+    EXPECT_TRUE(std::isfinite(aggregation.error));
+  }
+  // Mixed signs and tiny magnitudes.
+  const auto tiny = detector.DetectText("0.0001,-0.0001,0\n0.0002,-0.0002,0\n");
+  (void)tiny;
+}
+
+TEST(Robustness, DetectionIsTransposeSymmetric) {
+  // Column-wise results on a grid must equal row-wise results on its
+  // transpose (with the axis tag swapped) — the driver's core symmetry.
+  const auto files = datagen::GenerateSmallCorpus(6, 99);
+  for (const auto& file : files) {
+    core::AggreColConfig columns_only;
+    columns_only.detect_rows = false;
+    const auto by_columns = core::AggreCol(columns_only).Detect(file.grid);
+
+    core::AggreColConfig rows_only;
+    rows_only.detect_columns = false;
+    const auto by_rows_on_transpose =
+        core::AggreCol(rows_only).Detect(file.grid.Transposed());
+
+    ASSERT_EQ(by_columns.aggregations.size(),
+              by_rows_on_transpose.aggregations.size())
+        << file.name;
+    for (size_t i = 0; i < by_columns.aggregations.size(); ++i) {
+      core::Aggregation expected = by_columns.aggregations[i];
+      expected.axis = core::Axis::kRow;  // transposed view reports row-wise
+      EXPECT_EQ(by_rows_on_transpose.aggregations[i], expected) << file.name;
+    }
+  }
+}
+
+TEST(Robustness, SnifferSurvivesBinaryInput) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  const auto result = csv::SniffDialect(binary);
+  (void)csv::ParseGrid(binary, result.dialect);
+  SUCCEED();
+}
+
+TEST(Robustness, VeryWideGridTerminatesQuickly) {
+  // 3 x 120 numeric grid: the polynomial pipeline must finish fast even
+  // though the eager baseline could not.
+  std::vector<std::vector<std::string>> rows(3, std::vector<std::string>(120));
+  std::mt19937_64 rng(5);
+  for (auto& row : rows) {
+    for (auto& cell : row) cell = std::to_string(100 + rng() % 900);
+  }
+  core::AggreCol detector;
+  const auto result = detector.Detect(csv::Grid(rows));
+  (void)result;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace aggrecol

@@ -1,0 +1,114 @@
+#include "core/table_normalizer.h"
+
+#include "core/aggrecol.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::core {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::MakeGrid;
+
+TEST(TableNormalizer, StripsDerivedColumn) {
+  const auto grid = MakeGrid({
+      {"Item", "A", "B", "Sum"},
+      {"x", "1", "4", "5"},
+      {"y", "2", "5", "7"},
+      {"z", "3", "6", "9"},
+  });
+  const std::vector<Aggregation> aggregations = {
+      Agg(1, 3, {1, 2}, AggregationFunction::kSum),
+      Agg(2, 3, {1, 2}, AggregationFunction::kSum),
+      Agg(3, 3, {1, 2}, AggregationFunction::kSum),
+  };
+  const auto result = StripAggregates(grid, aggregations);
+  EXPECT_EQ(result.removed_columns, (std::vector<int>{3}));
+  EXPECT_TRUE(result.removed_rows.empty());
+  EXPECT_EQ(result.grid.columns(), 3);
+  EXPECT_EQ(result.grid.at(0, 2), "B");
+  EXPECT_EQ(result.grid.at(1, 2), "4");
+}
+
+TEST(TableNormalizer, StripsTotalRow) {
+  const auto grid = MakeGrid({
+      {"Item", "A", "B"},
+      {"x", "1", "4"},
+      {"y", "2", "5"},
+      {"Total", "3", "9"},
+  });
+  const std::vector<Aggregation> aggregations = {
+      Agg(1, 3, {1, 2}, AggregationFunction::kSum, Axis::kColumn),
+      Agg(2, 3, {1, 2}, AggregationFunction::kSum, Axis::kColumn),
+  };
+  const auto result = StripAggregates(grid, aggregations);
+  EXPECT_EQ(result.removed_rows, (std::vector<int>{3}));
+  EXPECT_EQ(result.grid.rows(), 3);
+}
+
+TEST(TableNormalizer, CoincidentalAggregateKeepsLine) {
+  // Only 1 of 3 numeric cells in column 3 acts as an aggregate: below the
+  // 0.5 default coverage, the column stays.
+  const auto grid = MakeGrid({
+      {"Item", "A", "B", "C"},
+      {"x", "1", "4", "5"},
+      {"y", "2", "5", "99"},
+      {"z", "3", "6", "98"},
+  });
+  const std::vector<Aggregation> aggregations = {
+      Agg(1, 3, {1, 2}, AggregationFunction::kSum)};
+  const auto result = StripAggregates(grid, aggregations);
+  EXPECT_TRUE(result.removed_columns.empty());
+  EXPECT_EQ(result.grid, grid);
+}
+
+TEST(TableNormalizer, OptionsDisableAxes) {
+  const auto grid = MakeGrid({
+      {"Item", "A", "Sum"},
+      {"x", "1", "1"},
+      {"Total", "1", "1"},
+  });
+  const std::vector<Aggregation> aggregations = {
+      Agg(1, 2, {1}, AggregationFunction::kSum),
+      Agg(2, 2, {1}, AggregationFunction::kSum),
+      Agg(1, 2, {1}, AggregationFunction::kSum, Axis::kColumn),
+      Agg(2, 2, {1}, AggregationFunction::kSum, Axis::kColumn),
+  };
+  NormalizeTableOptions no_rows;
+  no_rows.strip_rows = false;
+  const auto result = StripAggregates(grid, aggregations, no_rows);
+  EXPECT_TRUE(result.removed_rows.empty());
+  EXPECT_FALSE(result.removed_columns.empty());
+}
+
+TEST(TableNormalizer, EndToEndWithDetection) {
+  // Detection output drives normalization; totals column and row disappear,
+  // data stays intact.
+  const auto grid = MakeGrid({
+      {"Item", "A", "B", "Sum"},
+      {"x", "1", "4", "5"},
+      {"y", "2", "5", "7"},
+      {"z", "3", "6", "9"},
+      {"Total", "6", "15", "21"},
+  });
+  AggreColConfig config;
+  config.error_levels.fill(0.0);
+  const auto detection = AggreCol(config).Detect(grid);
+  const auto result = StripAggregates(grid, detection.aggregations);
+  EXPECT_EQ(result.removed_columns, (std::vector<int>{3}));
+  EXPECT_EQ(result.removed_rows, (std::vector<int>{4}));
+  EXPECT_EQ(result.grid.rows(), 4);
+  EXPECT_EQ(result.grid.columns(), 3);
+  EXPECT_EQ(result.grid.at(3, 1), "3");
+}
+
+TEST(TableNormalizer, NoAggregationsNoChange) {
+  const auto grid = MakeGrid({{"a", "b"}, {"1", "2"}});
+  const auto result = StripAggregates(grid, {});
+  EXPECT_EQ(result.grid, grid);
+  EXPECT_TRUE(result.removed_rows.empty());
+  EXPECT_TRUE(result.removed_columns.empty());
+}
+
+}  // namespace
+}  // namespace aggrecol::core

@@ -1,0 +1,148 @@
+#include "structure/table_splitter.h"
+
+#include "core/aggrecol.h"
+#include "datagen/file_generator.h"
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::structure {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::ContainsCanonical;
+using aggrecol::testing::MakeGrid;
+
+TEST(TableSplitter, SplitsOnBlankRows) {
+  const auto grid = MakeGrid({
+      {"Title", ""},
+      {"", ""},
+      {"a", "1"},
+      {"b", "2"},
+      {"", ""},
+      {"", ""},
+      {"c", "3"},
+  });
+  const auto regions = SplitTables(grid);
+  ASSERT_EQ(regions.size(), 3u);
+  EXPECT_EQ(regions[0], (TableRegion{0, 1}));
+  EXPECT_EQ(regions[1], (TableRegion{2, 2}));
+  EXPECT_EQ(regions[2], (TableRegion{6, 1}));
+}
+
+TEST(TableSplitter, NoBlanksSingleRegion) {
+  const auto grid = MakeGrid({{"a", "1"}, {"b", "2"}});
+  const auto regions = SplitTables(grid);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0], (TableRegion{0, 2}));
+}
+
+TEST(TableSplitter, AllBlankNoRegions) {
+  const auto grid = MakeGrid({{"", ""}, {" ", ""}});
+  EXPECT_TRUE(SplitTables(grid).empty());
+}
+
+TEST(TableSplitter, WhitespaceOnlyRowsAreBlank) {
+  const auto grid = MakeGrid({{"a", "1"}, {"  ", "\t"}, {"b", "2"}});
+  EXPECT_EQ(SplitTables(grid).size(), 2u);
+}
+
+TEST(SplitDetection, RecoversStackedTablesWithDifferentLayouts) {
+  // Two stacked tables whose sum columns sit at different positions: whole-
+  // file coverage for each pattern is ~0.5 < 0.7 and both sums are lost;
+  // per-region detection recovers them.
+  const auto grid = MakeGrid({
+      {"Item", "A", "B", "Sum", ""},
+      {"x", "1", "4", "5", ""},
+      {"y", "2", "5", "7", ""},
+      {"z", "3", "6", "9", ""},
+      {"w", "4", "7", "11", ""},
+      {"", "", "", "", ""},
+      {"Item", "Total", "C", "D", "E"},
+      {"p", "6", "1", "2", "3"},
+      {"q", "9", "2", "3", "4"},
+      {"r", "12", "3", "4", "5"},
+      {"s", "15", "4", "5", "6"},
+  });
+  core::AggreColConfig whole;
+  whole.error_levels.fill(0.0);
+  whole.detect_columns = false;
+  core::AggreColConfig split = whole;
+  split.split_tables = true;
+
+  const auto without = core::AggreCol(whole).Detect(grid);
+  const auto with = core::AggreCol(split).Detect(grid);
+
+  // Per-region: both tables' sums found, in file coordinates.
+  EXPECT_TRUE(ContainsCanonical(with.aggregations,
+                                Agg(1, 3, {1, 2}, core::AggregationFunction::kSum)));
+  EXPECT_TRUE(ContainsCanonical(
+      with.aggregations, Agg(7, 1, {2, 3, 4}, core::AggregationFunction::kSum)));
+  // Whole-file coverage dilution loses at least one of them.
+  const bool first_found = ContainsCanonical(
+      without.aggregations, Agg(1, 3, {1, 2}, core::AggregationFunction::kSum));
+  const bool second_found = ContainsCanonical(
+      without.aggregations, Agg(7, 1, {2, 3, 4}, core::AggregationFunction::kSum));
+  EXPECT_FALSE(first_found && second_found);
+}
+
+TEST(SplitDetection, ColumnWiseIndicesMapBack) {
+  const auto grid = MakeGrid({
+      {"Title", "", ""},
+      {"", "", ""},
+      {"Item", "A", "B"},
+      {"x", "1", "4"},
+      {"y", "2", "5"},
+      {"z", "3", "6"},
+      {"Total", "6", "15"},
+  });
+  core::AggreColConfig config;
+  config.error_levels.fill(0.0);
+  config.split_tables = true;
+  const auto result = core::AggreCol(config).Detect(grid);
+  EXPECT_TRUE(ContainsCanonical(
+      result.aggregations,
+      Agg(1, 6, {3, 4, 5}, core::AggregationFunction::kSum, core::Axis::kColumn)));
+}
+
+TEST(SplitDetection, SingleRegionMatchesWholeFile) {
+  const auto file = datagen::GenerateFile(datagen::GeneratorProfile{}, 12, "s.csv");
+  core::AggreColConfig whole;
+  core::AggreColConfig split = whole;
+  split.split_tables = true;
+  const auto a = core::AggreCol(whole).Detect(file.grid);
+  const auto b = core::AggreCol(split).Detect(file.grid);
+  // Regions exist (title/footnote blocks), so results may differ slightly in
+  // pathological cases; for a typical single-table file they agree.
+  const auto scores = eval::Score(b.aggregations, a.aggregations);
+  EXPECT_GT(scores.F1(), 0.95);
+}
+
+TEST(SplitDetection, CorpusRecallImprovesOnMultiTableFiles) {
+  datagen::GeneratorProfile profile;
+  profile.p_no_aggregation = 0.0;
+  profile.p_second_table = 1.0;
+  profile.second_table_new_plan = true;
+  profile.p_big_file = 0.0;
+
+  core::AggreColConfig whole;
+  core::AggreColConfig split = whole;
+  split.split_tables = true;
+
+  std::vector<eval::Scores> whole_scores;
+  std::vector<eval::Scores> split_scores;
+  for (uint64_t seed = 400; seed < 412; ++seed) {
+    const auto file = datagen::GenerateFile(profile, seed, "m.csv");
+    whole_scores.push_back(eval::Score(
+        core::AggreCol(whole).Detect(file.grid).aggregations, file.annotations));
+    split_scores.push_back(eval::Score(
+        core::AggreCol(split).Detect(file.grid).aggregations, file.annotations));
+  }
+  const auto whole_total = eval::Accumulate(whole_scores);
+  const auto split_total = eval::Accumulate(split_scores);
+  EXPECT_GT(split_total.recall, whole_total.recall);
+  EXPECT_GT(split_total.recall, 0.85);
+}
+
+}  // namespace
+}  // namespace aggrecol::structure

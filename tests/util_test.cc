@@ -1,0 +1,128 @@
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace aggrecol::util {
+namespace {
+
+TEST(StripWhitespace, RemovesLeadingAndTrailing) {
+  EXPECT_EQ(StripWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripWhitespace("\t x \n"), "x");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StripWhitespace, EmptyAndAllWhitespace) {
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StripWhitespace, PreservesInteriorWhitespace) {
+  EXPECT_EQ(StripWhitespace(" 12 345 "), "12 345");
+}
+
+TEST(Split, BasicFields) {
+  const auto fields = Split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, EmptyFieldsPreserved) {
+  const auto fields = Split(",a,,b,", ',');
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[4], "");
+}
+
+TEST(Split, EmptyInputYieldsSingleEmptyField) {
+  const auto fields = Split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"x", "", "yz"};
+  EXPECT_EQ(Join(parts, ";"), "x;;yz");
+  EXPECT_EQ(Split(Join(parts, ";"), ';'), parts);
+}
+
+TEST(Join, SingleAndEmpty) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+}
+
+TEST(ToLower, MixedCase) {
+  EXPECT_EQ(ToLower("TotAL Sum"), "total sum");
+  EXPECT_EQ(ToLower("123-X"), "123-x");
+}
+
+TEST(ContainsIgnoreCase, Matches) {
+  EXPECT_TRUE(ContainsIgnoreCase("Grand Total", "total"));
+  EXPECT_TRUE(ContainsIgnoreCase("SUBTOTAL", "subtotal"));
+  EXPECT_FALSE(ContainsIgnoreCase("Totally unrelated", "sum"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("ab", "abc"));
+}
+
+TEST(IsAllDigits, Cases) {
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("-12"));
+}
+
+TEST(ReplaceAll, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("1,234,567", ",", ""), "1234567");
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(FormatDouble(1234.5678, 2), "1234.57");
+  EXPECT_EQ(FormatDouble(1234.5678, 0), "1235");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter printer;
+  printer.SetHeader({"name", "value"});
+  printer.AddRow({"a", "1"});
+  printer.AddRow({"long name", "22"});
+  const std::string out = printer.ToString();
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| long name | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinter, SeparatorAndRaggedRows) {
+  TablePrinter printer;
+  printer.SetHeader({"a", "b", "c"});
+  printer.AddRow({"1"});
+  printer.AddSeparator();
+  printer.AddRow({"2", "3", "4"});
+  const std::string out = printer.ToString();
+  // Two rule lines: under the header, and the explicit separator.
+  int rules = 0;
+  size_t pos = 0;
+  while ((pos = out.find("\n|-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 2);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch stopwatch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(stopwatch.ElapsedMillis(), 9.0);
+  stopwatch.Reset();
+  EXPECT_LT(stopwatch.ElapsedMillis(), 9.0);
+  EXPECT_GE(stopwatch.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace aggrecol::util

@@ -1,0 +1,118 @@
+#include "core/window_strategy.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::core {
+namespace {
+
+using aggrecol::testing::Agg;
+using aggrecol::testing::AllActive;
+using aggrecol::testing::Contains;
+using aggrecol::testing::MakeNumeric;
+
+TEST(Window, DifferenceDetection) {
+  // net = gross - expense, operands to the right of the aggregate.
+  const auto grid = MakeNumeric({{"6", "10", "4"}});
+  const auto found = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                          AggregationFunction::kDifference, 0.0, 10);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 2}, AggregationFunction::kDifference)));
+}
+
+TEST(Window, DifferenceOrderMatters) {
+  const auto grid = MakeNumeric({{"6", "10", "4"}});
+  const auto found = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                          AggregationFunction::kDifference, 0.0, 10);
+  // 4 - 10 = -6 != 6 must not be reported.
+  EXPECT_FALSE(Contains(found, Agg(0, 0, {2, 1}, AggregationFunction::kDifference)));
+}
+
+TEST(Window, DivisionDetection) {
+  const auto grid = MakeNumeric({{"58", "64", "0.90625"}});
+  const auto found = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                          AggregationFunction::kDivision, 0.0, 10);
+  // 0.90625 = 58 / 64, operands to the left.
+  EXPECT_TRUE(Contains(found, Agg(0, 2, {0, 1}, AggregationFunction::kDivision)));
+}
+
+TEST(Window, DivisionByZeroSkipped) {
+  const auto grid = MakeNumeric({{"5", "10", "0"}});
+  const auto found = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                          AggregationFunction::kDivision, 0.0, 10);
+  EXPECT_FALSE(Contains(found, Agg(0, 0, {1, 2}, AggregationFunction::kDivision)));
+}
+
+TEST(Window, RelativeChangeDetection) {
+  // change = (125 - 100) / 100 = 0.25 with B=100 (col 0), C=125 (col 1).
+  const auto grid = MakeNumeric({{"100", "125", "0.25"}});
+  const auto found = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                          AggregationFunction::kRelativeChange, 0.0, 10);
+  EXPECT_TRUE(Contains(found, Agg(0, 2, {0, 1}, AggregationFunction::kRelativeChange)));
+}
+
+TEST(Window, RelativeChangeFromZeroSkipped) {
+  const auto grid = MakeNumeric({{"0", "125", "1"}});
+  const auto found = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                          AggregationFunction::kRelativeChange, 0.0, 10);
+  EXPECT_FALSE(Contains(found, Agg(0, 2, {0, 1}, AggregationFunction::kRelativeChange)));
+}
+
+TEST(Window, OperandsBeyondWindowAreMissed) {
+  // Aggregate at column 0; operands at columns 4 and 5; window of 3 sees only
+  // columns 1-3 — the paper's fixed-window false-negative mode (Sec. 4.5.2).
+  const auto grid = MakeNumeric({{"6", "70", "80", "90", "10", "4"}});
+  const auto narrow = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                           AggregationFunction::kDifference, 0.0, 3);
+  EXPECT_FALSE(Contains(narrow, Agg(0, 0, {4, 5}, AggregationFunction::kDifference)));
+  const auto wide = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                         AggregationFunction::kDifference, 0.0, 5);
+  EXPECT_TRUE(Contains(wide, Agg(0, 0, {4, 5}, AggregationFunction::kDifference)));
+}
+
+TEST(Window, OperandsMustShareOneSide) {
+  // B left, C right of the aggregate: each side is searched separately, so
+  // the pair (B, C) straddling the aggregate is not examined.
+  const auto grid = MakeNumeric({{"10", "6", "4"}});
+  const auto found = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                          AggregationFunction::kDifference, 0.0, 10);
+  EXPECT_FALSE(Contains(found, Agg(0, 1, {0, 2}, AggregationFunction::kDifference)));
+}
+
+TEST(Window, InactiveColumnsExcluded) {
+  const auto grid = MakeNumeric({{"6", "10", "4"}});
+  std::vector<bool> active = {true, true, false};
+  const auto found = DetectWindowPairwise(grid, active, 0,
+                                          AggregationFunction::kDifference, 0.0, 10);
+  EXPECT_FALSE(Contains(found, Agg(0, 0, {1, 2}, AggregationFunction::kDifference)));
+}
+
+TEST(Window, ToleranceAdmitsRoundedRatios) {
+  // 0.91 vs 58/64 = 0.90625: error ~0.41%.
+  const auto grid = MakeNumeric({{"58", "64", "0.91"}});
+  const auto strict = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                           AggregationFunction::kDivision, 0.0, 10);
+  EXPECT_FALSE(Contains(strict, Agg(0, 2, {0, 1}, AggregationFunction::kDivision)));
+  const auto tolerant = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                             AggregationFunction::kDivision, 0.01, 10);
+  EXPECT_TRUE(Contains(tolerant, Agg(0, 2, {0, 1}, AggregationFunction::kDivision)));
+}
+
+TEST(Window, ZeroLikeCellsUsableAsOperands) {
+  // difference 10 - 0(empty) = 10.
+  const auto grid = MakeNumeric({{"10", "10", ""}});
+  const auto found = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                          AggregationFunction::kDifference, 0.0, 10);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 2}, AggregationFunction::kDifference)));
+}
+
+TEST(Window, AllMatchingPairsReported) {
+  // 2 = 8 - 6 and 2 = 6 - 4 both hold.
+  const auto grid = MakeNumeric({{"2", "8", "6", "4"}});
+  const auto found = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                          AggregationFunction::kDifference, 0.0, 10);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 2}, AggregationFunction::kDifference)));
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {2, 3}, AggregationFunction::kDifference)));
+}
+
+}  // namespace
+}  // namespace aggrecol::core

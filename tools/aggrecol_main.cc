@@ -1,0 +1,11 @@
+// The `aggrecol` command-line tool. See `aggrecol help` or src/cli/.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return aggrecol::cli::RunCli(args, std::cout, std::cerr);
+}
