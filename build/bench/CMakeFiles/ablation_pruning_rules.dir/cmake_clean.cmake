@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pruning_rules.dir/ablation_pruning_rules.cc.o"
+  "CMakeFiles/ablation_pruning_rules.dir/ablation_pruning_rules.cc.o.d"
+  "ablation_pruning_rules"
+  "ablation_pruning_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pruning_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_table_split.dir/ablation_table_split.cc.o"
+  "CMakeFiles/ablation_table_split.dir/ablation_table_split.cc.o.d"
+  "ablation_table_split"
+  "ablation_table_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_table_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

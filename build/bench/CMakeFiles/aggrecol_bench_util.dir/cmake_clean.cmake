@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libaggrecol_bench_util.a"
+  "../lib/libaggrecol_bench_util.pdb"
+  "CMakeFiles/aggrecol_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/aggrecol_bench_util.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

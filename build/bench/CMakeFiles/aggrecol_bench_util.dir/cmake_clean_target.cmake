@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libaggrecol_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_detection.dir/composite_detection.cc.o"
+  "CMakeFiles/composite_detection.dir/composite_detection.cc.o.d"
+  "composite_detection"
+  "composite_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_file_level_unseen.dir/fig10_file_level_unseen.cc.o"
+  "CMakeFiles/fig10_file_level_unseen.dir/fig10_file_level_unseen.cc.o.d"
+  "fig10_file_level_unseen"
+  "fig10_file_level_unseen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_file_level_unseen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_error_levels.dir/fig7_error_levels.cc.o"
+  "CMakeFiles/fig7_error_levels.dir/fig7_error_levels.cc.o.d"
+  "fig7_error_levels"
+  "fig7_error_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_error_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

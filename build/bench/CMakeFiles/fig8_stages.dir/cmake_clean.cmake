@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_stages.dir/fig8_stages.cc.o"
+  "CMakeFiles/fig8_stages.dir/fig8_stages.cc.o.d"
+  "fig8_stages"
+  "fig8_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

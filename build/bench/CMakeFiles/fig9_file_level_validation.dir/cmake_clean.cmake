@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_file_level_validation.dir/fig9_file_level_validation.cc.o"
+  "CMakeFiles/fig9_file_level_validation.dir/fig9_file_level_validation.cc.o.d"
+  "fig9_file_level_validation"
+  "fig9_file_level_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_file_level_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyword_baseline.dir/keyword_baseline.cc.o"
+  "CMakeFiles/keyword_baseline.dir/keyword_baseline.cc.o.d"
+  "keyword_baseline"
+  "keyword_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyword_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_classification.dir/line_classification.cc.o"
+  "CMakeFiles/line_classification.dir/line_classification.cc.o.d"
+  "line_classification"
+  "line_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

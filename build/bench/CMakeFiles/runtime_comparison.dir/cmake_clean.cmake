@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_comparison.dir/runtime_comparison.cc.o"
+  "CMakeFiles/runtime_comparison.dir/runtime_comparison.cc.o.d"
+  "runtime_comparison"
+  "runtime_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

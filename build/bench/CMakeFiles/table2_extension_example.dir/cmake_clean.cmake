@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_extension_example.dir/table2_extension_example.cc.o"
+  "CMakeFiles/table2_extension_example.dir/table2_extension_example.cc.o.d"
+  "table2_extension_example"
+  "table2_extension_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_extension_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

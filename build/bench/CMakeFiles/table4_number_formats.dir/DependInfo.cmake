@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_number_formats.cc" "bench/CMakeFiles/table4_number_formats.dir/table4_number_formats.cc.o" "gcc" "bench/CMakeFiles/table4_number_formats.dir/table4_number_formats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/aggrecol_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellclass/CMakeFiles/aggrecol_cellclass.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/aggrecol_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/aggrecol_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/aggrecol_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aggrecol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/numfmt/CMakeFiles/aggrecol_numfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/aggrecol_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aggrecol_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/structure/CMakeFiles/aggrecol_structure.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_number_formats.dir/table4_number_formats.cc.o"
+  "CMakeFiles/table4_number_formats.dir/table4_number_formats.cc.o.d"
+  "table4_number_formats"
+  "table4_number_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_number_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cell_classification.dir/table5_cell_classification.cc.o"
+  "CMakeFiles/table5_cell_classification.dir/table5_cell_classification.cc.o.d"
+  "table5_cell_classification"
+  "table5_cell_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cell_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formula_recovery.dir/formula_recovery.cc.o"
+  "CMakeFiles/formula_recovery.dir/formula_recovery.cc.o.d"
+  "formula_recovery"
+  "formula_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formula_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_enrichment.dir/metadata_enrichment.cc.o"
+  "CMakeFiles/metadata_enrichment.dir/metadata_enrichment.cc.o.d"
+  "metadata_enrichment"
+  "metadata_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

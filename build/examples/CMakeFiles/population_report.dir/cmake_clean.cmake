@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_report.dir/population_report.cc.o"
+  "CMakeFiles/population_report.dir/population_report.cc.o.d"
+  "population_report"
+  "population_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

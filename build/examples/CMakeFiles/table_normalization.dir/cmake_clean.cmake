@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_normalization.dir/table_normalization.cc.o"
+  "CMakeFiles/table_normalization.dir/table_normalization.cc.o.d"
+  "table_normalization"
+  "table_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

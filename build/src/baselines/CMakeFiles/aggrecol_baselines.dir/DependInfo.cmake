@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adjacent_only_detector.cc" "src/baselines/CMakeFiles/aggrecol_baselines.dir/adjacent_only_detector.cc.o" "gcc" "src/baselines/CMakeFiles/aggrecol_baselines.dir/adjacent_only_detector.cc.o.d"
+  "/root/repo/src/baselines/eager_baseline.cc" "src/baselines/CMakeFiles/aggrecol_baselines.dir/eager_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/aggrecol_baselines.dir/eager_baseline.cc.o.d"
+  "/root/repo/src/baselines/keyword_baseline.cc" "src/baselines/CMakeFiles/aggrecol_baselines.dir/keyword_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/aggrecol_baselines.dir/keyword_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aggrecol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/structure/CMakeFiles/aggrecol_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/numfmt/CMakeFiles/aggrecol_numfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/aggrecol_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aggrecol_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

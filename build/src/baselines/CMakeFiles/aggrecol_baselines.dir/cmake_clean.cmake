@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_baselines.dir/adjacent_only_detector.cc.o"
+  "CMakeFiles/aggrecol_baselines.dir/adjacent_only_detector.cc.o.d"
+  "CMakeFiles/aggrecol_baselines.dir/eager_baseline.cc.o"
+  "CMakeFiles/aggrecol_baselines.dir/eager_baseline.cc.o.d"
+  "CMakeFiles/aggrecol_baselines.dir/keyword_baseline.cc.o"
+  "CMakeFiles/aggrecol_baselines.dir/keyword_baseline.cc.o.d"
+  "libaggrecol_baselines.a"
+  "libaggrecol_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

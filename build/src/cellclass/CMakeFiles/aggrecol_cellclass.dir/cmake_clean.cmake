@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_cellclass.dir/features.cc.o"
+  "CMakeFiles/aggrecol_cellclass.dir/features.cc.o.d"
+  "CMakeFiles/aggrecol_cellclass.dir/line_classifier.cc.o"
+  "CMakeFiles/aggrecol_cellclass.dir/line_classifier.cc.o.d"
+  "CMakeFiles/aggrecol_cellclass.dir/random_forest.cc.o"
+  "CMakeFiles/aggrecol_cellclass.dir/random_forest.cc.o.d"
+  "CMakeFiles/aggrecol_cellclass.dir/strudel_experiment.cc.o"
+  "CMakeFiles/aggrecol_cellclass.dir/strudel_experiment.cc.o.d"
+  "libaggrecol_cellclass.a"
+  "libaggrecol_cellclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_cellclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

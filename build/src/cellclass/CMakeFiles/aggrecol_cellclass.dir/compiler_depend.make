@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aggrecol_cellclass.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_cli.dir/arg_parser.cc.o"
+  "CMakeFiles/aggrecol_cli.dir/arg_parser.cc.o.d"
+  "CMakeFiles/aggrecol_cli.dir/commands.cc.o"
+  "CMakeFiles/aggrecol_cli.dir/commands.cc.o.d"
+  "libaggrecol_cli.a"
+  "libaggrecol_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

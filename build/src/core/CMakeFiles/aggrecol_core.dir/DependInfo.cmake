@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adjacency_strategy.cc" "src/core/CMakeFiles/aggrecol_core.dir/adjacency_strategy.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/adjacency_strategy.cc.o.d"
+  "/root/repo/src/core/aggrecol.cc" "src/core/CMakeFiles/aggrecol_core.dir/aggrecol.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/aggrecol.cc.o.d"
+  "/root/repo/src/core/aggregation.cc" "src/core/CMakeFiles/aggrecol_core.dir/aggregation.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/aggregation.cc.o.d"
+  "/root/repo/src/core/collective_detector.cc" "src/core/CMakeFiles/aggrecol_core.dir/collective_detector.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/collective_detector.cc.o.d"
+  "/root/repo/src/core/composite_detector.cc" "src/core/CMakeFiles/aggrecol_core.dir/composite_detector.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/composite_detector.cc.o.d"
+  "/root/repo/src/core/extension.cc" "src/core/CMakeFiles/aggrecol_core.dir/extension.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/extension.cc.o.d"
+  "/root/repo/src/core/formula_export.cc" "src/core/CMakeFiles/aggrecol_core.dir/formula_export.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/formula_export.cc.o.d"
+  "/root/repo/src/core/function.cc" "src/core/CMakeFiles/aggrecol_core.dir/function.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/function.cc.o.d"
+  "/root/repo/src/core/individual_detector.cc" "src/core/CMakeFiles/aggrecol_core.dir/individual_detector.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/individual_detector.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "src/core/CMakeFiles/aggrecol_core.dir/pruning.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/pruning.cc.o.d"
+  "/root/repo/src/core/supplemental_detector.cc" "src/core/CMakeFiles/aggrecol_core.dir/supplemental_detector.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/supplemental_detector.cc.o.d"
+  "/root/repo/src/core/table_normalizer.cc" "src/core/CMakeFiles/aggrecol_core.dir/table_normalizer.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/table_normalizer.cc.o.d"
+  "/root/repo/src/core/window_strategy.cc" "src/core/CMakeFiles/aggrecol_core.dir/window_strategy.cc.o" "gcc" "src/core/CMakeFiles/aggrecol_core.dir/window_strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/structure/CMakeFiles/aggrecol_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/numfmt/CMakeFiles/aggrecol_numfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/aggrecol_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aggrecol_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_core.dir/adjacency_strategy.cc.o"
+  "CMakeFiles/aggrecol_core.dir/adjacency_strategy.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/aggrecol.cc.o"
+  "CMakeFiles/aggrecol_core.dir/aggrecol.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/aggregation.cc.o"
+  "CMakeFiles/aggrecol_core.dir/aggregation.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/collective_detector.cc.o"
+  "CMakeFiles/aggrecol_core.dir/collective_detector.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/composite_detector.cc.o"
+  "CMakeFiles/aggrecol_core.dir/composite_detector.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/extension.cc.o"
+  "CMakeFiles/aggrecol_core.dir/extension.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/formula_export.cc.o"
+  "CMakeFiles/aggrecol_core.dir/formula_export.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/function.cc.o"
+  "CMakeFiles/aggrecol_core.dir/function.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/individual_detector.cc.o"
+  "CMakeFiles/aggrecol_core.dir/individual_detector.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/pruning.cc.o"
+  "CMakeFiles/aggrecol_core.dir/pruning.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/supplemental_detector.cc.o"
+  "CMakeFiles/aggrecol_core.dir/supplemental_detector.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/table_normalizer.cc.o"
+  "CMakeFiles/aggrecol_core.dir/table_normalizer.cc.o.d"
+  "CMakeFiles/aggrecol_core.dir/window_strategy.cc.o"
+  "CMakeFiles/aggrecol_core.dir/window_strategy.cc.o.d"
+  "libaggrecol_core.a"
+  "libaggrecol_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csv/dialect.cc" "src/csv/CMakeFiles/aggrecol_csv.dir/dialect.cc.o" "gcc" "src/csv/CMakeFiles/aggrecol_csv.dir/dialect.cc.o.d"
+  "/root/repo/src/csv/grid.cc" "src/csv/CMakeFiles/aggrecol_csv.dir/grid.cc.o" "gcc" "src/csv/CMakeFiles/aggrecol_csv.dir/grid.cc.o.d"
+  "/root/repo/src/csv/parser.cc" "src/csv/CMakeFiles/aggrecol_csv.dir/parser.cc.o" "gcc" "src/csv/CMakeFiles/aggrecol_csv.dir/parser.cc.o.d"
+  "/root/repo/src/csv/sniffer.cc" "src/csv/CMakeFiles/aggrecol_csv.dir/sniffer.cc.o" "gcc" "src/csv/CMakeFiles/aggrecol_csv.dir/sniffer.cc.o.d"
+  "/root/repo/src/csv/writer.cc" "src/csv/CMakeFiles/aggrecol_csv.dir/writer.cc.o" "gcc" "src/csv/CMakeFiles/aggrecol_csv.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aggrecol_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_csv.dir/dialect.cc.o"
+  "CMakeFiles/aggrecol_csv.dir/dialect.cc.o.d"
+  "CMakeFiles/aggrecol_csv.dir/grid.cc.o"
+  "CMakeFiles/aggrecol_csv.dir/grid.cc.o.d"
+  "CMakeFiles/aggrecol_csv.dir/parser.cc.o"
+  "CMakeFiles/aggrecol_csv.dir/parser.cc.o.d"
+  "CMakeFiles/aggrecol_csv.dir/sniffer.cc.o"
+  "CMakeFiles/aggrecol_csv.dir/sniffer.cc.o.d"
+  "CMakeFiles/aggrecol_csv.dir/writer.cc.o"
+  "CMakeFiles/aggrecol_csv.dir/writer.cc.o.d"
+  "libaggrecol_csv.a"
+  "libaggrecol_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_datagen.dir/corpus.cc.o"
+  "CMakeFiles/aggrecol_datagen.dir/corpus.cc.o.d"
+  "CMakeFiles/aggrecol_datagen.dir/file_generator.cc.o"
+  "CMakeFiles/aggrecol_datagen.dir/file_generator.cc.o.d"
+  "libaggrecol_datagen.a"
+  "libaggrecol_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/annotations.cc" "src/eval/CMakeFiles/aggrecol_eval.dir/annotations.cc.o" "gcc" "src/eval/CMakeFiles/aggrecol_eval.dir/annotations.cc.o.d"
+  "/root/repo/src/eval/dataset_io.cc" "src/eval/CMakeFiles/aggrecol_eval.dir/dataset_io.cc.o" "gcc" "src/eval/CMakeFiles/aggrecol_eval.dir/dataset_io.cc.o.d"
+  "/root/repo/src/eval/error_analysis.cc" "src/eval/CMakeFiles/aggrecol_eval.dir/error_analysis.cc.o" "gcc" "src/eval/CMakeFiles/aggrecol_eval.dir/error_analysis.cc.o.d"
+  "/root/repo/src/eval/file_level.cc" "src/eval/CMakeFiles/aggrecol_eval.dir/file_level.cc.o" "gcc" "src/eval/CMakeFiles/aggrecol_eval.dir/file_level.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/aggrecol_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/aggrecol_eval.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aggrecol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/structure/CMakeFiles/aggrecol_structure.dir/DependInfo.cmake"
+  "/root/repo/build/src/numfmt/CMakeFiles/aggrecol_numfmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/csv/CMakeFiles/aggrecol_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aggrecol_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_eval.dir/annotations.cc.o"
+  "CMakeFiles/aggrecol_eval.dir/annotations.cc.o.d"
+  "CMakeFiles/aggrecol_eval.dir/dataset_io.cc.o"
+  "CMakeFiles/aggrecol_eval.dir/dataset_io.cc.o.d"
+  "CMakeFiles/aggrecol_eval.dir/error_analysis.cc.o"
+  "CMakeFiles/aggrecol_eval.dir/error_analysis.cc.o.d"
+  "CMakeFiles/aggrecol_eval.dir/file_level.cc.o"
+  "CMakeFiles/aggrecol_eval.dir/file_level.cc.o.d"
+  "CMakeFiles/aggrecol_eval.dir/metrics.cc.o"
+  "CMakeFiles/aggrecol_eval.dir/metrics.cc.o.d"
+  "libaggrecol_eval.a"
+  "libaggrecol_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numfmt/number_format.cc" "src/numfmt/CMakeFiles/aggrecol_numfmt.dir/number_format.cc.o" "gcc" "src/numfmt/CMakeFiles/aggrecol_numfmt.dir/number_format.cc.o.d"
+  "/root/repo/src/numfmt/numeric_grid.cc" "src/numfmt/CMakeFiles/aggrecol_numfmt.dir/numeric_grid.cc.o" "gcc" "src/numfmt/CMakeFiles/aggrecol_numfmt.dir/numeric_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/csv/CMakeFiles/aggrecol_csv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aggrecol_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

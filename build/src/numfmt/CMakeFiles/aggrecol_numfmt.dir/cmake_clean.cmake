@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_numfmt.dir/number_format.cc.o"
+  "CMakeFiles/aggrecol_numfmt.dir/number_format.cc.o.d"
+  "CMakeFiles/aggrecol_numfmt.dir/numeric_grid.cc.o"
+  "CMakeFiles/aggrecol_numfmt.dir/numeric_grid.cc.o.d"
+  "libaggrecol_numfmt.a"
+  "libaggrecol_numfmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_numfmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

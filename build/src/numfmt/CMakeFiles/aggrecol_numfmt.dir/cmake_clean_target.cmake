@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaggrecol_numfmt.a"
+)

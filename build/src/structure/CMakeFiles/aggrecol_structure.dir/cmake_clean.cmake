@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_structure.dir/table_splitter.cc.o"
+  "CMakeFiles/aggrecol_structure.dir/table_splitter.cc.o.d"
+  "libaggrecol_structure.a"
+  "libaggrecol_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

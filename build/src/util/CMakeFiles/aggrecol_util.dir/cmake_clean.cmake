@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_util.dir/file_io.cc.o"
+  "CMakeFiles/aggrecol_util.dir/file_io.cc.o.d"
+  "CMakeFiles/aggrecol_util.dir/stopwatch.cc.o"
+  "CMakeFiles/aggrecol_util.dir/stopwatch.cc.o.d"
+  "CMakeFiles/aggrecol_util.dir/string_util.cc.o"
+  "CMakeFiles/aggrecol_util.dir/string_util.cc.o.d"
+  "CMakeFiles/aggrecol_util.dir/table_printer.cc.o"
+  "CMakeFiles/aggrecol_util.dir/table_printer.cc.o.d"
+  "libaggrecol_util.a"
+  "libaggrecol_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_test.dir/aggrecol_test.cc.o"
+  "CMakeFiles/aggrecol_test.dir/aggrecol_test.cc.o.d"
+  "aggrecol_test"
+  "aggrecol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellclass_test.dir/cellclass_test.cc.o"
+  "CMakeFiles/cellclass_test.dir/cellclass_test.cc.o.d"
+  "cellclass_test"
+  "cellclass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellclass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_detector_test.dir/collective_detector_test.cc.o"
+  "CMakeFiles/collective_detector_test.dir/collective_detector_test.cc.o.d"
+  "collective_detector_test"
+  "collective_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_detector_test.dir/composite_detector_test.cc.o"
+  "CMakeFiles/composite_detector_test.dir/composite_detector_test.cc.o.d"
+  "composite_detector_test"
+  "composite_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_parser_test.dir/csv_parser_test.cc.o"
+  "CMakeFiles/csv_parser_test.dir/csv_parser_test.cc.o.d"
+  "csv_parser_test"
+  "csv_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

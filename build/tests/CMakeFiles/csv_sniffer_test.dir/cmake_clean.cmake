@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_sniffer_test.dir/csv_sniffer_test.cc.o"
+  "CMakeFiles/csv_sniffer_test.dir/csv_sniffer_test.cc.o.d"
+  "csv_sniffer_test"
+  "csv_sniffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_sniffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/individual_detector_test.dir/individual_detector_test.cc.o"
+  "CMakeFiles/individual_detector_test.dir/individual_detector_test.cc.o.d"
+  "individual_detector_test"
+  "individual_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/individual_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

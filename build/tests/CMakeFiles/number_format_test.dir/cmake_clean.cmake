@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/number_format_test.dir/number_format_test.cc.o"
+  "CMakeFiles/number_format_test.dir/number_format_test.cc.o.d"
+  "number_format_test"
+  "number_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/number_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

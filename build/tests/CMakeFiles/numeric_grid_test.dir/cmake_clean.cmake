@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_grid_test.dir/numeric_grid_test.cc.o"
+  "CMakeFiles/numeric_grid_test.dir/numeric_grid_test.cc.o.d"
+  "numeric_grid_test"
+  "numeric_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

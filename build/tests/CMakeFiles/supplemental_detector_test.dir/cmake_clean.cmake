@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supplemental_detector_test.dir/supplemental_detector_test.cc.o"
+  "CMakeFiles/supplemental_detector_test.dir/supplemental_detector_test.cc.o.d"
+  "supplemental_detector_test"
+  "supplemental_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supplemental_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_normalizer_test.dir/table_normalizer_test.cc.o"
+  "CMakeFiles/table_normalizer_test.dir/table_normalizer_test.cc.o.d"
+  "table_normalizer_test"
+  "table_normalizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_normalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

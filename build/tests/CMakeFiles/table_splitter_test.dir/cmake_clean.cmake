@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_splitter_test.dir/table_splitter_test.cc.o"
+  "CMakeFiles/table_splitter_test.dir/table_splitter_test.cc.o.d"
+  "table_splitter_test"
+  "table_splitter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_splitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_strategy_test.dir/window_strategy_test.cc.o"
+  "CMakeFiles/window_strategy_test.dir/window_strategy_test.cc.o.d"
+  "window_strategy_test"
+  "window_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

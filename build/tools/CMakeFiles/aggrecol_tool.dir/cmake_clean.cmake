@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggrecol_tool.dir/aggrecol_main.cc.o"
+  "CMakeFiles/aggrecol_tool.dir/aggrecol_main.cc.o.d"
+  "aggrecol"
+  "aggrecol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggrecol_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
