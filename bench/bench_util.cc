@@ -8,16 +8,18 @@ namespace aggrecol::bench {
 
 void PrintFileLevelHistograms(const std::vector<eval::AnnotatedFile>& files,
                               const char* corpus_name) {
-  core::AggreCol detector;
+  // One batch-engine pass over the corpus; per-class scores are recomputed
+  // from the per-file detection results.
+  const auto report = RunCorpus(files, core::AggreColConfig{});
   std::vector<std::vector<eval::Scores>> per_class(EvaluatedClasses().size());
   std::vector<eval::Scores> overall;
-  for (const auto& file : files) {
-    const auto result = detector.Detect(file.grid);
+  for (size_t f = 0; f < files.size(); ++f) {
+    const auto& result = report.files[f].result;
     for (size_t k = 0; k < EvaluatedClasses().size(); ++k) {
-      per_class[k].push_back(eval::Score(result.aggregations, file.annotations,
+      per_class[k].push_back(eval::Score(result.aggregations, files[f].annotations,
                                          EvaluatedClasses()[k].canonical));
     }
-    overall.push_back(eval::Score(result.aggregations, file.annotations));
+    overall.push_back(eval::Score(result.aggregations, files[f].annotations));
   }
 
   enum class Metric { kPrecision, kRecall };

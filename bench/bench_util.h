@@ -1,13 +1,16 @@
 #ifndef AGGRECOL_BENCH_BENCH_UTIL_H_
 #define AGGRECOL_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/aggrecol.h"
 #include "datagen/corpus.h"
 #include "eval/annotations.h"
+#include "eval/batch_runner.h"
 #include "eval/file_level.h"
 #include "eval/metrics.h"
 #include "util/string_util.h"
@@ -27,17 +30,36 @@ inline const std::vector<eval::AnnotatedFile>& UnseenFiles() {
   return *kFiles;
 }
 
+/// Pool width the experiment binaries run with: every hardware thread,
+/// clamped to something sane.
+inline int DefaultBenchThreads() {
+  return std::clamp(static_cast<int>(std::thread::hardware_concurrency()), 1, 8);
+}
+
+/// Runs one corpus pass through the batch engine and returns the full
+/// per-file reports in input order (results are bit-identical to a
+/// sequential loop for any thread count).
+inline aggrecol::eval::BatchReport RunCorpus(
+    const std::vector<eval::AnnotatedFile>& files,
+    const core::AggreColConfig& config, int threads = DefaultBenchThreads()) {
+  eval::BatchOptions options;
+  options.config = config;
+  options.threads = threads;
+  options.max_in_flight = std::max(2, threads);
+  return eval::BatchRunner(options).Run(files);
+}
+
 /// Runs a detector over a corpus and returns one Scores entry per file for
 /// the given function filter (std::nullopt = all functions).
 inline std::vector<eval::Scores> ScoreCorpus(
     const std::vector<eval::AnnotatedFile>& files, const core::AggreColConfig& config,
     eval::FunctionFilter filter = std::nullopt) {
-  core::AggreCol detector(config);
+  const auto report = RunCorpus(files, config);
   std::vector<eval::Scores> per_file;
   per_file.reserve(files.size());
-  for (const auto& file : files) {
-    const auto result = detector.Detect(file.grid);
-    per_file.push_back(eval::Score(result.aggregations, file.annotations, filter));
+  for (size_t f = 0; f < files.size(); ++f) {
+    per_file.push_back(eval::Score(report.files[f].result.aggregations,
+                                   files[f].annotations, filter));
   }
   return per_file;
 }

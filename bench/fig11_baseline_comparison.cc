@@ -22,12 +22,12 @@ int main() {
       bench::ValidationFiles().begin(),
       bench::ValidationFiles().begin() + kFileCount);
 
-  // AggreCol per-file results (one pass, all functions).
-  core::AggreCol detector;
+  // AggreCol per-file results (one batch-engine pass, all functions).
+  const auto aggrecol_report = bench::RunCorpus(files, core::AggreColConfig{});
   std::vector<core::DetectionResult> aggrecol_results;
   aggrecol_results.reserve(files.size());
-  for (const auto& file : files) {
-    aggrecol_results.push_back(detector.Detect(file.grid));
+  for (const auto& file_report : aggrecol_report.files) {
+    aggrecol_results.push_back(file_report.result);
   }
 
   std::printf(

@@ -1,6 +1,9 @@
 #include "cli/commands.h"
 
 #include <set>
+#include <thread>
+
+#include "eval/batch_runner.h"
 
 #include "core/formula_export.h"
 #include "csv/parser.h"
@@ -27,6 +30,7 @@ usage:
   aggrecol sniff <file.csv>                 report dialect and number format
   aggrecol generate [options]               write a synthetic annotated corpus
   aggrecol benchmark <dir> [options]        evaluate a whole corpus directory
+  aggrecol batch <dir> [options]            stream a corpus through the thread pool
   aggrecol help                             show this message
 
 detection options (detect, evaluate):
@@ -45,6 +49,12 @@ generate options:
   --count=N             number of files (default 10)
   --seed=S              corpus seed (default 42)
   --profile=validation|unseen
+
+batch options (plus all detection options):
+  --threads=N           pool worker threads (default: hardware concurrency)
+  --in-flight=K         max files detected concurrently (default 4)
+  --timeout=SECONDS     per-file deadline; expired files report timed_out
+  --quiet               summary only, no per-file table
 )";
 
 const std::vector<std::string> kDetectionOptions = {
@@ -353,6 +363,78 @@ int RunBenchmark(const ArgParser& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int RunBatch(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  if (args.positionals().size() != 2) {
+    err << "usage: aggrecol batch <corpus-dir> [options]\n";
+    return 2;
+  }
+  std::vector<std::string> known = kDetectionOptions;
+  known.insert(known.end(), {"threads", "in-flight", "timeout", "quiet"});
+  if (!RejectUnknown(args, known, err)) return 2;
+
+  eval::BatchOptions options;
+  if (!ConfigFromArgs(args, &options.config, err)) return 2;
+  const int default_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  options.threads = args.GetInt("threads", default_threads);
+  options.max_in_flight = args.GetInt("in-flight", options.max_in_flight);
+  options.file_timeout_seconds = args.GetDouble("timeout", 0.0);
+  if (options.threads < 1 || options.max_in_flight < 1 ||
+      options.file_timeout_seconds < 0) {
+    err << "invalid --threads/--in-flight/--timeout value\n";
+    return 2;
+  }
+
+  const auto files = eval::LoadCorpusDirectory(args.positionals()[1]);
+  if (!files.has_value()) {
+    err << "cannot load corpus from '" << args.positionals()[1] << "'\n";
+    return 1;
+  }
+  if (files->empty()) {
+    err << "no .csv files in '" << args.positionals()[1] << "'\n";
+    return 1;
+  }
+
+  eval::BatchRunner runner(options);
+  const auto report = runner.Run(*files);
+
+  if (!args.Has("quiet")) {
+    util::TablePrinter per_file;
+    per_file.SetHeader({"file", "outcome", "aggregations", "seconds"});
+    for (const auto& file : report.files) {
+      per_file.AddRow({file.name, eval::ToString(file.outcome),
+                       file.outcome == eval::FileOutcome::kOk
+                           ? std::to_string(file.result.aggregations.size())
+                           : "-",
+                       util::FormatDouble(file.seconds, 3)});
+    }
+    per_file.Print(out);
+    out << "\n";
+  }
+
+  out << "corpus: " << args.positionals()[1] << " (" << files->size()
+      << " files; " << options.threads << " threads, window "
+      << options.max_in_flight << ")\n";
+  util::TablePrinter summary;
+  summary.SetHeader({"metric", "value"});
+  summary.AddRow({"ok", std::to_string(report.ok)});
+  summary.AddRow({"timed_out", std::to_string(report.timed_out)});
+  summary.AddRow({"failed", std::to_string(report.failed)});
+  summary.AddRow({"aggregations", std::to_string(report.total_aggregations)});
+  summary.AddRow({"wall seconds", util::FormatDouble(report.seconds_wall, 3)});
+  summary.AddRow(
+      {"stage seconds (individual)", util::FormatDouble(report.seconds_individual, 3)});
+  summary.AddRow(
+      {"stage seconds (collective)", util::FormatDouble(report.seconds_collective, 3)});
+  summary.AddRow({"stage seconds (supplemental)",
+                  util::FormatDouble(report.seconds_supplemental, 3)});
+  summary.AddRow({"precision", util::FormatDouble(report.scores.precision, 3)});
+  summary.AddRow({"recall", util::FormatDouble(report.scores.recall, 3)});
+  summary.AddRow({"F1", util::FormatDouble(report.scores.F1(), 3)});
+  summary.Print(out);
+  return report.failed == 0 ? 0 : 1;
+}
+
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
            std::ostream& err) {
   const ArgParser parsed = ArgParser::Parse(args);
@@ -366,6 +448,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "sniff") return RunSniff(parsed, out, err);
   if (command == "generate") return RunGenerate(parsed, out, err);
   if (command == "benchmark") return RunBenchmark(parsed, out, err);
+  if (command == "batch") return RunBatch(parsed, out, err);
   if (command == "help") {
     out << kUsage;
     return 0;

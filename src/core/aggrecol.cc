@@ -1,7 +1,6 @@
 #include "core/aggrecol.h"
 
 #include <algorithm>
-#include <future>
 #include <set>
 
 #include "core/collective_detector.h"
@@ -40,7 +39,14 @@ void AppendUnique(std::vector<Aggregation>* out, const std::vector<Aggregation>&
 
 }  // namespace
 
-AggreCol::AggreCol(AggreColConfig config) : config_(std::move(config)) {}
+AggreCol::AggreCol(AggreColConfig config) : config_(std::move(config)) {
+  if (config_.pool != nullptr) {
+    pool_ = config_.pool;
+  } else if (config_.threads > 1) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+    pool_ = owned_pool_.get();
+  }
+}
 
 DetectionResult AggreCol::Detect(const csv::Grid& grid) const {
   // The number format is elected once for the whole file (Sec. 4.2).
@@ -58,6 +64,7 @@ DetectionResult AggreCol::Detect(const csv::Grid& grid) const {
   DetectionResult merged;
   merged.format = format;
   for (const auto& region : regions) {
+    config_.cancel.ThrowIfCancelled();
     const csv::Grid slice = grid.SubRows(region.first_row, region.row_count);
     DetectionResult result =
         Detect(numfmt::NumericGrid::FromGrid(slice, format, config_.normalize));
@@ -122,10 +129,12 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
 
   // Stage 1: individual detection per function, per axis. Each (axis,
   // function) run is independent — the parallelism the paper points out in
-  // Sec. 4.4; results are merged in a fixed order so any thread count yields
-  // identical output.
+  // Sec. 4.4; jobs go to the shared work-stealing pool (which also balances
+  // their nested per-row scans) and results are merged in a fixed order so
+  // any thread count yields identical output.
   std::vector<std::vector<Aggregation>> per_axis_individual(views.size());
   {
+    config_.cancel.ThrowIfCancelled();
     struct Job {
       size_t view;
       AggregationFunction function;
@@ -136,31 +145,18 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
         jobs.push_back({v, function});
       }
     }
-    // Per-row threads nest under the per-job fan-out only when there are
-    // more workers than jobs (avoids oversubscription).
-    const int row_threads =
-        std::max(1, config_.threads / std::max<int>(1, static_cast<int>(jobs.size())));
-    auto run_job = [this, &views, row_threads](const Job& job) {
-      IndividualConfig individual;
-      individual.error_level = config_.error_level(job.function);
-      individual.coverage = config_.coverage;
-      individual.window_size = config_.window_size;
-      individual.rules = config_.pruning_rules;
-      individual.threads = row_threads;
-      return DetectIndividualRowwise(views[job.view].grid, job.function, individual);
-    };
-    std::vector<std::vector<Aggregation>> job_results(jobs.size());
-    if (config_.threads > 1) {
-      std::vector<std::future<std::vector<Aggregation>>> futures;
-      futures.reserve(jobs.size());
-      for (const Job& job : jobs) {
-        futures.push_back(
-            std::async(std::launch::async, [&run_job, &job] { return run_job(job); }));
-      }
-      for (size_t j = 0; j < jobs.size(); ++j) job_results[j] = futures[j].get();
-    } else {
-      for (size_t j = 0; j < jobs.size(); ++j) job_results[j] = run_job(jobs[j]);
-    }
+    const std::vector<std::vector<Aggregation>> job_results =
+        util::ParallelMap(pool_, jobs.size(), [&](size_t j) {
+          IndividualConfig individual;
+          individual.error_level = config_.error_level(jobs[j].function);
+          individual.coverage = config_.coverage;
+          individual.window_size = config_.window_size;
+          individual.rules = config_.pruning_rules;
+          individual.pool = pool_;
+          individual.cancel = config_.cancel;
+          return DetectIndividualRowwise(views[jobs[j].view].grid,
+                                         jobs[j].function, individual);
+        });
     for (size_t j = 0; j < jobs.size(); ++j) {
       AppendUnique(&per_axis_individual[jobs[j].view], job_results[j]);
     }
@@ -173,6 +169,7 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
 
   // Stage 2: collective cross-function pruning, per axis.
   stopwatch.Reset();
+  config_.cancel.ThrowIfCancelled();
   std::vector<std::vector<Aggregation>> per_axis_collective(views.size());
   for (size_t v = 0; v < views.size(); ++v) {
     per_axis_collective[v] =
@@ -186,6 +183,7 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
 
   // Stage 3: supplemental detection of interrupt aggregations, per axis.
   stopwatch.Reset();
+  config_.cancel.ThrowIfCancelled();
   result.aggregations = result.collective_stage;
   if (config_.run_supplemental) {
     SupplementalConfig supplemental;
@@ -194,23 +192,14 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
     supplemental.coverage = config_.coverage;
     supplemental.window_size = config_.window_size;
     supplemental.rules = config_.pruning_rules;
-    supplemental.threads = config_.threads;
+    supplemental.pool = pool_;
+    supplemental.cancel = config_.cancel;
     supplemental.max_configurations = config_.max_configurations;
-    auto run_view = [&](size_t v) {
-      return DetectSupplementalRowwise(views[v].grid, supplemental,
-                                       per_axis_collective[v]);
-    };
-    std::vector<std::vector<Aggregation>> extras(views.size());
-    if (config_.threads > 1 && views.size() > 1) {
-      std::vector<std::future<std::vector<Aggregation>>> futures;
-      for (size_t v = 0; v < views.size(); ++v) {
-        futures.push_back(
-            std::async(std::launch::async, [&run_view, v] { return run_view(v); }));
-      }
-      for (size_t v = 0; v < views.size(); ++v) extras[v] = futures[v].get();
-    } else {
-      for (size_t v = 0; v < views.size(); ++v) extras[v] = run_view(v);
-    }
+    const std::vector<std::vector<Aggregation>> extras =
+        util::ParallelMap(pool_, views.size(), [&](size_t v) {
+          return DetectSupplementalRowwise(views[v].grid, supplemental,
+                                           per_axis_collective[v]);
+        });
     for (size_t v = 0; v < views.size(); ++v) {
       AppendUnique(&result.aggregations, TagAxis(extras[v], views[v].axis));
     }
@@ -223,6 +212,7 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
 
   // Optional extension: composite sum-then-divide aggregations (Sec. 6).
   if (config_.detect_composites) {
+    config_.cancel.ThrowIfCancelled();
     for (size_t v = 0; v < views.size(); ++v) {
       auto composites = DetectCompositeRowwise(views[v].grid, config_.composite,
                                                per_axis_collective[v]);

@@ -2,6 +2,7 @@
 #define AGGRECOL_CORE_AGGRECOL_H_
 
 #include <array>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "core/pruning.h"
 #include "csv/grid.h"
 #include "numfmt/numeric_grid.h"
+#include "util/thread_pool.h"
 
 namespace aggrecol::core {
 
@@ -53,11 +55,26 @@ struct AggreColConfig {
   PruningRules pruning_rules;
 
   /// Worker threads for the embarrassingly parallel parts (the per-function,
-  /// per-axis individual detectors and the per-axis supplemental stage). The
-  /// paper notes the individual detectors "can be easily implemented in
-  /// parallel to improve efficiency" (Sec. 4.4); 1 = sequential. Results are
-  /// bit-identical for any thread count.
+  /// per-axis individual detectors, their per-row scans, and the supplemental
+  /// stage's derived files). The paper notes the individual detectors "can be
+  /// easily implemented in parallel to improve efficiency" (Sec. 4.4);
+  /// 1 = sequential. Results are bit-identical for any thread count — every
+  /// merge happens in a fixed order (enforced by tests/determinism_test.cc).
+  /// Ignored when `pool` is injected.
   int threads = 1;
+
+  /// Injected work-stealing pool shared across detectors (and, in batch
+  /// runs, across files — see eval::BatchRunner). Non-owning; must outlive
+  /// the AggreCol instance. When null and threads > 1, the detector creates
+  /// a private pool of `threads` workers. All parallelism in the pipeline
+  /// goes through this pool: no code path creates threads directly.
+  util::ThreadPool* pool = nullptr;
+
+  /// Cooperative cancellation/deadline token, polled between rows, derived
+  /// files, and stages. When it trips, Detect() aborts by throwing
+  /// util::CancelledError (the batch engine maps this to a `timed_out`
+  /// outcome).
+  util::CancellationToken cancel;
 
   /// Split the file into blank-row-separated regions and detect per region
   /// (structure-detection extension): verbose files often stack several
@@ -126,8 +143,14 @@ class AggreCol {
 
   const AggreColConfig& config() const { return config_; }
 
+  /// The pool detection runs on: the injected one, the private one created
+  /// for threads > 1, or nullptr (sequential).
+  util::ThreadPool* pool() const { return pool_; }
+
  private:
   AggreColConfig config_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace aggrecol::core

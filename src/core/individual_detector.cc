@@ -1,7 +1,6 @@
 #include "core/individual_detector.h"
 
 #include <algorithm>
-#include <future>
 #include <set>
 
 #include "core/adjacency_strategy.h"
@@ -23,9 +22,12 @@ std::vector<Aggregation> DetectIndividualRowwise(
   std::set<Aggregation, bool (*)(const Aggregation&, const Aggregation&)> detected_set(
       &AggregationLess);
   while (true) {
+    config.cancel.ThrowIfCancelled();
+
     // Lines 4-7: per-row adjacent detection with the appropriate strategy.
-    // Rows are independent; with threads > 1 they are scanned in parallel
-    // chunks and concatenated in row order (the Sec. 4.4 parallelism).
+    // Rows are independent; with a pool they are scanned in parallel chunks
+    // and concatenated in row order (the Sec. 4.4 parallelism), so the
+    // output is identical for any thread count.
     auto scan_row = [&](int row) {
       return traits.commutative
                  ? DetectAdjacentCommutative(grid, active, row, function,
@@ -33,33 +35,28 @@ std::vector<Aggregation> DetectIndividualRowwise(
                  : DetectWindowPairwise(grid, active, row, function,
                                         config.error_level, config.window_size);
     };
-    std::vector<Aggregation> round;
-    if (config.threads > 1 && grid.rows() > 1) {
-      const int chunk_count = std::min(config.threads, grid.rows());
-      const int chunk_size = (grid.rows() + chunk_count - 1) / chunk_count;
-      std::vector<std::future<std::vector<Aggregation>>> futures;
-      for (int chunk = 0; chunk < chunk_count; ++chunk) {
-        const int begin = chunk * chunk_size;
-        const int end = std::min(grid.rows(), begin + chunk_size);
-        futures.push_back(std::async(std::launch::async, [&scan_row, begin, end] {
+    const int chunk_count = std::max(
+        1, config.pool != nullptr
+               ? std::min(config.pool->thread_count() * 2, grid.rows())
+               : 1);
+    const int chunk_size = (grid.rows() + chunk_count - 1) / chunk_count;
+    const auto chunks = util::ParallelMap(
+        config.pool, static_cast<size_t>(chunk_count),
+        [&](size_t chunk) {
+          const int begin = static_cast<int>(chunk) * chunk_size;
+          const int end = std::min(grid.rows(), begin + chunk_size);
           std::vector<Aggregation> chunk_results;
           for (int row = begin; row < end; ++row) {
+            config.cancel.ThrowIfCancelled();
             auto row_results = scan_row(row);
             chunk_results.insert(chunk_results.end(), row_results.begin(),
                                  row_results.end());
           }
           return chunk_results;
-        }));
-      }
-      for (auto& future : futures) {
-        auto chunk_results = future.get();
-        round.insert(round.end(), chunk_results.begin(), chunk_results.end());
-      }
-    } else {
-      for (int row = 0; row < grid.rows(); ++row) {
-        auto row_results = scan_row(row);
-        round.insert(round.end(), row_results.begin(), row_results.end());
-      }
+        });
+    std::vector<Aggregation> round;
+    for (const auto& chunk_results : chunks) {
+      round.insert(round.end(), chunk_results.begin(), chunk_results.end());
     }
 
     // Line 8: extension across rows.

@@ -6,6 +6,7 @@
 #include "core/aggregation.h"
 #include "core/pruning.h"
 #include "numfmt/numeric_grid.h"
+#include "util/thread_pool.h"
 
 namespace aggrecol::core {
 
@@ -24,10 +25,14 @@ struct IndividualConfig {
   /// Pruning-step toggles (all on by default); see PruningRules.
   PruningRules rules;
 
-  /// Worker threads for the per-row detection scan (rows are independent;
+  /// Shared pool for the per-row detection scan (rows are independent;
   /// results are concatenated in row order, so output is identical for any
-  /// thread count). 1 = sequential.
-  int threads = 1;
+  /// thread count). nullptr = sequential. Non-owning.
+  util::ThreadPool* pool = nullptr;
+
+  /// Cooperative cancellation: checked between rows and between iterations;
+  /// a tripped token aborts the run with util::CancelledError.
+  util::CancellationToken cancel;
 };
 
 /// Individual aggregation detection (Alg. 1), row-wise on `grid`:

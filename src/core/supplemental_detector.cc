@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <future>
 #include <map>
 #include <set>
 
@@ -131,6 +130,7 @@ std::vector<Aggregation> DetectSupplementalRowwise(
   };
 
   while (!queue.empty()) {
+    config.cancel.ThrowIfCancelled();
     const AggregationFunction function = queue.front();
     queue.pop_front();
 
@@ -148,32 +148,19 @@ std::vector<Aggregation> DetectSupplementalRowwise(
     individual.coverage = config.coverage;
     individual.window_size = config.window_size;
     individual.rules = config.rules;
-    // Spread workers over the derived files; leftover threads go to the
-    // per-row scans inside each run.
-    individual.threads = std::max(
-        1, config.threads / std::max<int>(1, static_cast<int>(configurations.size())));
+    // The pool's work stealing spreads workers over the derived files and
+    // their per-row scans; no static thread split needed.
+    individual.pool = config.pool;
+    individual.cancel = config.cancel;
 
-    // Each derived file is independent; run them concurrently when asked to,
-    // then filter in configuration order so results stay deterministic.
-    std::vector<std::vector<Aggregation>> per_configuration(configurations.size());
-    if (config.threads > 1) {
-      std::vector<std::future<std::vector<Aggregation>>> futures;
-      futures.reserve(configurations.size());
-      for (const auto& mask : configurations) {
-        futures.push_back(std::async(std::launch::async, [&grid, function,
-                                                          &individual, &mask] {
-          return DetectIndividualRowwise(grid, function, individual, &mask);
-        }));
-      }
-      for (size_t c = 0; c < configurations.size(); ++c) {
-        per_configuration[c] = futures[c].get();
-      }
-    } else {
-      for (size_t c = 0; c < configurations.size(); ++c) {
-        per_configuration[c] =
-            DetectIndividualRowwise(grid, function, individual, &configurations[c]);
-      }
-    }
+    // Each derived file is independent; run them concurrently when a pool is
+    // present, then filter in configuration order so results stay
+    // deterministic.
+    const std::vector<std::vector<Aggregation>> per_configuration =
+        util::ParallelMap(config.pool, configurations.size(), [&](size_t c) {
+          return DetectIndividualRowwise(grid, function, individual,
+                                         &configurations[c]);
+        });
 
     std::vector<Aggregation> fresh;
     std::set<Aggregation, bool (*)(const Aggregation&, const Aggregation&)> fresh_set(

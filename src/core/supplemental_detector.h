@@ -8,6 +8,7 @@
 #include "core/function.h"
 #include "core/pruning.h"
 #include "numfmt/numeric_grid.h"
+#include "util/thread_pool.h"
 
 namespace aggrecol::core {
 
@@ -28,9 +29,15 @@ struct SupplementalConfig {
   /// Pruning-step toggles, shared with the individual detectors.
   PruningRules rules;
 
-  /// Worker threads for the per-configuration detector runs (each derived
-  /// file is processed independently); 1 = sequential, same results.
-  int threads = 1;
+  /// Shared pool for the per-configuration detector runs (each derived file
+  /// is processed independently; results are filtered in configuration
+  /// order, same results for any thread count). nullptr = sequential.
+  /// Non-owning.
+  util::ThreadPool* pool = nullptr;
+
+  /// Cooperative cancellation, checked per queue round and threaded into the
+  /// nested individual detector runs.
+  util::CancellationToken cancel;
 
   /// Cap on the number of constructed files per detector run. Alg. 2
   /// enumerates every include/exclude configuration of cumulative aggregate

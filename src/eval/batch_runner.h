@@ -1,0 +1,121 @@
+#ifndef AGGRECOL_EVAL_BATCH_RUNNER_H_
+#define AGGRECOL_EVAL_BATCH_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggrecol.h"
+#include "eval/annotations.h"
+#include "eval/metrics.h"
+#include "util/thread_pool.h"
+
+namespace aggrecol::eval {
+
+/// Per-file outcome of a batch run. A file never hangs the batch: a tripped
+/// per-file deadline surfaces as kTimedOut, an exception as kFailed.
+enum class FileOutcome { kOk, kTimedOut, kFailed };
+
+const char* ToString(FileOutcome outcome);
+
+struct BatchFileReport {
+  std::string name;
+  FileOutcome outcome = FileOutcome::kOk;
+
+  /// Full detection result; only meaningful when outcome == kOk.
+  core::DetectionResult result;
+
+  /// Detections scored against the file's annotations (perfect-by-convention
+  /// when the file carries no ground truth); only meaningful for kOk.
+  Scores scores;
+
+  /// Wall-clock seconds this file spent in detection (including a timed-out
+  /// file's truncated run).
+  double seconds = 0.0;
+
+  /// Human-readable error for kFailed.
+  std::string error;
+};
+
+/// Aggregated view of one batch run.
+struct BatchReport {
+  /// One entry per input file, in input order regardless of completion order.
+  std::vector<BatchFileReport> files;
+
+  int ok = 0;
+  int timed_out = 0;
+  int failed = 0;
+
+  /// Wall-clock seconds of the whole batch.
+  double seconds_wall = 0.0;
+
+  /// Sums of the per-stage timings over completed files (CPU-seconds when
+  /// running multi-threaded, so they can exceed seconds_wall).
+  double seconds_individual = 0.0;
+  double seconds_collective = 0.0;
+  double seconds_supplemental = 0.0;
+
+  size_t total_aggregations = 0;
+
+  /// Corpus-level pooled scores over completed files.
+  Scores scores;
+
+  /// High-water mark of files being detected concurrently — bounded by
+  /// BatchOptions::max_in_flight (asserted by tests/batch_runner_test.cc).
+  int max_in_flight_observed = 0;
+};
+
+struct BatchOptions {
+  /// Detection configuration applied to every file. The runner overrides the
+  /// `pool`, `threads`, and (when a timeout is set) `cancel` fields: all
+  /// parallelism goes through the runner's shared pool.
+  core::AggreColConfig config;
+
+  /// Worker threads of the shared pool; 1 = fully sequential on the calling
+  /// thread (deadlines still enforced via the cancellation token).
+  int threads = 1;
+
+  /// Upper bound on files processed concurrently. The runner streams files
+  /// through a sliding window of at most this many submitted-but-unfinished
+  /// file tasks, so memory stays bounded on large corpora.
+  int max_in_flight = 4;
+
+  /// Per-file deadline in seconds; 0 = none. Measured from the moment the
+  /// file's detection starts. Enforced cooperatively: the pipeline polls the
+  /// token between rows/derived files/stages and unwinds, so an expensive
+  /// file reports kTimedOut instead of stalling the batch.
+  double file_timeout_seconds = 0.0;
+};
+
+/// Streams a corpus of files through a shared work-stealing pool. File-level
+/// tasks and the per-file nested detection tasks share the same pool, so the
+/// thread budget is global (no oversubscription however wide the corpus).
+/// Results are deterministic: per-file outputs are bit-identical to a
+/// sequential run for any thread count, and reports come back in input order.
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options);
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Runs detection over `files` and aggregates the outcome. Reusable: each
+  /// call is an independent batch on the same pool.
+  BatchReport Run(const std::vector<AnnotatedFile>& files);
+
+  /// The shared pool (nullptr when options.threads <= 1).
+  util::ThreadPool* pool() const { return pool_.get(); }
+
+ private:
+  BatchFileReport ProcessOne(const AnnotatedFile& file,
+                             std::atomic<int>* in_flight,
+                             std::atomic<int>* max_in_flight);
+
+  BatchOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace aggrecol::eval
+
+#endif  // AGGRECOL_EVAL_BATCH_RUNNER_H_

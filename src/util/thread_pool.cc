@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace aggrecol::util {
+namespace {
+
+// Worker identity for nested-wait detection: which pool the thread belongs
+// to, and its own deque index within it.
+thread_local ThreadPool* current_pool = nullptr;
+thread_local size_t current_worker = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int thread_count) {
+  const size_t n = static_cast<size_t>(std::max(1, thread_count));
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+ThreadPool* ThreadPool::Current() { return current_pool; }
+
+void ThreadPool::Push(std::function<void()> task) {
+  // A worker pushes onto its own deque (LIFO end); external submitters
+  // round-robin across the workers.
+  const size_t target =
+      current_pool == this
+          ? current_worker
+          : next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::PopFrom(size_t worker, bool steal, std::function<void()>* task) {
+  std::lock_guard<std::mutex> lock(workers_[worker]->mutex);
+  auto& queue = workers_[worker]->queue;
+  if (queue.empty()) return false;
+  if (steal) {
+    *task = std::move(queue.front());
+    queue.pop_front();
+  } else {
+    *task = std::move(queue.back());
+    queue.pop_back();
+  }
+  return true;
+}
+
+bool ThreadPool::RunOneTask() {
+  const bool is_worker = current_pool == this;
+  const size_t self = is_worker ? current_worker : 0;
+
+  std::function<void()> task;
+  bool found = is_worker && PopFrom(self, /*steal=*/false, &task);
+  if (!found) {
+    // Steal FIFO from the other deques, scanning from the next index so the
+    // victims rotate instead of piling onto worker 0.
+    for (size_t offset = 1; offset <= workers_.size() && !found; ++offset) {
+      const size_t victim = (self + offset) % workers_.size();
+      if (is_worker && victim == self) continue;
+      found = PopFrom(victim, /*steal=*/true, &task);
+    }
+  }
+  if (!found) return false;
+
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    --pending_;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  current_pool = this;
+  current_worker = index;
+  for (;;) {
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (pending_ > 0) continue;  // raced with a submit; go pick it up
+    if (stopping_) break;        // drained and told to stop
+    wake_cv_.wait(lock, [this] { return pending_ > 0 || stopping_; });
+  }
+  current_pool = nullptr;
+}
+
+}  // namespace aggrecol::util

@@ -1,6 +1,10 @@
 #include "csv/parser.h"
 
+#include <random>
+#include <string>
+
 #include "csv/grid.h"
+#include "csv/writer.h"
 #include "gtest/gtest.h"
 
 namespace aggrecol::csv {
@@ -123,6 +127,84 @@ TEST(Grid, IsEmptyAndCounts) {
   EXPECT_TRUE(grid.IsEmpty(0, 0));
   EXPECT_FALSE(grid.IsEmpty(0, 1));
   EXPECT_EQ(grid.CountNonEmpty(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input properties: whatever bytes come in, the parser must not
+// crash, and the parsed grid must survive a round trip through csv::Writer
+// (parse -> write -> parse yields the same grid).
+
+Grid RoundTrip(const Grid& grid, const Dialect& dialect) {
+  return ParseGrid(WriteGrid(grid, dialect), dialect);
+}
+
+TEST(ParserProperty, UnterminatedQuoteDoesNotCrash) {
+  for (const char* text : {
+           "\"abc,def\nghi",           // quote never closed, embedded newline
+           "a,\"",                     // quote opens at end of input
+           "a,b\n\"unclosed",          // last row unterminated
+           "\"\"\"",                   // escaped quote then EOF inside quotes
+           "x,\"y\nz,w\n",             // quote swallows the rest of the file
+       }) {
+    const Grid grid = ParseGrid(text, kComma);
+    EXPECT_EQ(RoundTrip(grid, kComma), grid) << "input: " << text;
+  }
+}
+
+TEST(ParserProperty, CrLfLfMixes) {
+  const Grid grid = ParseGrid("a,b\r\nc,d\ne,f\r\ng,h", kComma);
+  EXPECT_EQ(grid.rows(), 4);
+  EXPECT_EQ(grid.columns(), 2);
+  EXPECT_EQ(grid.at(1, 1), "d");
+  EXPECT_EQ(grid.at(3, 0), "g");
+  EXPECT_EQ(RoundTrip(grid, kComma), grid);
+
+  // CR inside a quoted field is content, not a row break; the round trip
+  // must preserve it byte for byte.
+  const Grid quoted = ParseGrid("\"a\r\nb\",c\r\nd,e\n", kComma);
+  EXPECT_EQ(quoted.rows(), 2);
+  EXPECT_EQ(quoted.at(0, 0), "a\r\nb");
+  EXPECT_EQ(RoundTrip(quoted, kComma), quoted);
+}
+
+TEST(ParserProperty, DelimiterInsideQuotedFieldAtBufferBoundaries) {
+  // Exercise field lengths around typical I/O buffer sizes so a chunked
+  // parser could not hide an off-by-one at a boundary: the delimiter lands
+  // exactly at/before/after each power-of-two edge.
+  for (const size_t size : {1u, 2u, 15u, 16u, 17u, 255u, 256u, 257u, 4095u,
+                            4096u, 4097u, 65536u}) {
+    const std::string prefix(size, 'x');
+    const std::string field = prefix + ",tail";
+    const std::string text = "\"" + field + "\",next\nplain,row\n";
+    const Grid grid = ParseGrid(text, kComma);
+    ASSERT_EQ(grid.rows(), 2) << "size " << size;
+    ASSERT_EQ(grid.columns(), 2) << "size " << size;
+    EXPECT_EQ(grid.at(0, 0), field) << "size " << size;
+    EXPECT_EQ(grid.at(0, 1), "next");
+    EXPECT_EQ(RoundTrip(grid, kComma), grid) << "size " << size;
+  }
+}
+
+TEST(ParserProperty, RandomMalformedSoupRoundTrips) {
+  // Seeded fuzz over the characters that drive the state machine. The first
+  // parse may interpret malformed input however it likes; the writer must
+  // then serialize that grid so a re-parse reproduces it exactly.
+  const char alphabet[] = {',', '"', '\n', '\r', 'a', '9', ';', '\'', ' ', '.'};
+  std::mt19937 rng(20220707);
+  std::uniform_int_distribution<size_t> pick(0, sizeof(alphabet) - 1);
+  std::uniform_int_distribution<size_t> length(0, 60);
+  for (const Dialect& dialect :
+       {Dialect{',', '"'}, Dialect{';', '"'}, Dialect{',', '\''}}) {
+    for (int iteration = 0; iteration < 300; ++iteration) {
+      std::string text;
+      const size_t n = length(rng);
+      text.reserve(n);
+      for (size_t i = 0; i < n; ++i) text.push_back(alphabet[pick(rng)]);
+      const Grid grid = ParseGrid(text, dialect);
+      EXPECT_EQ(RoundTrip(grid, dialect), grid)
+          << "dialect '" << dialect.delimiter << "' input: [" << text << "]";
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+// Enforces the config's promise that detection results are bit-identical for
+// any thread count: the full pipeline runs over a generated corpus at
+// threads = 1, 2, 8 and every per-stage result vector — contents AND order —
+// must match the sequential run exactly.
+#include <vector>
+
+#include "core/aggrecol.h"
+#include "datagen/corpus.h"
+#include "gtest/gtest.h"
+#include "util/thread_pool.h"
+
+namespace aggrecol {
+namespace {
+
+const std::vector<eval::AnnotatedFile>& Corpus() {
+  static const auto* const kFiles =
+      new std::vector<eval::AnnotatedFile>(datagen::GenerateSmallCorpus(30, 1234));
+  return *kFiles;
+}
+
+std::vector<core::DetectionResult> RunAll(const core::AggreColConfig& config) {
+  const core::AggreCol detector(config);
+  std::vector<core::DetectionResult> results;
+  results.reserve(Corpus().size());
+  for (const auto& file : Corpus()) results.push_back(detector.Detect(file.grid));
+  return results;
+}
+
+void ExpectIdentical(const std::vector<core::DetectionResult>& baseline,
+                     const std::vector<core::DetectionResult>& candidate,
+                     const char* label) {
+  ASSERT_EQ(baseline.size(), candidate.size());
+  for (size_t f = 0; f < baseline.size(); ++f) {
+    const auto& name = Corpus()[f].name;
+    EXPECT_EQ(baseline[f].aggregations, candidate[f].aggregations)
+        << label << ": final aggregations diverged on " << name;
+    EXPECT_EQ(baseline[f].individual_stage, candidate[f].individual_stage)
+        << label << ": stage-1 snapshot diverged on " << name;
+    EXPECT_EQ(baseline[f].collective_stage, candidate[f].collective_stage)
+        << label << ": stage-2 snapshot diverged on " << name;
+    EXPECT_EQ(baseline[f].composites, candidate[f].composites)
+        << label << ": composites diverged on " << name;
+    EXPECT_EQ(baseline[f].format, candidate[f].format)
+        << label << ": elected format diverged on " << name;
+  }
+}
+
+TEST(Determinism, BitIdenticalAcrossThreadCounts) {
+  core::AggreColConfig config;
+  const auto baseline = RunAll(config);
+
+  for (int threads : {2, 8}) {
+    core::AggreColConfig threaded = config;
+    threaded.threads = threads;
+    ExpectIdentical(baseline, RunAll(threaded),
+                    threads == 2 ? "threads=2" : "threads=8");
+  }
+}
+
+TEST(Determinism, BitIdenticalWithInjectedSharedPool) {
+  const auto baseline = RunAll(core::AggreColConfig{});
+
+  util::ThreadPool pool(4);
+  core::AggreColConfig injected;
+  injected.pool = &pool;
+  ExpectIdentical(baseline, RunAll(injected), "injected pool");
+}
+
+TEST(Determinism, BitIdenticalWithCompositesAndSplitTables) {
+  // The optional extensions ride the same pool; they must stay deterministic
+  // too.
+  core::AggreColConfig config;
+  config.detect_composites = true;
+  config.split_tables = true;
+  const auto baseline = RunAll(config);
+
+  core::AggreColConfig threaded = config;
+  threaded.threads = 8;
+  ExpectIdentical(baseline, RunAll(threaded), "extensions, threads=8");
+}
+
+}  // namespace
+}  // namespace aggrecol
