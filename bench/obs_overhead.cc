@@ -1,0 +1,113 @@
+// Measures the cost of the observability layer (docs/OBSERVABILITY.md):
+// the disabled fast path (one relaxed load + branch per helper call), the
+// enabled sharded-counter path, and the end-to-end pipeline with metrics on
+// vs off. The acceptance bar for the layer is that the disabled path is
+// indistinguishable from an uninstrumented build.
+#include <benchmark/benchmark.h>
+
+#include "core/aggrecol.h"
+#include "datagen/file_generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using aggrecol::obs::Registry;
+
+void BM_CountDisabled(benchmark::State& state) {
+  Registry::set_enabled(false);
+  for (auto _ : state) {
+    aggrecol::obs::Count("bench.counter");
+  }
+}
+BENCHMARK(BM_CountDisabled);
+
+void BM_CountEnabled(benchmark::State& state) {
+  Registry::Instance().Reset();
+  Registry::set_enabled(true);
+  for (auto _ : state) {
+    aggrecol::obs::Count("bench.counter");
+  }
+  Registry::set_enabled(false);
+}
+BENCHMARK(BM_CountEnabled);
+
+void BM_CountEnabledContended(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    Registry::Instance().Reset();
+    Registry::set_enabled(true);
+  }
+  for (auto _ : state) {
+    aggrecol::obs::Count("bench.contended");
+  }
+  if (state.thread_index() == 0) Registry::set_enabled(false);
+}
+BENCHMARK(BM_CountEnabledContended)->Threads(8);
+
+void BM_ObserveEnabled(benchmark::State& state) {
+  Registry::Instance().Reset();
+  Registry::set_enabled(true);
+  double value = 0.0;
+  for (auto _ : state) {
+    aggrecol::obs::Observe("bench.histogram", value);
+    value += 1e-6;
+  }
+  Registry::set_enabled(false);
+}
+BENCHMARK(BM_ObserveEnabled);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  Registry::set_enabled(false);
+  for (auto _ : state) {
+    aggrecol::obs::ScopedSpan span("bench.span");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  Registry::Instance().Reset();
+  Registry::set_enabled(true);
+  for (auto _ : state) {
+    aggrecol::obs::ScopedSpan span("bench.span");
+    benchmark::DoNotOptimize(&span);
+  }
+  Registry::set_enabled(false);
+}
+BENCHMARK(BM_SpanEnabled);
+
+// End-to-end: the whole pipeline on one generated file, metrics off vs on.
+// The off/on delta is the real-world instrumentation overhead.
+const aggrecol::eval::AnnotatedFile& BenchFile() {
+  static const auto* const kFile = [] {
+    aggrecol::datagen::GeneratorProfile profile;
+    profile.p_no_aggregation = 0.0;
+    return new aggrecol::eval::AnnotatedFile(
+        aggrecol::datagen::GenerateFile(profile, 4711, "bench.csv"));
+  }();
+  return *kFile;
+}
+
+void BM_DetectMetricsOff(benchmark::State& state) {
+  Registry::set_enabled(false);
+  const aggrecol::core::AggreCol detector{aggrecol::core::AggreColConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(BenchFile().grid));
+  }
+}
+BENCHMARK(BM_DetectMetricsOff);
+
+void BM_DetectMetricsOn(benchmark::State& state) {
+  Registry::Instance().Reset();
+  Registry::set_enabled(true);
+  const aggrecol::core::AggreCol detector{aggrecol::core::AggreColConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Detect(BenchFile().grid));
+  }
+  Registry::set_enabled(false);
+}
+BENCHMARK(BM_DetectMetricsOn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

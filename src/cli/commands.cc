@@ -1,5 +1,6 @@
 #include "cli/commands.h"
 
+#include <fstream>
 #include <set>
 #include <thread>
 
@@ -14,7 +15,10 @@
 #include "eval/dataset_io.h"
 #include "eval/file_level.h"
 #include "eval/metrics.h"
+#include "eval/obs_summary.h"
 #include "numfmt/numeric_grid.h"
+#include "obs/metrics.h"
+#include "obs/sinks.h"
 #include "util/file_io.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -55,11 +59,23 @@ batch options (plus all detection options):
   --in-flight=K         max files detected concurrently (default 4)
   --timeout=SECONDS     per-file deadline; expired files report timed_out
   --quiet               summary only, no per-file table
+  --metrics-json=PATH   write pipeline metrics as JSON (PATH '-' = stdout)
+  --trace               print the per-corpus observability summary
 )";
 
 const std::vector<std::string> kDetectionOptions = {
     "error-level", "coverage",         "window", "functions", "stages",
     "axis",        "no-empty-as-zero", "output", "split-tables"};
+
+const std::vector<std::string> kGenerateOptions = {"out", "count", "seed",
+                                                   "profile"};
+
+std::vector<std::string> BatchOptionNames() {
+  std::vector<std::string> known = kDetectionOptions;
+  known.insert(known.end(), {"threads", "in-flight", "timeout", "quiet",
+                             "metrics-json", "trace"});
+  return known;
+}
 
 bool RejectUnknown(const ArgParser& args, const std::vector<std::string>& known,
                    std::ostream& err) {
@@ -81,6 +97,23 @@ std::optional<csv::Grid> LoadGrid(const std::string& path, std::ostream& err) {
 }
 
 }  // namespace
+
+const std::vector<std::string>& CommandNames() {
+  static const std::vector<std::string> names = {
+      "detect", "evaluate", "sniff", "generate", "benchmark", "batch", "help"};
+  return names;
+}
+
+std::vector<std::string> KnownOptionsFor(const std::string& command) {
+  if (command == "detect" || command == "evaluate" || command == "benchmark") {
+    return kDetectionOptions;
+  }
+  if (command == "generate") return kGenerateOptions;
+  if (command == "batch") return BatchOptionNames();
+  return {};  // sniff, help
+}
+
+const char* UsageText() { return kUsage; }
 
 bool ConfigFromArgs(const ArgParser& args, core::AggreColConfig* config,
                     std::ostream& err) {
@@ -292,7 +325,7 @@ int RunSniff(const ArgParser& args, std::ostream& out, std::ostream& err) {
 }
 
 int RunGenerate(const ArgParser& args, std::ostream& out, std::ostream& err) {
-  if (!RejectUnknown(args, {"out", "count", "seed", "profile"}, err)) return 2;
+  if (!RejectUnknown(args, kGenerateOptions, err)) return 2;
   const auto out_dir = args.GetString("out");
   if (!out_dir.has_value()) {
     err << "usage: aggrecol generate --out=DIR [--count=N] [--seed=S] "
@@ -368,9 +401,7 @@ int RunBatch(const ArgParser& args, std::ostream& out, std::ostream& err) {
     err << "usage: aggrecol batch <corpus-dir> [options]\n";
     return 2;
   }
-  std::vector<std::string> known = kDetectionOptions;
-  known.insert(known.end(), {"threads", "in-flight", "timeout", "quiet"});
-  if (!RejectUnknown(args, known, err)) return 2;
+  if (!RejectUnknown(args, BatchOptionNames(), err)) return 2;
 
   eval::BatchOptions options;
   if (!ConfigFromArgs(args, &options.config, err)) return 2;
@@ -384,6 +415,18 @@ int RunBatch(const ArgParser& args, std::ostream& out, std::ostream& err) {
     err << "invalid --threads/--in-flight/--timeout value\n";
     return 2;
   }
+
+  // Observability: enabled before the corpus loads so the csv.* counters
+  // cover the corpus parse as well as the detection runs. ScopedMetrics
+  // resets the registry, making the snapshot below cover exactly this batch.
+  const std::optional<std::string> metrics_json = args.GetString("metrics-json");
+  const bool trace = args.Has("trace");
+  const bool want_metrics = metrics_json.has_value() || trace;
+  if (want_metrics && !obs::CompiledIn()) {
+    err << "warning: built with AGGRECOL_OBS=OFF; metrics will be empty\n";
+  }
+  std::optional<obs::ScopedMetrics> scoped_metrics;
+  if (want_metrics) scoped_metrics.emplace();
 
   const auto files = eval::LoadCorpusDirectory(args.positionals()[1]);
   if (!files.has_value()) {
@@ -420,6 +463,9 @@ int RunBatch(const ArgParser& args, std::ostream& out, std::ostream& err) {
   summary.AddRow({"ok", std::to_string(report.ok)});
   summary.AddRow({"timed_out", std::to_string(report.timed_out)});
   summary.AddRow({"failed", std::to_string(report.failed)});
+  // Decided files only: timed_out is a scheduling outcome, so it must not
+  // drag the rate down (see eval::SuccessRate).
+  summary.AddRow({"success rate", util::FormatDouble(eval::SuccessRate(report), 3)});
   summary.AddRow({"aggregations", std::to_string(report.total_aggregations)});
   summary.AddRow({"wall seconds", util::FormatDouble(report.seconds_wall, 3)});
   summary.AddRow(
@@ -432,6 +478,26 @@ int RunBatch(const ArgParser& args, std::ostream& out, std::ostream& err) {
   summary.AddRow({"recall", util::FormatDouble(report.scores.recall, 3)});
   summary.AddRow({"F1", util::FormatDouble(report.scores.F1(), 3)});
   summary.Print(out);
+
+  if (want_metrics) {
+    const obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();
+    if (trace) {
+      out << "\n";
+      eval::PrintObservabilitySummary(snapshot, out);
+    }
+    if (metrics_json.has_value()) {
+      if (*metrics_json == "-") {
+        obs::WriteMetricsJson(snapshot, out);
+      } else {
+        std::ofstream file(*metrics_json);
+        if (!file) {
+          err << "cannot write '" << *metrics_json << "'\n";
+          return 1;
+        }
+        obs::WriteMetricsJson(snapshot, file);
+      }
+    }
+  }
   return report.failed == 0 ? 0 : 1;
 }
 

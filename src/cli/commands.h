@@ -16,6 +16,17 @@ namespace aggrecol::cli {
 /// diagnostics to `err`.
 int RunCli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
 
+/// The CLI surface, exposed so tests can check docs/CLI.md against the real
+/// command table instead of a hand-maintained copy (tests/docs_test.cc).
+const std::vector<std::string>& CommandNames();
+
+/// Option names (without the leading `--`) the given command accepts; empty
+/// for commands that take no options (sniff, help).
+std::vector<std::string> KnownOptionsFor(const std::string& command);
+
+/// The `aggrecol help` text.
+const char* UsageText();
+
 /// Builds an AggreColConfig from the shared detection options:
 ///   --error-level=<e> or --error-level=sum:0.01,division:0.03
 ///   --coverage=<cov> --window=<w> --functions=sum,average,...

@@ -8,6 +8,8 @@
 #include "core/supplemental_detector.h"
 #include "csv/parser.h"
 #include "csv/sniffer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "structure/table_splitter.h"
 #include "util/stopwatch.h"
 
@@ -22,6 +24,14 @@ namespace {
 std::vector<Aggregation> TagAxis(std::vector<Aggregation> aggregations, Axis axis) {
   for (auto& aggregation : aggregations) aggregation.axis = axis;
   return aggregations;
+}
+
+// Metric-name suffix for a function: like ToString() but underscore-joined
+// ("relative change" -> "relative_change") so names stay dot-delimited tokens.
+std::string MetricNameOf(AggregationFunction function) {
+  std::string name = ToString(function);
+  std::replace(name.begin(), name.end(), ' ', '_');
+  return name;
 }
 
 void AppendUnique(std::vector<Aggregation>* out, const std::vector<Aggregation>& in) {
@@ -114,6 +124,10 @@ DetectionResult AggreCol::DetectText(std::string_view csv_text) const {
 }
 
 DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
+  obs::ScopedSpan detect_span("detect");
+  const bool obs_on = obs::Registry::enabled();
+  if (obs_on) obs::Count("detect.runs");
+
   DetectionResult result;
   result.format = numeric.format();
 
@@ -134,6 +148,7 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
   // any thread count yields identical output.
   std::vector<std::vector<Aggregation>> per_axis_individual(views.size());
   {
+    obs::ScopedSpan stage1_span("detect.stage1");
     config_.cancel.ThrowIfCancelled();
     struct Job {
       size_t view;
@@ -164,6 +179,12 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
       AppendUnique(&result.individual_stage,
                    TagAxis(per_axis_individual[v], views[v].axis));
     }
+    if (obs_on) {
+      obs::Count("stage1.accepted", result.individual_stage.size());
+      for (const auto& aggregation : result.individual_stage) {
+        obs::Count("stage1.accepted." + MetricNameOf(aggregation.function));
+      }
+    }
   }
   result.seconds_individual = stopwatch.ElapsedSeconds();
 
@@ -171,13 +192,17 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
   stopwatch.Reset();
   config_.cancel.ThrowIfCancelled();
   std::vector<std::vector<Aggregation>> per_axis_collective(views.size());
-  for (size_t v = 0; v < views.size(); ++v) {
-    per_axis_collective[v] =
-        config_.run_collective
-            ? CollectivePrune(views[v].grid, per_axis_individual[v])
-            : per_axis_individual[v];
-    AppendUnique(&result.collective_stage,
-                 TagAxis(per_axis_collective[v], views[v].axis));
+  {
+    obs::ScopedSpan stage2_span("detect.stage2");
+    for (size_t v = 0; v < views.size(); ++v) {
+      per_axis_collective[v] =
+          config_.run_collective
+              ? CollectivePrune(views[v].grid, per_axis_individual[v])
+              : per_axis_individual[v];
+      AppendUnique(&result.collective_stage,
+                   TagAxis(per_axis_collective[v], views[v].axis));
+    }
+    if (obs_on) obs::Count("stage2.accepted", result.collective_stage.size());
   }
   result.seconds_collective = stopwatch.ElapsedSeconds();
 
@@ -186,6 +211,7 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
   config_.cancel.ThrowIfCancelled();
   result.aggregations = result.collective_stage;
   if (config_.run_supplemental) {
+    obs::ScopedSpan stage3_span("detect.stage3");
     SupplementalConfig supplemental;
     supplemental.functions = config_.functions;
     supplemental.error_levels = config_.error_levels;
@@ -200,8 +226,13 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
           return DetectSupplementalRowwise(views[v].grid, supplemental,
                                            per_axis_collective[v]);
         });
+    const size_t before_supplemental = result.aggregations.size();
     for (size_t v = 0; v < views.size(); ++v) {
       AppendUnique(&result.aggregations, TagAxis(extras[v], views[v].axis));
+    }
+    if (obs_on) {
+      obs::Count("stage3.recovered",
+                 result.aggregations.size() - before_supplemental);
     }
     // Final per-axis sets (local coordinates) for the optional composite pass.
     for (size_t v = 0; v < views.size(); ++v) {

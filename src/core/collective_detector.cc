@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/pruning.h"
+#include "obs/metrics.h"
 
 namespace aggrecol::core {
 namespace {
@@ -27,6 +28,13 @@ bool SameAggregateOverlappingRange(const Pattern& a, const Pattern& b) {
 std::vector<Aggregation> CollectivePrune(const numfmt::NumericGrid& grid,
                                          const std::vector<Aggregation>& candidates) {
   std::vector<PatternGroup> groups = GroupByPattern(grid, candidates);
+
+  const bool obs_on = obs::Registry::enabled();
+  if (obs_on) {
+    obs::Count("stage2.runs");
+    obs::Count("stage2.input.groups", groups.size());
+    obs::Count("stage2.input.candidates", candidates.size());
+  }
 
   // Rank by (i) range size, (ii) number of detected aggregations; pattern
   // order as a deterministic final tie-break.
@@ -55,25 +63,44 @@ std::vector<Aggregation> CollectivePrune(const numfmt::NumericGrid& grid,
       out.insert(out.end(), group.members.begin(), group.members.end());
     }
   }
+  if (obs_on) obs::Count("stage2.division_exempt.groups", divisions.size());
 
   std::vector<const PatternGroup*> accepted;
   for (const auto& group : groups) {
     if (group.pattern.function == AggregationFunction::kDivision) continue;
-    const bool conflicts =
-        std::any_of(accepted.begin(), accepted.end(),
-                    [&group](const PatternGroup* other) {
-                      return CompleteInclusion(group.pattern, other->pattern) ||
-                             MutualInclusion(group.pattern, other->pattern) ||
-                             SameAggregateOverlappingRange(group.pattern, other->pattern);
-                    }) ||
-        std::any_of(divisions.begin(), divisions.end(),
-                    [&group](const PatternGroup* division) {
-                      return MutualInclusion(group.pattern, division->pattern);
-                    });
-    if (conflicts) continue;
+    // First matching reason against the accepted/division sets wins, so each
+    // pruned group counts under exactly one stage2.pruned.* reason.
+    const char* conflict = nullptr;
+    for (const PatternGroup* other : accepted) {
+      if (CompleteInclusion(group.pattern, other->pattern)) {
+        conflict = "stage2.pruned.complete_inclusion";
+      } else if (MutualInclusion(group.pattern, other->pattern)) {
+        conflict = "stage2.pruned.mutual_inclusion";
+      } else if (SameAggregateOverlappingRange(group.pattern, other->pattern)) {
+        conflict = "stage2.pruned.same_aggregate_overlap";
+      }
+      if (conflict != nullptr) break;
+    }
+    if (conflict == nullptr) {
+      for (const PatternGroup* division : divisions) {
+        if (MutualInclusion(group.pattern, division->pattern)) {
+          conflict = "stage2.pruned.division_circular";
+          break;
+        }
+      }
+    }
+    if (conflict != nullptr) {
+      if (obs_on) {
+        obs::Count(conflict);
+        obs::Count("stage2.pruned.groups");
+        obs::Count("stage2.pruned.candidates", group.members.size());
+      }
+      continue;
+    }
     accepted.push_back(&group);
     out.insert(out.end(), group.members.begin(), group.members.end());
   }
+  if (obs_on) obs::Count("stage2.accepted.candidates", out.size());
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "core/extension.h"
 #include "core/pruning.h"
 #include "core/window_strategy.h"
+#include "obs/metrics.h"
 
 namespace aggrecol::core {
 
@@ -59,8 +60,20 @@ std::vector<Aggregation> DetectIndividualRowwise(
       round.insert(round.end(), chunk_results.begin(), chunk_results.end());
     }
 
+    // Candidate accounting happens here, after the chunks are merged back on
+    // the calling thread, so the counts are position-independent and identical
+    // for any thread count.
+    const bool obs_on = obs::Registry::enabled();
+    if (obs_on) {
+      obs::Count("individual.rounds");
+      obs::Count(traits.commutative ? "individual.candidates.adjacency"
+                                    : "individual.candidates.window",
+                 round.size());
+    }
+
     // Line 8: extension across rows.
     round = ExtendAggregations(grid, active, round, config.error_level);
+    if (obs_on) obs::Count("individual.candidates.extended", round.size());
 
     // Drop anything already found in a previous iteration.
     std::erase_if(round, [&detected_set](const Aggregation& candidate) {
@@ -72,6 +85,7 @@ std::vector<Aggregation> DetectIndividualRowwise(
 
     // Line 11: prune spurious pattern groups.
     round = PruneIndividual(grid, round, config.coverage, config.rules);
+    if (obs_on) obs::Count("individual.accepted", round.size());
     if (round.empty()) break;  // nothing survived; iterating again would repeat
 
     detected.insert(detected.end(), round.begin(), round.end());

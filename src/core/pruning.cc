@@ -3,8 +3,17 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
+
 namespace aggrecol::core {
 namespace {
+
+// Sums the member (candidate) counts of `groups` for the prune accounting.
+size_t MemberCount(const std::vector<PatternGroup>& groups) {
+  size_t members = 0;
+  for (const auto& group : groups) members += group.members.size();
+  return members;
+}
 
 bool Contains(const std::vector<int>& range, int index) {
   return std::find(range.begin(), range.end(), index) != range.end();
@@ -85,11 +94,29 @@ std::vector<Aggregation> PruneIndividual(const numfmt::NumericGrid& grid,
                                          double coverage, const PruningRules& rules) {
   std::vector<PatternGroup> groups = GroupByPattern(grid, candidates);
 
-  // 1. Coverage threshold on the sufficiency score.
+  // Per-rule prune accounting (docs/OBSERVABILITY.md): every drop below is
+  // attributed to the rule that caused it. The obs helpers no-op unless a
+  // metrics run is active, and the group/member counting is gated the same
+  // way so the disabled path does no extra work.
+  const bool obs_on = obs::Registry::enabled();
+  if (obs_on) {
+    obs::Count("prune.runs");
+    obs::Count("prune.input.groups", groups.size());
+    obs::Count("prune.input.candidates", candidates.size());
+  }
+
+  // 1. Coverage threshold on the sufficiency score (rule R1).
   if (rules.coverage_threshold) {
+    const size_t groups_before = groups.size();
+    const size_t members_before = obs_on ? MemberCount(groups) : 0;
     std::erase_if(groups, [coverage](const PatternGroup& group) {
       return group.sufficiency < coverage;
     });
+    if (obs_on) {
+      obs::Count("prune.r1_coverage.groups", groups_before - groups.size());
+      obs::Count("prune.r1_coverage.candidates",
+                 members_before - MemberCount(groups));
+    }
   }
 
   // Rank order used both for the same-aggregate/same-range dedup below and
@@ -129,7 +156,7 @@ std::vector<Aggregation> PruneIndividual(const numfmt::NumericGrid& grid,
   // legitimately be the aggregate of two different functions with disjoint
   // ranges (the net-income example of Sec. 3.2), which the collective stage
   // arbitrates.
-  auto dedup_by = [&](auto key_of) {
+  auto dedup_by = [&](auto key_of, const char* rule) {
     std::map<decltype(key_of(groups.front())), const PatternGroup*> best;
     for (const auto& group : groups) {
       auto [it, inserted] = best.try_emplace(key_of(group), &group);
@@ -144,19 +171,30 @@ std::vector<Aggregation> PruneIndividual(const numfmt::NumericGrid& grid,
     for (const auto& group : groups) {
       if (best.at(key_of(group)) == &group) kept.push_back(group);
     }
+    if (obs_on) {
+      obs::Count(std::string(rule) + ".groups", groups.size() - kept.size());
+      obs::Count(std::string(rule) + ".candidates",
+                 MemberCount(groups) - MemberCount(kept));
+    }
     groups = std::move(kept);
   };
   if (rules.same_aggregate_dedup && !groups.empty()) {
-    dedup_by([](const PatternGroup& group) {
-      return std::pair<AggregationFunction, int>{group.pattern.function,
-                                                 group.pattern.aggregate};
-    });
+    // Rule R2.
+    dedup_by(
+        [](const PatternGroup& group) {
+          return std::pair<AggregationFunction, int>{group.pattern.function,
+                                                     group.pattern.aggregate};
+        },
+        "prune.r2_same_aggregate");
   }
   if (rules.same_range_dedup && !groups.empty()) {
-    dedup_by([](const PatternGroup& group) {
-      return std::pair<AggregationFunction, std::vector<int>>{group.pattern.function,
-                                                              group.pattern.range};
-    });
+    // Rule R3.
+    dedup_by(
+        [](const PatternGroup& group) {
+          return std::pair<AggregationFunction, std::vector<int>>{
+              group.pattern.function, group.pattern.range};
+        },
+        "prune.r3_same_range");
   }
 
   // 3. Rank the survivors and walk the list, dropping groups that cannot
@@ -165,21 +203,38 @@ std::vector<Aggregation> PruneIndividual(const numfmt::NumericGrid& grid,
 
   std::vector<const PatternGroup*> accepted;
   for (const auto& group : groups) {
-    const bool conflicts = std::any_of(
-        accepted.begin(), accepted.end(), [&group, &rules](const PatternGroup* other) {
-          return (rules.directional_disagreement &&
-                  DirectionalDisagreement(group.pattern, other->pattern)) ||
-                 (rules.complete_inclusion &&
-                  CompleteInclusion(group.pattern, other->pattern)) ||
-                 (rules.mutual_inclusion &&
-                  MutualInclusion(group.pattern, other->pattern));
-        });
-    if (!conflicts) accepted.push_back(&group);
+    // Rule R4: the first matching heuristic against any accepted group wins,
+    // so drops are attributed to exactly one of the three conflict reasons.
+    const char* conflict = nullptr;
+    for (const PatternGroup* other : accepted) {
+      if (rules.directional_disagreement &&
+          DirectionalDisagreement(group.pattern, other->pattern)) {
+        conflict = "prune.r4_conflict.directional";
+      } else if (rules.complete_inclusion &&
+                 CompleteInclusion(group.pattern, other->pattern)) {
+        conflict = "prune.r4_conflict.complete_inclusion";
+      } else if (rules.mutual_inclusion &&
+                 MutualInclusion(group.pattern, other->pattern)) {
+        conflict = "prune.r4_conflict.mutual_inclusion";
+      }
+      if (conflict != nullptr) break;
+    }
+    if (conflict == nullptr) {
+      accepted.push_back(&group);
+    } else if (obs_on) {
+      obs::Count(conflict);
+      obs::Count("prune.r4_conflict.groups");
+      obs::Count("prune.r4_conflict.candidates", group.members.size());
+    }
   }
 
   std::vector<Aggregation> out;
   for (const PatternGroup* group : accepted) {
     out.insert(out.end(), group->members.begin(), group->members.end());
+  }
+  if (obs_on) {
+    obs::Count("prune.accepted.groups", accepted.size());
+    obs::Count("prune.accepted.candidates", out.size());
   }
   return out;
 }

@@ -7,6 +7,7 @@
 
 #include "core/individual_detector.h"
 #include "core/pruning.h"
+#include "obs/metrics.h"
 
 namespace aggrecol::core {
 namespace {
@@ -129,10 +130,14 @@ std::vector<Aggregation> DetectSupplementalRowwise(
     return it->second.size() > 1 || it->second.count(candidate.range) == 0;
   };
 
+  const bool obs_on = obs::Registry::enabled();
+  if (obs_on) obs::Count("stage3.runs");
+
   while (!queue.empty()) {
     config.cancel.ThrowIfCancelled();
     const AggregationFunction function = queue.front();
     queue.pop_front();
+    if (obs_on) obs::Count("stage3.rounds");
 
     // Construct derived files from everything detected so far (line 6).
     std::set<int> non_cumulative_cols;
@@ -142,6 +147,7 @@ std::vector<Aggregation> DetectSupplementalRowwise(
     const std::vector<std::vector<bool>> configurations = BuildConfigurations(
         grid.columns(), non_cumulative_cols, cumulative_cols,
         config.max_configurations);
+    if (obs_on) obs::Count("stage3.configurations", configurations.size());
 
     IndividualConfig individual;
     individual.error_level = config.error_levels[IndexOf(function)];
@@ -167,14 +173,25 @@ std::vector<Aggregation> DetectSupplementalRowwise(
         &AggregationLess);
     for (const auto& results : per_configuration) {
       for (const auto& result : results) {
-        if (known(result) || aggregate_claimed(result) ||
-            fresh_set.count(result) > 0) {
+        // Attribution mirrors the original short-circuit order, so every
+        // rejected candidate counts under exactly one stage3.dropped.* reason.
+        if (known(result)) {
+          if (obs_on) obs::Count("stage3.dropped.known");
+          continue;
+        }
+        if (aggregate_claimed(result)) {
+          if (obs_on) obs::Count("stage3.dropped.claimed");
+          continue;
+        }
+        if (fresh_set.count(result) > 0) {
+          if (obs_on) obs::Count("stage3.dropped.duplicate");
           continue;
         }
         fresh.push_back(result);
         fresh_set.insert(result);
       }
     }
+    if (obs_on) obs::Count("stage3.fresh", fresh.size());
 
     if (!fresh.empty()) {
       supplemental.insert(supplemental.end(), fresh.begin(), fresh.end());
@@ -203,6 +220,7 @@ std::vector<Aggregation> DetectSupplementalRowwise(
   std::erase_if(pruned, [&detected](const Aggregation& aggregation) {
     return std::find(detected.begin(), detected.end(), aggregation) != detected.end();
   });
+  if (obs_on) obs::Count("stage3.returned", pruned.size());
   return pruned;
 }
 

@@ -1,5 +1,8 @@
 #include "csv/parser.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace aggrecol::csv {
 namespace {
 
@@ -101,7 +104,17 @@ std::vector<std::vector<std::string>> ParseRows(std::string_view text,
 }
 
 Grid ParseGrid(std::string_view text, const Dialect& dialect) {
-  return Grid(ParseRows(text, dialect));
+  // Instrumented here rather than in ParseRows: the sniffer calls ParseRows
+  // once per candidate dialect, which would inflate the parse counters.
+  obs::ScopedSpan span("csv.parse");
+  Grid grid(ParseRows(text, dialect));
+  if (obs::Registry::enabled()) {
+    obs::Count("csv.parse.grids");
+    obs::Count("csv.parse.rows", grid.rows());
+    obs::Count("csv.parse.cells",
+               static_cast<size_t>(grid.rows()) * grid.columns());
+  }
+  return grid;
 }
 
 }  // namespace aggrecol::csv

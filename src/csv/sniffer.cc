@@ -4,6 +4,8 @@
 #include <map>
 
 #include "csv/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace aggrecol::csv {
 namespace {
@@ -43,6 +45,9 @@ double ScoreParse(const std::vector<std::vector<std::string>>& rows) {
 }  // namespace
 
 SniffResult SniffDialect(std::string_view text) {
+  obs::ScopedSpan span("csv.sniff");
+  const bool obs_on = obs::Registry::enabled();
+  if (obs_on) obs::Count("csv.sniff.files");
   SniffResult best;
   best.dialect = Dialect{',', '"'};
   best.score = -1.0;
@@ -51,6 +56,7 @@ SniffResult SniffDialect(std::string_view text) {
       Dialect candidate{delimiter, quote};
       const auto rows = ParseRows(text, candidate);
       const double score = ScoreParse(rows);
+      if (obs_on) obs::Count("csv.sniff.candidates");
       if (score > best.score) {
         best.dialect = candidate;
         best.score = score;

@@ -5,6 +5,8 @@
 #include <deque>
 #include <exception>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace aggrecol::eval {
@@ -38,6 +40,7 @@ BatchFileReport BatchRunner::ProcessOne(const AnnotatedFile& file,
          !max_in_flight->compare_exchange_weak(seen, now_running,
                                                std::memory_order_relaxed)) {
   }
+  obs::GaugeMax("batch.in_flight.max", now_running);
 
   BatchFileReport report;
   report.name = file.name;
@@ -66,12 +69,29 @@ BatchFileReport BatchRunner::ProcessOne(const AnnotatedFile& file,
     report.error = e.what();
   }
   report.seconds = stopwatch.ElapsedSeconds();
+  if (obs::Registry::enabled()) {
+    obs::Observe("batch.file.seconds", report.seconds);
+    if (options_.file_timeout_seconds > 0.0 &&
+        report.outcome != FileOutcome::kTimedOut) {
+      // Slack = deadline headroom the file left unused; near-zero slack means
+      // the per-file timeout is about to start biting.
+      obs::Observe("batch.deadline.slack_seconds",
+                   std::max(0.0, options_.file_timeout_seconds - report.seconds));
+    }
+  }
 
   in_flight->fetch_sub(1, std::memory_order_relaxed);
   return report;
 }
 
 BatchReport BatchRunner::Run(const std::vector<AnnotatedFile>& files) {
+  obs::ScopedSpan span("batch.run");
+  if (obs::Registry::enabled()) {
+    obs::Count("batch.files.submitted", files.size());
+    obs::GaugeSet("batch.threads", options_.threads);
+    obs::GaugeSet("batch.window", std::max(1, options_.max_in_flight));
+  }
+
   BatchReport report;
   report.files.resize(files.size());
   util::Stopwatch stopwatch;
@@ -131,7 +151,23 @@ BatchReport BatchRunner::Run(const std::vector<AnnotatedFile>& files) {
     }
   }
   report.scores = Accumulate(ok_scores);
+  if (obs::Registry::enabled()) {
+    obs::Count("batch.files.ok", report.ok);
+    obs::Count("batch.files.timed_out", report.timed_out);
+    obs::Count("batch.files.failed", report.failed);
+  }
   return report;
+}
+
+double SuccessRate(const BatchReport& report) {
+  // Timed-out files are excluded from the denominator: a deadline trip says
+  // the file was expensive, not that detection was wrong, and counting it as
+  // a failure makes the same corpus score differently under different
+  // --timeout settings. Vacuously 1.0 when nothing completed either way,
+  // matching the Scores convention.
+  const int decided = report.ok + report.failed;
+  if (decided == 0) return 1.0;
+  return static_cast<double>(report.ok) / decided;
 }
 
 }  // namespace aggrecol::eval

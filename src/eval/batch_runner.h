@@ -65,6 +65,12 @@ struct BatchReport {
   int max_in_flight_observed = 0;
 };
 
+/// Fraction of *decided* files that completed: ok / (ok + failed). Timed-out
+/// files are excluded from the denominator — a deadline trip is a scheduling
+/// outcome, not a detection failure, so the rate stays comparable across
+/// --timeout settings. 1.0 when no file was decided.
+double SuccessRate(const BatchReport& report);
+
 struct BatchOptions {
   /// Detection configuration applied to every file. The runner overrides the
   /// `pool`, `threads`, and (when a timeout is set) `cancel` fields: all

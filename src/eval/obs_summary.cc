@@ -1,0 +1,117 @@
+#include "eval/obs_summary.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/table_printer.h"
+
+namespace aggrecol::eval {
+namespace {
+
+std::string FormatCount(uint64_t value) { return std::to_string(value); }
+
+std::string FormatSeconds(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", seconds);
+  return buffer;
+}
+
+std::string FormatShare(uint64_t part, uint64_t whole) {
+  if (whole == 0) return "-";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f%%",
+                100.0 * static_cast<double>(part) / static_cast<double>(whole));
+  return buffer;
+}
+
+}  // namespace
+
+void PrintObservabilitySummary(const obs::MetricsSnapshot& snapshot,
+                               std::ostream& os) {
+  if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+      snapshot.histograms.empty()) {
+    os << "observability summary: no metrics were recorded";
+    if (!obs::CompiledIn()) os << " (built with AGGRECOL_OBS=OFF)";
+    os << "\n";
+    return;
+  }
+
+  // Stage funnel: how many candidates entered the prune, survived stage 1,
+  // survived the collective prune, and came back from stage 3. The stage-1
+  // row uses prune.input because the per-round candidate counters
+  // (individual.candidates.*) double-count across cumulative rounds.
+  {
+    const uint64_t generated = snapshot.counter("prune.input.candidates");
+    const uint64_t stage1 = snapshot.counter("stage1.accepted");
+    const uint64_t stage2 = snapshot.counter("stage2.accepted");
+    const uint64_t stage3 = snapshot.counter("stage3.recovered");
+    util::TablePrinter funnel;
+    funnel.SetHeader({"stage", "candidates", "of generated"});
+    funnel.AddRow({"generated (pre-prune)", FormatCount(generated), "100.0%"});
+    funnel.AddRow({"stage 1 accepted", FormatCount(stage1),
+                   FormatShare(stage1, generated)});
+    funnel.AddRow({"stage 2 accepted", FormatCount(stage2),
+                   FormatShare(stage2, generated)});
+    funnel.AddRow({"stage 3 recovered", FormatCount(stage3),
+                   FormatShare(stage3, generated)});
+    os << "detection funnel\n";
+    funnel.Print(os);
+    os << "\n";
+  }
+
+  // Per-rule prune accounting: candidates dropped by each individual-stage
+  // rule (R1-R4) and each collective-stage reason.
+  {
+    struct Rule {
+      const char* label;
+      const char* counter;
+    };
+    const std::vector<Rule> rules = {
+        {"R1 coverage threshold", "prune.r1_coverage.candidates"},
+        {"R2 same-aggregate dedup", "prune.r2_same_aggregate.candidates"},
+        {"R3 same-range dedup", "prune.r3_same_range.candidates"},
+        {"R4 conflict: directional", "prune.r4_conflict.directional"},
+        {"R4 conflict: complete inclusion",
+         "prune.r4_conflict.complete_inclusion"},
+        {"R4 conflict: mutual inclusion", "prune.r4_conflict.mutual_inclusion"},
+        {"stage 2: complete inclusion", "stage2.pruned.complete_inclusion"},
+        {"stage 2: mutual inclusion", "stage2.pruned.mutual_inclusion"},
+        {"stage 2: same-aggregate overlap",
+         "stage2.pruned.same_aggregate_overlap"},
+        {"stage 2: circular vs division", "stage2.pruned.division_circular"},
+    };
+    util::TablePrinter pruning;
+    pruning.SetHeader({"prune rule", "dropped"});
+    for (const auto& rule : rules) {
+      pruning.AddRow({rule.label, FormatCount(snapshot.counter(rule.counter))});
+    }
+    os << "prune accounting (candidates for R1-R3, groups for R4/stage 2)\n";
+    pruning.Print(os);
+    os << "\n";
+  }
+
+  // Span latencies: every histogram named span.<name>, with count, total,
+  // and mean seconds.
+  util::TablePrinter spans;
+  spans.SetHeader({"span", "count", "total s", "mean s"});
+  bool any_span = false;
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name.rfind(obs::ScopedSpan::kSpanPrefix, 0) != 0) continue;
+    any_span = true;
+    const double mean =
+        histogram.count > 0
+            ? histogram.sum / static_cast<double>(histogram.count)
+            : 0.0;
+    spans.AddRow({histogram.name.substr(obs::ScopedSpan::kSpanPrefix.size()),
+                  FormatCount(histogram.count), FormatSeconds(histogram.sum),
+                  FormatSeconds(mean)});
+  }
+  if (any_span) {
+    os << "span latencies\n";
+    spans.Print(os);
+  }
+}
+
+}  // namespace aggrecol::eval

@@ -1,0 +1,22 @@
+#ifndef AGGRECOL_EVAL_OBS_SUMMARY_H_
+#define AGGRECOL_EVAL_OBS_SUMMARY_H_
+
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace aggrecol::eval {
+
+/// Renders a per-corpus observability summary from a metrics snapshot: the
+/// stage funnel (candidates entering/surviving each pipeline stage), the
+/// per-rule prune accounting (R1-R4 plus the collective-stage reasons), and
+/// the span latency table. This is the human-readable corpus report behind
+/// `aggrecol batch --trace`; the raw snapshot is available via
+/// `--metrics-json`. Prints nothing but a notice when the snapshot is empty
+/// (e.g. a build with AGGRECOL_OBS=OFF).
+void PrintObservabilitySummary(const obs::MetricsSnapshot& snapshot,
+                               std::ostream& os);
+
+}  // namespace aggrecol::eval
+
+#endif  // AGGRECOL_EVAL_OBS_SUMMARY_H_

@@ -1,9 +1,12 @@
 #include "numfmt/number_format.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace aggrecol::numfmt {
@@ -185,6 +188,7 @@ std::optional<double> ParseNumber(std::string_view text, NumberFormat format) {
 }
 
 NumberFormat ElectFormat(const csv::Grid& grid) {
+  obs::ScopedSpan span("numfmt.elect");
   std::array<int, kAllNumberFormats.size()> counts{};
   for (int i = 0; i < grid.rows(); ++i) {
     for (int j = 0; j < grid.columns(); ++j) {
@@ -202,6 +206,14 @@ NumberFormat ElectFormat(const csv::Grid& grid) {
          OccurrencePrior(kAllNumberFormats[f]) > OccurrencePrior(kAllNumberFormats[best]))) {
       best = f;
     }
+  }
+  if (obs::Registry::enabled()) {
+    obs::Count("numfmt.elect.files");
+    // Slash-to-underscore so the winner reads as a metric-name token:
+    // "space/comma" -> numfmt.elect.space_comma.
+    std::string winner = ToString(kAllNumberFormats[best]);
+    std::replace(winner.begin(), winner.end(), '/', '_');
+    obs::Count("numfmt.elect." + winner);
   }
   return kAllNumberFormats[best];
 }

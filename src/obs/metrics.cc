@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace aggrecol::obs {
+namespace {
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double seen = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(seen, seen + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name, std::vector<double> boundaries)
+    : name_(std::move(name)), boundaries_(std::move(boundaries)) {
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+  shards_.reserve(internal::kShards);
+  for (size_t s = 0; s < internal::kShards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(boundaries_.size() + 1));
+  }
+}
+
+void Histogram::Record(double value) {
+  // First boundary >= value; past-the-end means the overflow bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), value) -
+      boundaries_.begin());
+  Shard& shard = *shards_[internal::ShardIndex()];
+  shard.bucket_counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&shard.sum, value);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard->sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(boundaries_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t b = 0; b < counts.size(); ++b) {
+      counts[b] += shard->bucket_counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (auto& bucket : shard->bucket_counts) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard->count.store(0, std::memory_order_relaxed);
+    shard->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& LatencyBuckets() {
+  static const auto* const kBuckets = new std::vector<double>{
+      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 60.0, 300.0};
+  return *kBuckets;
+}
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [counter_name, value] : counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+std::atomic<bool> Registry::enabled_{false};
+
+Registry& Registry::Instance() {
+  static auto* const kRegistry = new Registry();
+  return *kRegistry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = counters_.find(name); it != counters_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] =
+      counters_.try_emplace(std::string(name), nullptr);
+  if (inserted) it->second = std::make_unique<Counter>(std::string(name));
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = gauges_.find(name); it != gauges_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = gauges_.try_emplace(std::string(name), nullptr);
+  if (inserted) it->second = std::make_unique<Gauge>(std::string(name));
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  const std::vector<double>& boundaries) {
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = histograms_.find(name); it != histograms_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = histograms_.try_emplace(std::string(name), nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Histogram>(std::string(name), boundaries);
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::shared_lock lock(mutex_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram->Count();
+    h.sum = histogram->Sum();
+    h.boundaries = histogram->boundaries();
+    h.buckets = histogram->BucketCounts();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::shared_lock lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace aggrecol::obs

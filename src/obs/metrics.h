@@ -1,0 +1,254 @@
+#ifndef AGGRECOL_OBS_METRICS_H_
+#define AGGRECOL_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Compile-time observability switch. The build defines AGGRECOL_OBS to 0 or
+/// 1 (CMake option AGGRECOL_OBS, on by default); when it is 0 every
+/// instrumentation helper below collapses to an empty inline function, so the
+/// detection pipeline carries no metrics code at all.
+#ifndef AGGRECOL_OBS
+#define AGGRECOL_OBS 1
+#endif
+
+namespace aggrecol::obs {
+
+/// True when instrumentation was compiled in (AGGRECOL_OBS != 0). The
+/// registry, sinks, and metric classes exist either way — only the call sites
+/// inside the pipeline compile out.
+constexpr bool CompiledIn() { return AGGRECOL_OBS != 0; }
+
+namespace internal {
+
+/// Stable shard slot of the calling thread: threads are assigned round-robin
+/// on first use, so up to kShards threads never contend on the same cache
+/// line. Shared by every sharded metric.
+inline constexpr size_t kShards = 8;
+
+inline size_t ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+struct alignas(64) ShardSlot {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+/// A monotonically increasing counter, sharded per thread slot so concurrent
+/// Add calls from the thread pool do not bounce one cache line around.
+/// Value() sums the shards; counts are additive, so the total is independent
+/// of how work was distributed over threads — the property the determinism
+/// battery asserts on.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(uint64_t delta = 1) {
+    shards_[internal::ShardIndex()].value.fetch_add(delta,
+                                                    std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::array<internal::ShardSlot, internal::kShards> shards_;
+  std::string name_;
+};
+
+/// A last-value / extremum metric (queue depths, window sizes).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `value` if it is higher (high-water marks).
+  void RecordMax(int64_t value) {
+    int64_t seen = value_.load(std::memory_order_relaxed);
+    while (seen < value && !value_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::string name_;
+};
+
+/// A fixed-boundary histogram with sharded bucket counts. A recorded value
+/// lands in the first bucket whose upper bound is >= the value ("le"
+/// semantics); values above the last boundary land in the implicit overflow
+/// bucket, so BucketCounts() has boundaries().size() + 1 entries.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> boundaries);
+
+  void Record(double value);
+
+  uint64_t Count() const;
+  double Sum() const;
+  std::vector<uint64_t> BucketCounts() const;
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  const std::string& name() const { return name_; }
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    explicit Shard(size_t buckets) : bucket_counts(buckets) {}
+    std::vector<std::atomic<uint64_t>> bucket_counts;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::string name_;
+  std::vector<double> boundaries_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Default histogram boundaries for wall-clock durations in seconds
+/// (1 microsecond .. 5 minutes, roughly logarithmic).
+const std::vector<double>& LatencyBuckets();
+
+/// A point-in-time copy of one histogram, comparable and serializable.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<double> boundaries;
+  std::vector<uint64_t> buckets;  // boundaries.size() + 1, overflow last
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+/// A point-in-time copy of every registered metric, sorted by name. This is
+/// what the sinks (JSON, ASCII table) and the per-corpus summaries consume.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Value of the named counter, or 0 when it was never touched.
+  uint64_t counter(std::string_view name) const;
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+/// Process-wide metrics registry. Metrics are created on first use, keyed by
+/// name, and live for the lifetime of the process; references returned by the
+/// Get* methods stay valid across Reset() (which zeroes values in place).
+///
+/// Collection is off until set_enabled(true): the instrumentation helpers
+/// below check the flag with one relaxed load and skip all work when it is
+/// false, which is the runtime no-op path benchmarked by bench/obs_overhead.
+class Registry {
+ public:
+  static Registry& Instance();
+
+  static bool enabled() {
+    return CompiledIn() && enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+
+  /// `boundaries` is only consulted when the histogram does not exist yet.
+  Histogram& GetHistogram(std::string_view name,
+                          const std::vector<double>& boundaries = LatencyBuckets());
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric in place (registered objects survive).
+  void Reset();
+
+ private:
+  Registry() = default;
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Enables metrics collection for a scope: resets the registry so the
+/// snapshot covers exactly this run, then restores the previous enabled state
+/// on destruction. The CLI wraps each `batch --metrics-json/--trace` run in
+/// one of these.
+class ScopedMetrics {
+ public:
+  ScopedMetrics() : previous_(Registry::enabled()) {
+    Registry::Instance().Reset();
+    Registry::set_enabled(true);
+  }
+  ~ScopedMetrics() { Registry::set_enabled(previous_); }
+
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// ---- Instrumentation helpers -------------------------------------------
+/// These are the only functions pipeline code calls. Compiled out entirely
+/// when AGGRECOL_OBS is 0; a single relaxed load + branch when compiled in
+/// but not enabled.
+
+inline void Count(std::string_view name, uint64_t delta = 1) {
+  if (!CompiledIn() || !Registry::enabled()) return;
+  Registry::Instance().GetCounter(name).Add(delta);
+}
+
+inline void GaugeSet(std::string_view name, int64_t value) {
+  if (!CompiledIn() || !Registry::enabled()) return;
+  Registry::Instance().GetGauge(name).Set(value);
+}
+
+inline void GaugeMax(std::string_view name, int64_t value) {
+  if (!CompiledIn() || !Registry::enabled()) return;
+  Registry::Instance().GetGauge(name).RecordMax(value);
+}
+
+inline void Observe(std::string_view name, double value) {
+  if (!CompiledIn() || !Registry::enabled()) return;
+  Registry::Instance().GetHistogram(name).Record(value);
+}
+
+}  // namespace aggrecol::obs
+
+#endif  // AGGRECOL_OBS_METRICS_H_

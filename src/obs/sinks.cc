@@ -1,0 +1,391 @@
+#include "obs/sinks.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace aggrecol::obs {
+namespace {
+
+// ---- JSON writing ---------------------------------------------------------
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Round-trip-exact double rendering (%.17g re-parses to the same bits).
+std::string JsonDouble(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// ---- JSON parsing (minimal, only what WriteMetricsJson emits) -------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string number;  // raw token; converted on demand
+  std::string text;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [name, value] : object) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    auto value = ParseValue();
+    if (!value.has_value()) return std::nullopt;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != expected) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (text_.substr(pos_, keyword.size()) != keyword) return false;
+    pos_ += keyword.size();
+    return true;
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          const unsigned long code =
+              std::strtoul(std::string(text_.substr(pos_, 4)).c_str(), nullptr, 16);
+          pos_ += 4;
+          if (code > 0xFF) return std::nullopt;  // metric names are ASCII
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    JsonValue value;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kObject;
+      SkipWhitespace();
+      if (Consume('}')) return value;
+      while (true) {
+        auto key = ParseString();
+        if (!key.has_value() || !Consume(':')) return std::nullopt;
+        auto member = ParseValue();
+        if (!member.has_value()) return std::nullopt;
+        value.object.emplace_back(std::move(*key), std::move(*member));
+        if (Consume(',')) continue;
+        if (Consume('}')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kArray;
+      SkipWhitespace();
+      if (Consume(']')) return value;
+      while (true) {
+        auto element = ParseValue();
+        if (!element.has_value()) return std::nullopt;
+        value.array.push_back(std::move(*element));
+        if (Consume(',')) continue;
+        if (Consume(']')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      auto text = ParseString();
+      if (!text.has_value()) return std::nullopt;
+      value.kind = JsonValue::Kind::kString;
+      value.text = std::move(*text);
+      return value;
+    }
+    if (c == 't') {
+      if (!ConsumeKeyword("true")) return std::nullopt;
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (c == 'f') {
+      if (!ConsumeKeyword("false")) return std::nullopt;
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      return value;
+    }
+    if (c == 'n') {
+      if (!ConsumeKeyword("null")) return std::nullopt;
+      value.kind = JsonValue::Kind::kNull;
+      return value;
+    }
+    // Number: consume the maximal [-+0-9.eE] run and validate via strtod.
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::string(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    std::strtod(value.number.c_str(), &end);
+    if (end != value.number.c_str() + value.number.size()) return std::nullopt;
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+std::optional<uint64_t> AsUint64(const JsonValue* value) {
+  if (value == nullptr || value->kind != JsonValue::Kind::kNumber) {
+    return std::nullopt;
+  }
+  return std::strtoull(value->number.c_str(), nullptr, 10);
+}
+
+std::optional<int64_t> AsInt64(const JsonValue* value) {
+  if (value == nullptr || value->kind != JsonValue::Kind::kNumber) {
+    return std::nullopt;
+  }
+  return std::strtoll(value->number.c_str(), nullptr, 10);
+}
+
+std::optional<double> AsDouble(const JsonValue* value) {
+  if (value == nullptr || value->kind != JsonValue::Kind::kNumber) {
+    return std::nullopt;
+  }
+  return std::strtod(value->number.c_str(), nullptr);
+}
+
+}  // namespace
+
+void WriteMetricsJson(const MetricsSnapshot& snapshot, std::ostream& os) {
+  os << "{\n";
+  os << "  \"schema\": \"aggrecol.metrics.v1\",\n";
+  os << "  \"obs_compiled\": " << (CompiledIn() ? "true" : "false") << ",\n";
+
+  os << "  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << JsonEscape(snapshot.counters[i].first)
+       << "\": " << snapshot.counters[i].second;
+  }
+  os << (snapshot.counters.empty() ? "}" : "\n  }") << ",\n";
+
+  os << "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << JsonEscape(snapshot.gauges[i].first)
+       << "\": " << snapshot.gauges[i].second;
+  }
+  os << (snapshot.gauges.empty() ? "}" : "\n  }") << ",\n";
+
+  os << "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << JsonEscape(h.name) << "\": {\n";
+    os << "      \"count\": " << h.count << ",\n";
+    os << "      \"sum\": " << JsonDouble(h.sum) << ",\n";
+    os << "      \"buckets\": [";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << "{\"le\": "
+         << (b < h.boundaries.size() ? JsonDouble(h.boundaries[b]) : "null")
+         << ", \"count\": " << h.buckets[b] << "}";
+    }
+    os << "]\n    }";
+  }
+  os << (snapshot.histograms.empty() ? "}" : "\n  }") << "\n";
+  os << "}\n";
+}
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream oss;
+  WriteMetricsJson(snapshot, oss);
+  return oss.str();
+}
+
+std::optional<MetricsSnapshot> ParseMetricsJson(std::string_view text) {
+  const auto root = JsonParser(text).Parse();
+  if (!root.has_value() || root->kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  const JsonValue* schema = root->Find("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString ||
+      schema->text != "aggrecol.metrics.v1") {
+    return std::nullopt;
+  }
+
+  MetricsSnapshot snapshot;
+  const JsonValue* counters = root->Find("counters");
+  if (counters == nullptr || counters->kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  for (const auto& [name, value] : counters->object) {
+    const auto parsed = AsUint64(&value);
+    if (!parsed.has_value()) return std::nullopt;
+    snapshot.counters.emplace_back(name, *parsed);
+  }
+
+  const JsonValue* gauges = root->Find("gauges");
+  if (gauges == nullptr || gauges->kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  for (const auto& [name, value] : gauges->object) {
+    const auto parsed = AsInt64(&value);
+    if (!parsed.has_value()) return std::nullopt;
+    snapshot.gauges.emplace_back(name, *parsed);
+  }
+
+  const JsonValue* histograms = root->Find("histograms");
+  if (histograms == nullptr || histograms->kind != JsonValue::Kind::kObject) {
+    return std::nullopt;
+  }
+  for (const auto& [name, value] : histograms->object) {
+    if (value.kind != JsonValue::Kind::kObject) return std::nullopt;
+    HistogramSnapshot h;
+    h.name = name;
+    const auto count = AsUint64(value.Find("count"));
+    const auto sum = AsDouble(value.Find("sum"));
+    const JsonValue* buckets = value.Find("buckets");
+    if (!count.has_value() || !sum.has_value() || buckets == nullptr ||
+        buckets->kind != JsonValue::Kind::kArray) {
+      return std::nullopt;
+    }
+    h.count = *count;
+    h.sum = *sum;
+    for (const auto& bucket : buckets->array) {
+      if (bucket.kind != JsonValue::Kind::kObject) return std::nullopt;
+      const JsonValue* le = bucket.Find("le");
+      const auto bucket_count = AsUint64(bucket.Find("count"));
+      if (le == nullptr || !bucket_count.has_value()) return std::nullopt;
+      if (le->kind == JsonValue::Kind::kNumber) {
+        const auto boundary = AsDouble(le);
+        if (!boundary.has_value()) return std::nullopt;
+        h.boundaries.push_back(*boundary);
+      } else if (le->kind != JsonValue::Kind::kNull) {
+        return std::nullopt;
+      }
+      h.buckets.push_back(*bucket_count);
+    }
+    // Exactly one overflow bucket (the "le": null entry) is expected.
+    if (h.buckets.size() != h.boundaries.size() + 1) return std::nullopt;
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+void PrintMetricsTable(const MetricsSnapshot& snapshot, std::ostream& os) {
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    util::TablePrinter table;
+    table.SetHeader({"metric", "kind", "value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      table.AddRow({name, "counter", std::to_string(value)});
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      table.AddRow({name, "gauge", std::to_string(value)});
+    }
+    table.Print(os);
+  }
+  if (!snapshot.histograms.empty()) {
+    util::TablePrinter table;
+    table.SetHeader({"histogram", "count", "total", "mean"});
+    for (const auto& h : snapshot.histograms) {
+      table.AddRow({h.name, std::to_string(h.count),
+                    util::FormatDouble(h.sum, 6),
+                    util::FormatDouble(h.count > 0 ? h.sum / h.count : 0.0, 6)});
+    }
+    table.Print(os);
+  }
+}
+
+}  // namespace aggrecol::obs

@@ -1,0 +1,32 @@
+#ifndef AGGRECOL_OBS_SINKS_H_
+#define AGGRECOL_OBS_SINKS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace aggrecol::obs {
+
+/// Serializes `snapshot` as the `aggrecol.metrics.v1` JSON document (the
+/// `--metrics-json` output; schema in docs/OBSERVABILITY.md). Deterministic:
+/// metrics are emitted sorted by name, doubles with round-trip precision.
+void WriteMetricsJson(const MetricsSnapshot& snapshot, std::ostream& os);
+
+/// WriteMetricsJson into a string.
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+/// Parses a document produced by WriteMetricsJson back into a snapshot.
+/// Returns std::nullopt on malformed input or an unknown schema tag. The
+/// round trip is exact: Parse(MetricsJson(s)) == s.
+std::optional<MetricsSnapshot> ParseMetricsJson(std::string_view text);
+
+/// Renders the snapshot as aligned ASCII tables (counters, gauges, and span
+/// histograms with count/total/mean), the human-readable sink.
+void PrintMetricsTable(const MetricsSnapshot& snapshot, std::ostream& os);
+
+}  // namespace aggrecol::obs
+
+#endif  // AGGRECOL_OBS_SINKS_H_

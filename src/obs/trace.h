@@ -1,0 +1,51 @@
+#ifndef AGGRECOL_OBS_TRACE_H_
+#define AGGRECOL_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace aggrecol::obs {
+
+/// A scoped wall-clock timer over one pipeline stage. On destruction it
+/// records the elapsed seconds into the histogram `span.<name>` (latency
+/// buckets), so every span contributes a call count, a total, and a latency
+/// distribution without any per-span allocation beyond the first call.
+///
+/// Spans are thread-safe: concurrent spans of the same name record into the
+/// same sharded histogram. The static parent/child structure of the span
+/// names is documented in docs/OBSERVABILITY.md (span hierarchy); nesting is
+/// by convention of the call sites, not tracked at runtime, so a span costs
+/// two clock reads when metrics are enabled and nothing otherwise.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) {
+    if (!CompiledIn() || !Registry::enabled()) return;
+    histogram_ =
+        &Registry::Instance().GetHistogram(std::string(kSpanPrefix) + std::string(name));
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedSpan() {
+    if (histogram_ == nullptr) return;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    histogram_->Record(elapsed.count());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Histogram-name prefix identifying span histograms in a snapshot.
+  static constexpr std::string_view kSpanPrefix = "span.";
+
+ private:
+  Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace aggrecol::obs
+
+#endif  // AGGRECOL_OBS_TRACE_H_

@@ -7,6 +7,7 @@
 #include "datagen/corpus.h"
 #include "datagen/file_generator.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 
 namespace aggrecol::eval {
 namespace {
@@ -151,6 +152,74 @@ TEST(BatchRunner, ZeroTimeoutMeansNoDeadline) {
   const auto report = BatchRunner(options).Run(files);
   EXPECT_EQ(report.ok, 3);
   EXPECT_EQ(report.timed_out, 0);
+}
+
+TEST(BatchRunner, SuccessRateExcludesTimedOutFromDenominator) {
+  // Regression: a timed-out file is a scheduling outcome, not a detection
+  // failure, so it must not appear in the success-rate denominator.
+  BatchReport report;
+  report.ok = 6;
+  report.timed_out = 2;
+  report.failed = 0;
+  EXPECT_DOUBLE_EQ(SuccessRate(report), 1.0);  // not 6/8
+
+  report.failed = 2;
+  EXPECT_DOUBLE_EQ(SuccessRate(report), 0.75);  // 6/8 decided, not 6/10
+
+  // Vacuously perfect when nothing was decided (even if everything timed out).
+  report.ok = 0;
+  report.failed = 0;
+  EXPECT_DOUBLE_EQ(SuccessRate(report), 1.0);
+}
+
+TEST(BatchRunner, SuccessRateOfLiveRunWithTimeout) {
+  auto files = SmallCorpus(4, 17);
+  files.push_back(HugeFile());
+  BatchOptions options;
+  options.threads = 2;
+  options.file_timeout_seconds = 2.0;
+  const auto report = BatchRunner(options).Run(files);
+  ASSERT_EQ(report.ok, 4);
+  ASSERT_EQ(report.timed_out, 1);
+  ASSERT_EQ(report.failed, 0);
+  EXPECT_DOUBLE_EQ(SuccessRate(report), 1.0);
+}
+
+TEST(BatchRunner, EmitsSchedulingMetrics) {
+  if (!obs::CompiledIn()) GTEST_SKIP() << "built with AGGRECOL_OBS=OFF";
+  const auto files = SmallCorpus(6, 23);
+  BatchOptions options;
+  options.threads = 2;
+  options.max_in_flight = 3;
+
+  obs::ScopedMetrics scoped;
+  const auto report = BatchRunner(options).Run(files);
+  const auto snapshot = obs::Registry::Instance().Snapshot();
+
+  EXPECT_EQ(snapshot.counter("batch.files.submitted"), files.size());
+  EXPECT_EQ(snapshot.counter("batch.files.ok"),
+            static_cast<uint64_t>(report.ok));
+  EXPECT_EQ(snapshot.counter("batch.files.timed_out"), 0u);
+  EXPECT_EQ(snapshot.counter("batch.files.failed"), 0u);
+
+  int64_t in_flight_max = -1, window = -1, threads = -1;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "batch.in_flight.max") in_flight_max = value;
+    if (name == "batch.window") window = value;
+    if (name == "batch.threads") threads = value;
+  }
+  EXPECT_EQ(in_flight_max, report.max_in_flight_observed);
+  EXPECT_EQ(window, 3);
+  EXPECT_EQ(threads, 2);
+
+  bool saw_file_seconds = false;
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name == "batch.file.seconds") {
+      saw_file_seconds = true;
+      EXPECT_EQ(histogram.count, files.size());
+    }
+  }
+  EXPECT_TRUE(saw_file_seconds);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "core/aggrecol.h"
 #include "datagen/corpus.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace aggrecol {
@@ -64,6 +65,31 @@ TEST(Determinism, BitIdenticalWithInjectedSharedPool) {
   core::AggreColConfig injected;
   injected.pool = &pool;
   ExpectIdentical(baseline, RunAll(injected), "injected pool");
+}
+
+TEST(Determinism, CounterTotalsIdenticalAcrossThreadCounts) {
+  // Counters are additive over work items, and the pipeline distributes the
+  // same work whatever the thread count — so every counter (including the
+  // per-rule prune accounting) must total identically at threads = 1, 2, 8.
+  // Gauges and histograms are timing-dependent and deliberately not compared.
+  if (!obs::CompiledIn()) GTEST_SKIP() << "built with AGGRECOL_OBS=OFF";
+
+  auto counters_at = [](int threads) {
+    obs::ScopedMetrics scoped;
+    core::AggreColConfig config;
+    config.threads = threads;
+    RunAll(config);
+    return obs::Registry::Instance().Snapshot().counters;
+  };
+
+  const auto baseline = counters_at(1);
+  EXPECT_GT(baseline.size(), 0u);
+  ASSERT_GT(obs::Registry::Instance().Snapshot().counter("prune.runs"), 0u);
+  for (int threads : {2, 8}) {
+    const auto threaded = counters_at(threads);
+    EXPECT_EQ(baseline, threaded)
+        << "counter totals diverged at threads=" << threads;
+  }
 }
 
 TEST(Determinism, BitIdenticalWithCompositesAndSplitTables) {

@@ -1,0 +1,148 @@
+// Keeps the operator docs honest: docs/CLI.md is checked against the
+// compiled CLI surface (commands + accepted options, both directions), and
+// docs/OBSERVABILITY.md against the counters an instrumented corpus run
+// actually emits. AGGRECOL_SOURCE_DIR is injected by tests/CMakeLists.txt.
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cli/commands.h"
+#include "datagen/corpus.h"
+#include "eval/batch_runner.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace aggrecol {
+namespace {
+
+std::string ReadDoc(const std::string& relative) {
+  const std::string path = std::string(AGGRECOL_SOURCE_DIR) + "/" + relative;
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << "missing " << path;
+  std::ostringstream content;
+  content << file.rdbuf();
+  return content.str();
+}
+
+// All --option tokens in a document (without the leading dashes).
+std::set<std::string> OptionTokens(const std::string& text) {
+  std::set<std::string> tokens;
+  const std::regex option_re("--([a-z][a-z0-9-]*)");
+  for (std::sregex_iterator it(text.begin(), text.end(), option_re), end;
+       it != end; ++it) {
+    tokens.insert((*it)[1].str());
+  }
+  return tokens;
+}
+
+TEST(CliDocs, EveryCommandIsDocumented) {
+  const std::string doc = ReadDoc("docs/CLI.md");
+  for (const std::string& command : cli::CommandNames()) {
+    EXPECT_NE(doc.find("aggrecol " + command), std::string::npos)
+        << "docs/CLI.md does not document `aggrecol " << command << "`";
+  }
+}
+
+TEST(CliDocs, EveryAcceptedOptionIsDocumented) {
+  const std::string doc = ReadDoc("docs/CLI.md");
+  const std::set<std::string> documented = OptionTokens(doc);
+  for (const std::string& command : cli::CommandNames()) {
+    for (const std::string& option : cli::KnownOptionsFor(command)) {
+      EXPECT_TRUE(documented.count(option) > 0)
+          << "docs/CLI.md does not document --" << option << " (accepted by `"
+          << command << "`)";
+    }
+  }
+}
+
+TEST(CliDocs, EveryDocumentedOptionIsAccepted) {
+  // The reverse direction: a flag mentioned in the doc but accepted by no
+  // command is stale documentation.
+  std::set<std::string> accepted;
+  for (const std::string& command : cli::CommandNames()) {
+    for (const std::string& option : cli::KnownOptionsFor(command)) {
+      accepted.insert(option);
+    }
+  }
+  // Function names that may appear in --error-level=sum:...,division:...
+  // examples are values, not options.
+  for (const std::string& token : OptionTokens(ReadDoc("docs/CLI.md"))) {
+    EXPECT_TRUE(accepted.count(token) > 0)
+        << "docs/CLI.md mentions --" << token
+        << ", which no command accepts";
+  }
+}
+
+TEST(CliDocs, UsageTextMatchesCommandTable) {
+  const std::string usage = cli::UsageText();
+  for (const std::string& command : cli::CommandNames()) {
+    EXPECT_NE(usage.find("aggrecol " + command), std::string::npos)
+        << "help text does not mention `aggrecol " << command << "`";
+  }
+  // The help text must not advertise flags the parser rejects.
+  std::set<std::string> accepted;
+  for (const std::string& command : cli::CommandNames()) {
+    for (const std::string& option : cli::KnownOptionsFor(command)) {
+      accepted.insert(option);
+    }
+  }
+  for (const std::string& token : OptionTokens(usage)) {
+    EXPECT_TRUE(accepted.count(token) > 0)
+        << "help text mentions --" << token << ", which no command accepts";
+  }
+}
+
+TEST(ObservabilityDocs, EveryEmittedCounterIsDocumented) {
+  if (!obs::CompiledIn()) GTEST_SKIP() << "built with AGGRECOL_OBS=OFF";
+  const std::string doc = ReadDoc("docs/OBSERVABILITY.md");
+
+  // Drive an instrumented corpus run (with a timeout configured so the
+  // deadline-slack path fires too) and collect every counter it emits.
+  obs::ScopedMetrics scoped;
+  eval::BatchOptions options;
+  options.threads = 2;
+  options.file_timeout_seconds = 600.0;
+  eval::BatchRunner(options).Run(datagen::GenerateSmallCorpus(8, 77));
+  const obs::MetricsSnapshot snapshot = obs::Registry::Instance().Snapshot();
+  ASSERT_GT(snapshot.counters.size(), 0u);
+
+  // Dynamic name tails (per-function, per-format winners) are documented as
+  // `<fn>` / `<format>` placeholders; everything else must appear verbatim.
+  auto documented = [&doc](const std::string& name) {
+    if (doc.find(name) != std::string::npos) return true;
+    const size_t last_dot = name.rfind('.');
+    if (last_dot == std::string::npos) return false;
+    const std::string stem = name.substr(0, last_dot + 1);
+    return doc.find(stem + "<fn>") != std::string::npos ||
+           doc.find(stem + "<format>") != std::string::npos;
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    EXPECT_TRUE(documented(name))
+        << "docs/OBSERVABILITY.md has no catalog entry for counter " << name;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    EXPECT_TRUE(documented(name))
+        << "docs/OBSERVABILITY.md has no catalog entry for gauge " << name;
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    // Spans are documented in the hierarchy diagram by their span.<name>.
+    EXPECT_TRUE(documented(histogram.name))
+        << "docs/OBSERVABILITY.md has no entry for histogram "
+        << histogram.name;
+  }
+}
+
+TEST(Docs, CrossReferencedPagesExist) {
+  // The pages the README and ALGORITHM link to must exist; their content is
+  // checked above and by the CI link checker.
+  for (const char* page :
+       {"docs/ARCHITECTURE.md", "docs/CLI.md", "docs/OBSERVABILITY.md",
+        "docs/ALGORITHM.md", "README.md"}) {
+    EXPECT_FALSE(ReadDoc(page).empty()) << page;
+  }
+}
+
+}  // namespace
+}  // namespace aggrecol

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/sinks.h"
+#include "obs/trace.h"
+
+namespace aggrecol::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter counter("test");
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(Counter, ShardedAddsSumCorrectlyUnderContention) {
+  Counter counter("contended");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kAddsPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kAddsPerThread);
+}
+
+TEST(Gauge, SetAddAndRecordMax) {
+  Gauge gauge("g");
+  gauge.Set(5);
+  EXPECT_EQ(gauge.Value(), 5);
+  gauge.Add(-2);
+  EXPECT_EQ(gauge.Value(), 3);
+  gauge.RecordMax(10);
+  EXPECT_EQ(gauge.Value(), 10);
+  gauge.RecordMax(7);  // lower than current: no change
+  EXPECT_EQ(gauge.Value(), 10);
+}
+
+TEST(Histogram, BucketBoundariesUseLeSemantics) {
+  // Buckets: (-inf, 1], (1, 10], (10, 100], (100, +inf).
+  Histogram histogram("h", {1.0, 10.0, 100.0});
+  histogram.Record(0.5);    // -> bucket 0
+  histogram.Record(1.0);    // exact boundary -> bucket 0 ("le" = <=)
+  histogram.Record(1.0001); // -> bucket 1
+  histogram.Record(10.0);   // exact boundary -> bucket 1
+  histogram.Record(99.9);   // -> bucket 2
+  histogram.Record(100.0);  // exact boundary -> bucket 2
+  histogram.Record(100.1);  // -> overflow bucket
+  histogram.Record(1e9);    // -> overflow bucket
+
+  const std::vector<uint64_t> buckets = histogram.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[3], 2u);
+  EXPECT_EQ(histogram.Count(), 8u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(),
+                   0.5 + 1.0 + 1.0001 + 10.0 + 99.9 + 100.0 + 100.1 + 1e9);
+}
+
+TEST(Histogram, SortsAndDeduplicatesBoundaries) {
+  Histogram histogram("h", {10.0, 1.0, 10.0});
+  ASSERT_EQ(histogram.boundaries(), (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(histogram.BucketCounts().size(), 3u);
+}
+
+TEST(Histogram, CountsCorrectlyUnderContention) {
+  Histogram histogram("contended", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        histogram.Record(i % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.Count(),
+            static_cast<uint64_t>(kThreads) * kRecordsPerThread);
+  const auto buckets = histogram.BucketCounts();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0], static_cast<uint64_t>(kThreads) * kRecordsPerThread / 2);
+  EXPECT_EQ(buckets[1], static_cast<uint64_t>(kThreads) * kRecordsPerThread / 2);
+}
+
+TEST(Registry, MetricsSurviveResetAndSnapshotSeesZeroes) {
+  ScopedMetrics scoped;
+  Counter& counter = Registry::Instance().GetCounter("registry.reset");
+  counter.Add(7);
+  EXPECT_EQ(Registry::Instance().Snapshot().counter("registry.reset"), 7u);
+  Registry::Instance().Reset();
+  // Same object, zeroed in place.
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(Registry::Instance().Snapshot().counter("registry.reset"), 0u);
+}
+
+TEST(Registry, HelpersNoOpWhenDisabled) {
+  {
+    ScopedMetrics scoped;  // reset so leftovers don't leak into this test
+  }
+  Registry::set_enabled(false);
+  Count("disabled.counter", 5);
+  GaugeSet("disabled.gauge", 5);
+  Observe("disabled.histogram", 5.0);
+  const MetricsSnapshot snapshot = Registry::Instance().Snapshot();
+  EXPECT_EQ(snapshot.counter("disabled.counter"), 0u);
+  for (const auto& [name, value] : snapshot.gauges) {
+    EXPECT_NE(name, "disabled.gauge");
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    EXPECT_NE(histogram.name, "disabled.histogram");
+  }
+}
+
+TEST(Registry, HelpersRecordWhenEnabled) {
+  if (!CompiledIn()) GTEST_SKIP() << "built with AGGRECOL_OBS=OFF";
+  ScopedMetrics scoped;
+  Count("enabled.counter", 5);
+  Count("enabled.counter");
+  GaugeMax("enabled.gauge", 3);
+  GaugeMax("enabled.gauge", 9);
+  GaugeMax("enabled.gauge", 6);
+  Observe("enabled.histogram", 0.5);
+  const MetricsSnapshot snapshot = Registry::Instance().Snapshot();
+  EXPECT_EQ(snapshot.counter("enabled.counter"), 6u);
+  bool saw_gauge = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name == "enabled.gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(value, 9);
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+}
+
+TEST(ScopedSpan, RecordsElapsedSecondsIntoSpanHistogram) {
+  if (!CompiledIn()) GTEST_SKIP() << "built with AGGRECOL_OBS=OFF";
+  ScopedMetrics scoped;
+  {
+    ScopedSpan span("unit");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const MetricsSnapshot snapshot = Registry::Instance().Snapshot();
+  bool found = false;
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name == "span.unit") {
+      found = true;
+      EXPECT_EQ(histogram.count, 1u);
+      EXPECT_GE(histogram.sum, 0.002);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Sinks, JsonRoundTripIsExact) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"a.count", 0}, {"b.count", 18446744073709551615ull}};
+  snapshot.gauges = {{"depth", -7}, {"max", 42}};
+  HistogramSnapshot histogram;
+  histogram.name = "span.detect";
+  histogram.count = 3;
+  histogram.sum = 0.1 + 0.2 + 1e-9;  // exercise full double precision
+  histogram.boundaries = {1e-6, 0.001, 1.0};
+  histogram.buckets = {0, 2, 1, 0};
+  snapshot.histograms = {histogram};
+
+  const std::string json = MetricsJson(snapshot);
+  const auto parsed = ParseMetricsJson(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, snapshot);
+}
+
+TEST(Sinks, JsonRoundTripOfLiveRegistry) {
+  if (!CompiledIn()) GTEST_SKIP() << "built with AGGRECOL_OBS=OFF";
+  ScopedMetrics scoped;
+  Count("live.files", 12);
+  GaugeSet("live.window", 4);
+  Observe("live.seconds", 0.0123);
+  const MetricsSnapshot snapshot = Registry::Instance().Snapshot();
+  const auto parsed = ParseMetricsJson(MetricsJson(snapshot));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, snapshot);
+}
+
+TEST(Sinks, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseMetricsJson("").has_value());
+  EXPECT_FALSE(ParseMetricsJson("{").has_value());
+  EXPECT_FALSE(ParseMetricsJson("[]").has_value());
+  EXPECT_FALSE(
+      ParseMetricsJson(R"({"schema": "something.else.v9"})").has_value());
+  // Bucket count must be boundary count + 1.
+  EXPECT_FALSE(ParseMetricsJson(R"({
+    "schema": "aggrecol.metrics.v1", "obs_compiled": true,
+    "counters": {}, "gauges": {},
+    "histograms": [{"name": "h", "count": 0, "sum": 0,
+                    "buckets": [{"le": 1, "count": 0}, {"le": 2, "count": 0},
+                                {"le": null, "count": 0}, {"le": null, "count": 0}]}]
+  })").has_value());
+}
+
+TEST(Sinks, TableRendersWithoutCrashing) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"files", 3}};
+  snapshot.gauges = {{"window", 4}};
+  HistogramSnapshot histogram;
+  histogram.name = "span.batch.run";
+  histogram.count = 1;
+  histogram.sum = 0.5;
+  histogram.boundaries = {1.0};
+  histogram.buckets = {1, 0};
+  snapshot.histograms = {histogram};
+  std::ostringstream os;
+  PrintMetricsTable(snapshot, os);
+  EXPECT_NE(os.str().find("files"), std::string::npos);
+  EXPECT_NE(os.str().find("span.batch.run"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aggrecol::obs
