@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "numfmt/parse_double.h"
 #include "util/string_util.h"
 
 namespace aggrecol::cli {
@@ -44,9 +45,7 @@ std::optional<std::string> ArgParser::GetString(const std::string& name) const {
 double ArgParser::GetDouble(const std::string& name, double fallback) const {
   const auto value = GetString(name);
   if (!value.has_value()) return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(value->c_str(), &end);
-  return end == value->c_str() + value->size() ? parsed : fallback;
+  return numfmt::ParseDouble(*value).value_or(fallback);
 }
 
 int ArgParser::GetInt(const std::string& name, int fallback) const {

@@ -17,6 +17,7 @@
 #include "eval/metrics.h"
 #include "eval/obs_summary.h"
 #include "numfmt/numeric_grid.h"
+#include "numfmt/parse_double.h"
 #include "obs/metrics.h"
 #include "obs/sinks.h"
 #include "util/file_io.h"
@@ -119,13 +120,12 @@ bool ConfigFromArgs(const ArgParser& args, core::AggreColConfig* config,
                     std::ostream& err) {
   if (const auto spec = args.GetString("error-level"); spec.has_value()) {
     if (spec->find(':') == std::string::npos) {
-      char* end = nullptr;
-      const double level = std::strtod(spec->c_str(), &end);
-      if (end != spec->c_str() + spec->size() || level < 0) {
+      const auto level = numfmt::ParseDouble(*spec);
+      if (!level.has_value() || *level < 0) {
         err << "invalid --error-level '" << *spec << "'\n";
         return false;
       }
-      config->error_levels.fill(level);
+      config->error_levels.fill(*level);
     } else {
       for (const auto& entry : util::Split(*spec, ',')) {
         const auto parts = util::Split(entry, ':');
@@ -138,7 +138,12 @@ bool ConfigFromArgs(const ArgParser& args, core::AggreColConfig* config,
           err << "unknown function '" << parts[0] << "'\n";
           return false;
         }
-        config->error_level(*function) = std::strtod(parts[1].c_str(), nullptr);
+        const auto level = numfmt::ParseDouble(parts[1]);
+        if (!level.has_value() || *level < 0) {
+          err << "invalid --error-level entry '" << entry << "'\n";
+          return false;
+        }
+        config->error_level(*function) = *level;
       }
     }
   }

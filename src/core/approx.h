@@ -1,0 +1,33 @@
+#ifndef AGGRECOL_CORE_APPROX_H_
+#define AGGRECOL_CORE_APPROX_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace aggrecol::core {
+
+/// Default tolerance of ApproxEq. Derived scores (sufficiency ratios, mean
+/// error levels, ratio fractions) are quotients of values that already went
+/// through decimal round-trips, so two mathematically equal scores can differ
+/// by a few ulps; 1e-12 absorbs that noise while staying far below any
+/// difference the detector treats as meaningful.
+inline constexpr double kApproxEps = 1e-12;
+
+/// The project's sanctioned floating-point equality (lint rule L2): true when
+/// `a` and `b` differ by at most `eps`, absolutely for values near or below
+/// magnitude one and relatively for larger magnitudes. Raw `==`/`!=` between
+/// doubles in src/core/ must route through this helper (or be an exact-zero
+/// guard) so tie-breaks stay stable under floating-point noise.
+///
+/// NaN compares unequal to everything, matching IEEE semantics; equal
+/// infinities compare equal.
+inline bool ApproxEq(double a, double b, double eps = kApproxEps) {
+  if (a == b) return true;  // exact hits, including equal infinities
+  const double diff = std::fabs(a - b);
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return diff <= eps * scale;
+}
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_APPROX_H_

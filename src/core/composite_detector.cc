@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "core/approx.h"
+
 namespace aggrecol::core {
 namespace {
 
@@ -158,7 +160,7 @@ std::vector<CompositeAggregation> DetectCompositeRowwise(
             [&ratio_fraction](const ScoredGroup& a, const ScoredGroup& b) {
               const double ratio_a = ratio_fraction(a);
               const double ratio_b = ratio_fraction(b);
-              if (ratio_a != ratio_b) return ratio_a > ratio_b;
+              if (!ApproxEq(ratio_a, ratio_b)) return ratio_a > ratio_b;
               if (a.members.size() != b.members.size()) {
                 return a.members.size() > b.members.size();
               }

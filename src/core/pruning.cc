@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/approx.h"
 #include "obs/metrics.h"
 
 namespace aggrecol::core {
@@ -140,12 +141,12 @@ std::vector<Aggregation> PruneIndividual(const numfmt::NumericGrid& grid,
         b.pattern.function == AggregationFunction::kDivision) {
       const double ratio_a = ratio_fraction(a);
       const double ratio_b = ratio_fraction(b);
-      if (ratio_a != ratio_b) return ratio_a > ratio_b;
+      if (!ApproxEq(ratio_a, ratio_b)) return ratio_a > ratio_b;
     }
     if (a.members.size() != b.members.size()) {
       return a.members.size() > b.members.size();
     }
-    if (a.mean_error != b.mean_error) return a.mean_error < b.mean_error;
+    if (!ApproxEq(a.mean_error, b.mean_error)) return a.mean_error < b.mean_error;
     return a.pattern < b.pattern;
   };
 
@@ -160,9 +161,10 @@ std::vector<Aggregation> PruneIndividual(const numfmt::NumericGrid& grid,
     std::map<decltype(key_of(groups.front())), const PatternGroup*> best;
     for (const auto& group : groups) {
       auto [it, inserted] = best.try_emplace(key_of(group), &group);
-      if (!inserted && (group.sufficiency > it->second->sufficiency ||
-                        (group.sufficiency == it->second->sufficiency &&
-                         ranks_before(group, *it->second)))) {
+      if (!inserted &&
+          (ApproxEq(group.sufficiency, it->second->sufficiency)
+               ? ranks_before(group, *it->second)
+               : group.sufficiency > it->second->sufficiency)) {
         it->second = &group;
       }
     }

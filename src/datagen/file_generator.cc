@@ -8,6 +8,7 @@
 
 #include "core/aggregation.h"
 #include "core/composite_detector.h"
+#include "numfmt/parse_double.h"
 #include "util/string_util.h"
 
 namespace aggrecol::datagen {
@@ -51,7 +52,7 @@ size_t WeightedChoice(std::mt19937_64& rng, const std::array<double, 5>& weights
 // serialized cell.
 double DisplayRound(double value, int decimals) {
   const std::string text = util::FormatDouble(value, decimals);
-  return std::strtod(text.c_str(), nullptr);
+  return numfmt::ParseDouble(text).value_or(0.0);
 }
 
 // Rounds to `digits` significant digits (the coarse-aggregate error mode).

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "numfmt/parse_double.h"
 #include "util/string_util.h"
 
 namespace aggrecol::eval {
@@ -45,10 +46,12 @@ std::optional<std::vector<core::Aggregation>> ParseAnnotations(const std::string
       for (const auto& part : util::Split(fields[4], ';')) {
         aggregation.range.push_back(std::stoi(part));
       }
-      aggregation.error = std::stod(fields[5]);
     } catch (...) {
       return std::nullopt;
     }
+    const auto error = numfmt::ParseDouble(fields[5]);
+    if (!error.has_value()) return std::nullopt;
+    aggregation.error = *error;
     const auto function = core::FunctionFromName(fields[3]);
     if (!function.has_value()) return std::nullopt;
     aggregation.function = *function;
@@ -99,10 +102,12 @@ std::optional<std::vector<core::CompositeAggregation>> ParseComposites(
       for (const auto& part : util::Split(fields[5], ';')) {
         composite.numerator.push_back(std::stoi(part));
       }
-      composite.error = std::stod(fields[6]);
     } catch (...) {
       return std::nullopt;
     }
+    const auto error = numfmt::ParseDouble(fields[6]);
+    if (!error.has_value()) return std::nullopt;
+    composite.error = *error;
     out.push_back(std::move(composite));
   }
   return out;

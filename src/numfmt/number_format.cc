@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
-#include <cstdlib>
 
+#include "numfmt/parse_double.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
@@ -181,7 +181,7 @@ std::optional<double> ParseNumber(std::string_view text, NumberFormat format) {
     canonical += '.';
     canonical += shape->fraction;
   }
-  double value = std::strtod(canonical.c_str(), nullptr);
+  double value = ParseDouble(canonical).value_or(0.0);
   if (shape->negative) value = -value;
   if (shape->percent) value /= 100.0;
   return value;

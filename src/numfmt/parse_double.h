@@ -1,0 +1,44 @@
+#ifndef AGGRECOL_NUMFMT_PARSE_DOUBLE_H_
+#define AGGRECOL_NUMFMT_PARSE_DOUBLE_H_
+
+#include <charconv>
+#include <optional>
+#include <string_view>
+
+namespace aggrecol::numfmt {
+
+/// The project's single sanctioned double parser (lint rule L1).
+///
+/// Everything that turns canonical decimal text into a double goes through
+/// here: the Table 4 number-format normalizer, annotation files, CLI options,
+/// and the metrics JSON reader. std::from_chars always parses with the '.'
+/// radix point, so a comma-decimal global locale (de_DE et al.) cannot
+/// silently truncate "12.5" to 12 the way std::strtod/std::stod do.
+///
+/// Semantics: optional surrounding ASCII whitespace and an optional leading
+/// '+' are accepted (std::strtod compatibility for CLI inputs); the remaining
+/// text must parse completely as a decimal or scientific-notation double, or
+/// std::nullopt is returned.
+inline std::optional<double> ParseDouble(std::string_view text) {
+  constexpr auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+           c == '\v';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  if (text.size() >= 2 && text.front() == '+' &&
+      (text[1] == '.' || (text[1] >= '0' && text[1] <= '9'))) {
+    text.remove_prefix(1);
+  }
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace aggrecol::numfmt
+
+#endif  // AGGRECOL_NUMFMT_PARSE_DOUBLE_H_

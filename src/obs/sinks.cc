@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "numfmt/parse_double.h"
 #include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -205,7 +206,8 @@ class JsonParser {
       value.kind = JsonValue::Kind::kNull;
       return value;
     }
-    // Number: consume the maximal [-+0-9.eE] run and validate via strtod.
+    // Number: consume the maximal [-+0-9.eE] run and validate the full run
+    // as a double (locale-independent, lint rule L1).
     const size_t start = pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
@@ -216,9 +218,7 @@ class JsonParser {
     if (pos_ == start) return std::nullopt;
     value.kind = JsonValue::Kind::kNumber;
     value.number = std::string(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    std::strtod(value.number.c_str(), &end);
-    if (end != value.number.c_str() + value.number.size()) return std::nullopt;
+    if (!numfmt::ParseDouble(value.number).has_value()) return std::nullopt;
     return value;
   }
 
@@ -244,7 +244,7 @@ std::optional<double> AsDouble(const JsonValue* value) {
   if (value == nullptr || value->kind != JsonValue::Kind::kNumber) {
     return std::nullopt;
   }
-  return std::strtod(value->number.c_str(), nullptr);
+  return numfmt::ParseDouble(value->number);
 }
 
 }  // namespace

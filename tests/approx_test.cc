@@ -1,0 +1,74 @@
+// Pins core::ApproxEq (lint rule L2's sanctioned comparator) at the
+// tolerance boundary: absolute for magnitudes at or below one, relative
+// above, exact semantics for zero, infinities, and NaN.
+#include <cmath>
+#include <limits>
+
+#include "core/approx.h"
+#include "gtest/gtest.h"
+
+namespace aggrecol::core {
+namespace {
+
+TEST(ApproxEq, ExactEqualityAlwaysHolds) {
+  EXPECT_TRUE(ApproxEq(0.0, 0.0));
+  EXPECT_TRUE(ApproxEq(1.0, 1.0));
+  EXPECT_TRUE(ApproxEq(-2.5, -2.5));
+  EXPECT_TRUE(ApproxEq(std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::infinity()));
+}
+
+TEST(ApproxEq, AbsoluteToleranceNearOne) {
+  // scale = max(1, |a|, |b|) = 1: the boundary is eps itself.
+  EXPECT_TRUE(ApproxEq(1.0, 1.0 + 0.5 * kApproxEps));
+  EXPECT_TRUE(ApproxEq(0.0, 0.5 * kApproxEps));
+  EXPECT_FALSE(ApproxEq(1.0, 1.0 + 4.0 * kApproxEps));
+  EXPECT_FALSE(ApproxEq(0.0, 4.0 * kApproxEps));
+}
+
+TEST(ApproxEq, RelativeToleranceAtLargeMagnitude) {
+  // At magnitude 1e6 the allowance scales to eps * 1e6.
+  const double base = 1.0e6;
+  EXPECT_TRUE(ApproxEq(base, base + 0.5 * kApproxEps * base));
+  EXPECT_FALSE(ApproxEq(base, base + 4.0 * kApproxEps * base));
+}
+
+TEST(ApproxEq, TinyValuesUseTheAbsoluteFloor) {
+  // Far below magnitude one, the absolute floor governs: two denormal-ish
+  // scores within eps compare equal even though their relative gap is huge.
+  EXPECT_TRUE(ApproxEq(1.0e-15, 3.0e-15));
+  EXPECT_FALSE(ApproxEq(1.0e-15, 1.0e-11));
+}
+
+TEST(ApproxEq, ExplicitEpsilonOverrides) {
+  EXPECT_TRUE(ApproxEq(1.0, 1.009, 0.01));
+  EXPECT_FALSE(ApproxEq(1.0, 1.02, 0.01));
+  // Exactly at the boundary: diff == eps * scale is inside (<=).
+  EXPECT_TRUE(ApproxEq(0.0, 0.01, 0.01));
+}
+
+TEST(ApproxEq, FloatNoiseFromReassociationIsAbsorbed) {
+  // The motivating case: a sufficiency ratio computed in two associativity
+  // orders differs by ulps but must tie-break identically.
+  const double a = (0.1 + 0.2) + 0.3;
+  const double b = 0.1 + (0.2 + 0.3);
+  EXPECT_NE(a == b, true);  // genuinely different doubles
+  EXPECT_TRUE(ApproxEq(a, b));
+}
+
+TEST(ApproxEq, NanNeverComparesEqual) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ApproxEq(nan, nan));
+  EXPECT_FALSE(ApproxEq(nan, 0.0));
+  EXPECT_FALSE(ApproxEq(1.0, nan));
+}
+
+TEST(ApproxEq, DistinctScoresStayDistinct) {
+  // Values the pruning tie-breaks actually compare: member-count ratios over
+  // small groups. Adjacent distinct ratios are far apart relative to eps.
+  EXPECT_FALSE(ApproxEq(2.0 / 3.0, 3.0 / 4.0));
+  EXPECT_FALSE(ApproxEq(0.5, 0.6));
+}
+
+}  // namespace
+}  // namespace aggrecol::core

@@ -9,22 +9,44 @@
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
 
+// Sanitizer instrumentation slows the detection pipeline by up to an order
+// of magnitude, so deadline margins tuned for plain builds flip outcomes:
+// an ordinary small file misses a 2-second per-file deadline under TSan.
+// Scale the margins; the huge file misses its deadline at any slack.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define AGGRECOL_UNDER_SANITIZER 1
+#endif
+#endif
+#if !defined(AGGRECOL_UNDER_SANITIZER) && \
+    (defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__))
+#define AGGRECOL_UNDER_SANITIZER 1
+#endif
+
 namespace aggrecol::eval {
 namespace {
+
+#if defined(AGGRECOL_UNDER_SANITIZER)
+constexpr double kTimingSlack = 10.0;
+#else
+constexpr double kTimingSlack = 1.0;
+#endif
 
 std::vector<AnnotatedFile> SmallCorpus(int count, uint64_t seed) {
   return datagen::GenerateSmallCorpus(count, seed);
 }
 
-// A file expensive enough that it cannot finish within a short deadline
-// (thousands of rows; the pipeline's cancellation checks fire long before
-// the full run would complete).
+// A file expensive enough that it cannot finish within the deadlines used
+// below even with sanitizer slack applied (detection cost grows superlinearly
+// in rows, so 10k rows buys minutes of headroom; the pipeline's cancellation
+// checks fire long before the full run would complete, so tests still end at
+// the deadline, not after a full detection).
 AnnotatedFile HugeFile() {
   datagen::GeneratorProfile profile;
   profile.p_no_aggregation = 0.0;
   profile.p_tiny_file = 0.0;
   profile.p_big_file = 1.0;
-  profile.big_file_rows = 2500;
+  profile.big_file_rows = 10000;
   return datagen::GenerateFile(profile, 4242, "huge.csv");
 }
 
@@ -113,9 +135,10 @@ TEST(BatchRunner, SlowFileTimesOutWithoutStallingTheBatch) {
   options.threads = 2;
   options.max_in_flight = 2;
   // Wide margins on both sides so CPU contention from parallel test runners
-  // cannot flip an outcome: small files need tens of milliseconds, the huge
-  // file tens of seconds.
-  options.file_timeout_seconds = 2.0;
+  // cannot flip an outcome: small files need tens of milliseconds (a couple
+  // of seconds when a loaded single-core box timeshares them against the
+  // huge file), the huge file tens of seconds.
+  options.file_timeout_seconds = 4.0 * kTimingSlack;
   const auto report = BatchRunner(options).Run(files);
 
   ASSERT_EQ(report.files.size(), 7u);
@@ -130,7 +153,7 @@ TEST(BatchRunner, SlowFileTimesOutWithoutStallingTheBatch) {
   }
   // The batch finished instead of hanging on the expensive file: the whole
   // run is bounded way below what the huge file alone would need.
-  EXPECT_LT(report.seconds_wall, 60.0);
+  EXPECT_LT(report.seconds_wall, 60.0 * kTimingSlack);
   EXPECT_STREQ(ToString(FileOutcome::kTimedOut), "timed_out");
 }
 
@@ -177,7 +200,7 @@ TEST(BatchRunner, SuccessRateOfLiveRunWithTimeout) {
   files.push_back(HugeFile());
   BatchOptions options;
   options.threads = 2;
-  options.file_timeout_seconds = 2.0;
+  options.file_timeout_seconds = 4.0 * kTimingSlack;
   const auto report = BatchRunner(options).Run(files);
   ASSERT_EQ(report.ok, 4);
   ASSERT_EQ(report.timed_out, 1);

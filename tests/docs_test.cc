@@ -13,6 +13,7 @@
 #include "eval/batch_runner.h"
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
+#include "tools/lint/linter.h"
 
 namespace aggrecol {
 namespace {
@@ -134,12 +135,41 @@ TEST(ObservabilityDocs, EveryEmittedCounterIsDocumented) {
   }
 }
 
+TEST(StaticAnalysisDocs, EveryCompiledRuleIsDocumented) {
+  const std::string doc = ReadDoc("docs/STATIC_ANALYSIS.md");
+  for (const lint::RuleInfo& rule : lint::Rules()) {
+    EXPECT_NE(doc.find("`" + rule.id + "`"), std::string::npos)
+        << "docs/STATIC_ANALYSIS.md does not document lint rule " << rule.id;
+    EXPECT_NE(doc.find(rule.name), std::string::npos)
+        << "docs/STATIC_ANALYSIS.md does not mention rule " << rule.id
+        << "'s name (" << rule.name << ")";
+  }
+}
+
+TEST(StaticAnalysisDocs, EveryDocumentedRuleIdIsCompiled) {
+  // The reverse direction: an `Ln` rule id in the doc that the registry does
+  // not know is stale documentation (or a typo'd id).
+  std::set<std::string> compiled;
+  for (const lint::RuleInfo& rule : lint::Rules()) {
+    compiled.insert(rule.id);
+  }
+  const std::string doc = ReadDoc("docs/STATIC_ANALYSIS.md");
+  const std::regex rule_re("`(L[0-9]+)`");
+  for (std::sregex_iterator it(doc.begin(), doc.end(), rule_re), end;
+       it != end; ++it) {
+    const std::string id = (*it)[1].str();
+    EXPECT_TRUE(compiled.count(id) > 0)
+        << "docs/STATIC_ANALYSIS.md references rule " << id
+        << ", which aggrecol-lint does not implement";
+  }
+}
+
 TEST(Docs, CrossReferencedPagesExist) {
   // The pages the README and ALGORITHM link to must exist; their content is
   // checked above and by the CI link checker.
   for (const char* page :
        {"docs/ARCHITECTURE.md", "docs/CLI.md", "docs/OBSERVABILITY.md",
-        "docs/ALGORITHM.md", "README.md"}) {
+        "docs/ALGORITHM.md", "docs/STATIC_ANALYSIS.md", "README.md"}) {
     EXPECT_FALSE(ReadDoc(page).empty()) << page;
   }
 }

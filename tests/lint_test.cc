@@ -1,0 +1,374 @@
+// The aggrecol-lint battery: every rule L1-L5 must both fire on seeded
+// violations and respect reasoned suppressions, and the repository itself
+// must lint clean (the same gate CI runs via tools/aggrecol-lint).
+// AGGRECOL_SOURCE_DIR is injected by tests/CMakeLists.txt.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/lint/linter.h"
+#include "tools/lint/source_lexer.h"
+
+namespace aggrecol::lint {
+namespace {
+
+std::vector<std::string> RulesFired(const std::vector<Diagnostic>& diagnostics) {
+  std::vector<std::string> rules;
+  rules.reserve(diagnostics.size());
+  for (const Diagnostic& diagnostic : diagnostics) {
+    rules.push_back(diagnostic.rule);
+  }
+  return rules;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer.
+// ---------------------------------------------------------------------------
+
+TEST(SourceLexer, CommentsAndStringsAreNotCode) {
+  const LexResult lexed = Lex(R"fix(
+    // std::strtod in a comment
+    /* std::stod in a block
+       comment */
+    const char* s = "std::atof(text)";
+    int x = 1;  // trailing
+  )fix");
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kIdentifier) {
+      EXPECT_NE(token.text, "strtod");
+      EXPECT_NE(token.text, "stod");
+      EXPECT_NE(token.text, "atof");
+    }
+  }
+}
+
+TEST(SourceLexer, RawStringsAreSingleTokens) {
+  const LexResult lexed = Lex(R"raw(auto s = R"(std::strtod " quote)";)raw");
+  bool found = false;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kString) {
+      EXPECT_EQ(token.text, "std::strtod \" quote");
+      found = true;
+    }
+    EXPECT_FALSE(token.kind == TokenKind::kIdentifier &&
+                 token.text == "strtod");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SourceLexer, LineNumbersAndMultiCharOperators) {
+  const LexResult lexed = Lex("int a;\nbool b = x == y;\nbool c = x != y;\n");
+  bool saw_eq = false;
+  bool saw_ne = false;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind != TokenKind::kPunct) continue;
+    if (token.text == "==") {
+      EXPECT_EQ(token.line, 2);
+      saw_eq = true;
+    }
+    if (token.text == "!=") {
+      EXPECT_EQ(token.line, 3);
+      saw_ne = true;
+    }
+  }
+  EXPECT_TRUE(saw_eq);
+  EXPECT_TRUE(saw_ne);
+}
+
+TEST(SourceLexer, DigitSeparatorsAreNotCharLiterals) {
+  const LexResult lexed = Lex("int big = 1'000'000; char c = 'x';");
+  ASSERT_GE(lexed.tokens.size(), 2u);
+  bool saw_number = false;
+  bool saw_char = false;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kNumber && token.text == "1'000'000") {
+      saw_number = true;
+    }
+    if (token.kind == TokenKind::kChar && token.text == "x") saw_char = true;
+  }
+  EXPECT_TRUE(saw_number);
+  EXPECT_TRUE(saw_char);
+}
+
+// ---------------------------------------------------------------------------
+// L1 — locale-dependent parsing.
+// ---------------------------------------------------------------------------
+
+TEST(LintL1, FiresOnEveryLocaleDependentParser) {
+  for (const char* parser : {"strtod", "strtof", "strtold", "atof", "stod",
+                             "stof", "stold"}) {
+    const std::string source =
+        "double f(const char* s) { return std::" + std::string(parser) +
+        "(s); }\n";
+    const auto diagnostics = LintSource("src/eval/fixture.cc", source);
+    ASSERT_EQ(diagnostics.size(), 1u) << parser;
+    EXPECT_EQ(diagnostics[0].rule, "L1") << parser;
+    EXPECT_EQ(diagnostics[0].line, 1);
+  }
+}
+
+TEST(LintL1, AppliesToTestsAndBenchToo) {
+  const std::string source = "double d = std::stod(text);\n";
+  EXPECT_EQ(RulesFired(LintSource("tests/foo_test.cc", source)),
+            std::vector<std::string>{"L1"});
+  EXPECT_EQ(RulesFired(LintSource("bench/foo_bench.cc", source)),
+            std::vector<std::string>{"L1"});
+}
+
+TEST(LintL1, SanctionedWrapperFileIsExempt) {
+  const std::string source = "double d = std::strtod(text, nullptr);\n";
+  EXPECT_TRUE(LintSource("src/numfmt/parse_double.h", source).empty());
+}
+
+TEST(LintL1, IntegerParsersAndMembersAreFine) {
+  EXPECT_TRUE(LintSource("src/eval/fixture.cc",
+                         "int i = std::stoi(s);\n"
+                         "long l = std::strtol(s, &e, 10);\n"
+                         "double d = object.stod(s);\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// L2 — raw float comparisons in src/core/.
+// ---------------------------------------------------------------------------
+
+TEST(LintL2, FiresOnNonzeroFloatLiteralComparison) {
+  const auto diagnostics =
+      LintSource("src/core/fixture.cc", "bool b = value == 1.5;\n");
+  EXPECT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L2"});
+}
+
+TEST(LintL2, FiresOnFloatScoreIdentifierComparison) {
+  const auto diagnostics = LintSource(
+      "src/core/fixture.cc",
+      "bool b = a.mean_error != b.mean_error;\n"
+      "bool c = group.sufficiency == other.sufficiency;\n");
+  EXPECT_EQ(RulesFired(diagnostics), (std::vector<std::string>{"L2", "L2"}));
+}
+
+TEST(LintL2, ZeroGuardsAreWhitelisted) {
+  EXPECT_TRUE(LintSource("src/core/fixture.cc",
+                         "bool a = denominator == 0.0;\n"
+                         "bool b = value != 0.0;\n"
+                         "bool c = observed == 0.;\n")
+                  .empty());
+}
+
+TEST(LintL2, IntegerComparisonsAreFine) {
+  EXPECT_TRUE(LintSource("src/core/fixture.cc",
+                         "bool a = count == 3;\n"
+                         "bool b = a.size() != b.size();\n"
+                         "bool c = axis == Axis::kRow;\n")
+                  .empty());
+}
+
+TEST(LintL2, OnlyCoreIsInScope) {
+  const std::string source = "bool b = value == 1.5;\n";
+  EXPECT_TRUE(LintSource("src/eval/fixture.cc", source).empty());
+  EXPECT_TRUE(LintSource("tests/fixture.cc", source).empty());
+}
+
+// ---------------------------------------------------------------------------
+// L3 — nondeterminism primitives.
+// ---------------------------------------------------------------------------
+
+TEST(LintL3, FiresOnEachPrimitive) {
+  const struct {
+    const char* source;
+  } cases[] = {
+      {"int x = rand();\n"},
+      {"std::random_device device;\n"},
+      {"auto now = std::chrono::system_clock::now();\n"},
+      {"auto stamp = time(nullptr);\n"},
+  };
+  for (const auto& test_case : cases) {
+    const auto diagnostics = LintSource("src/core/fixture.cc", test_case.source);
+    EXPECT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L3"})
+        << test_case.source;
+  }
+}
+
+TEST(LintL3, SeededEnginesAndSteadyClockAreFine) {
+  EXPECT_TRUE(LintSource("src/eval/fixture.cc",
+                         "std::mt19937_64 rng(seed);\n"
+                         "auto t0 = std::chrono::steady_clock::now();\n"
+                         "double r = span.time();\n")
+                  .empty());
+}
+
+TEST(LintL3, DatagenAndUtilAreOutOfScope) {
+  // The generator draws from explicitly seeded engines; scheduling code may
+  // read clocks. Neither feeds detection results nondeterministically.
+  EXPECT_TRUE(
+      LintSource("src/datagen/fixture.cc", "int x = rand();\n").empty());
+  EXPECT_TRUE(LintSource("src/util/fixture.cc", "int x = rand();\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// L4 — raw threading primitives.
+// ---------------------------------------------------------------------------
+
+TEST(LintL4, FiresOnRawThreadingPrimitives) {
+  for (const char* source :
+       {"std::thread worker(fn);\n", "auto f = std::async(fn);\n",
+        "std::jthread worker(fn);\n", "pthread_create(&t, nullptr, fn, arg);\n"}) {
+    const auto diagnostics = LintSource("src/eval/fixture.cc", source);
+    EXPECT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L4"})
+        << source;
+  }
+}
+
+TEST(LintL4, StaticMembersAndPoolAreFine) {
+  EXPECT_TRUE(
+      LintSource("src/cli/fixture.cc",
+                 "unsigned n = std::thread::hardware_concurrency();\n"
+                 "util::ThreadPool pool(4);\n")
+          .empty());
+}
+
+TEST(LintL4, ThreadPoolImplementationAndTestsAreExempt) {
+  const std::string source = "std::thread worker(fn);\n";
+  EXPECT_TRUE(LintSource("src/util/thread_pool.h", source).empty());
+  EXPECT_TRUE(LintSource("src/util/thread_pool.cc", source).empty());
+  // tests/ may spawn raw threads to hammer the pool and the obs shards.
+  EXPECT_TRUE(LintSource("tests/obs_test.cc", source).empty());
+}
+
+// ---------------------------------------------------------------------------
+// L5 — obs name literals against the documented catalog.
+// ---------------------------------------------------------------------------
+
+Options CatalogOptions() {
+  Options options;
+  options.obs_catalog =
+      "| `csv.parse.grids` | counter |\n"
+      "| `numfmt.elect.<format>` | counter |\n"
+      "| `batch.window.max` | gauge |\n";
+  return options;
+}
+
+TEST(LintL5, DocumentedNamesPass) {
+  EXPECT_TRUE(LintSource("src/csv/fixture.cc",
+                         "obs::Count(\"csv.parse.grids\");\n"
+                         "obs::GaugeMax(\"batch.window.max\", size);\n",
+                         CatalogOptions())
+                  .empty());
+}
+
+TEST(LintL5, UndocumentedNameFires) {
+  const auto diagnostics = LintSource(
+      "src/csv/fixture.cc", "obs::Count(\"csv.parse.bogus\");\n",
+      CatalogOptions());
+  EXPECT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L5"});
+}
+
+TEST(LintL5, ConcatenatedStemNeedsPlaceholderEntry) {
+  EXPECT_TRUE(LintSource("src/numfmt/fixture.cc",
+                         "obs::Count(\"numfmt.elect.\" + winner);\n",
+                         CatalogOptions())
+                  .empty());
+  const auto diagnostics =
+      LintSource("src/numfmt/fixture.cc",
+                 "obs::Count(\"numfmt.wrong.\" + winner);\n", CatalogOptions());
+  EXPECT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L5"});
+}
+
+TEST(LintL5, DynamicNamesAndEmptyCatalogAreSkipped) {
+  // Fully dynamic names cannot be checked statically; no catalog, no rule.
+  EXPECT_TRUE(LintSource("src/core/fixture.cc",
+                         "obs::Count(std::string(rule) + \".groups\");\n",
+                         CatalogOptions())
+                  .empty());
+  EXPECT_TRUE(
+      LintSource("src/csv/fixture.cc", "obs::Count(\"whatever.name\");\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppression, TrailingCommentWithReasonSuppresses) {
+  EXPECT_TRUE(
+      LintSource("src/eval/fixture.cc",
+                 "double d = std::stod(s);  "
+                 "// aggrecol-lint: allow(L1): exercising the legacy parser\n")
+          .empty());
+}
+
+TEST(LintSuppression, PrecedingOwnLineCommentSuppressesNextLine) {
+  EXPECT_TRUE(
+      LintSource("src/eval/fixture.cc",
+                 "// aggrecol-lint: allow(L1): exercising the legacy parser\n"
+                 "double d = std::stod(s);\n")
+          .empty());
+}
+
+TEST(LintSuppression, ReasonIsMandatory) {
+  const auto diagnostics = LintSource(
+      "src/eval/fixture.cc",
+      "double d = std::stod(s);  // aggrecol-lint: allow(L1)\n");
+  // The violation still fires AND the bare directive is itself reported.
+  EXPECT_EQ(RulesFired(diagnostics),
+            (std::vector<std::string>{"L1", "suppression"}));
+}
+
+TEST(LintSuppression, WrongRuleDoesNotMask) {
+  const auto diagnostics = LintSource(
+      "src/eval/fixture.cc",
+      "double d = std::stod(s);  // aggrecol-lint: allow(L4): wrong rule\n");
+  EXPECT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L1"});
+}
+
+TEST(LintSuppression, UnknownRuleIdIsReported) {
+  const auto diagnostics = LintSource(
+      "src/eval/fixture.cc",
+      "int x = 1;  // aggrecol-lint: allow(L99): no such rule\n");
+  EXPECT_EQ(RulesFired(diagnostics), std::vector<std::string>{"suppression"});
+}
+
+TEST(LintSuppression, SuppressionDoesNotLeakToOtherLines) {
+  const auto diagnostics = LintSource(
+      "src/eval/fixture.cc",
+      "// aggrecol-lint: allow(L1): only covers the next line\n"
+      "double a = std::stod(s);\n"
+      "double b = std::stod(s);\n");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "L1");
+  EXPECT_EQ(diagnostics[0].line, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Registry and the repository itself.
+// ---------------------------------------------------------------------------
+
+TEST(LintRegistry, FiveRulesWithStableIds) {
+  const auto& rules = Rules();
+  ASSERT_EQ(rules.size(), 5u);
+  const std::vector<std::string> expected = {"L1", "L2", "L3", "L4", "L5"};
+  for (size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].id, expected[i]);
+    EXPECT_FALSE(rules[i].name.empty());
+    EXPECT_FALSE(rules[i].summary.empty());
+  }
+}
+
+TEST(LintRepository, RepositoryLintsClean) {
+  std::vector<std::string> scanned;
+  const auto diagnostics = LintTree(AGGRECOL_SOURCE_DIR, &scanned);
+  for (const Diagnostic& diagnostic : diagnostics) {
+    ADD_FAILURE() << diagnostic.path << ":" << diagnostic.line << " ["
+                  << diagnostic.rule << "] " << diagnostic.message;
+  }
+  // Sanity: the walk actually visited the three trees.
+  EXPECT_GT(scanned.size(), 100u);
+  std::set<std::string> roots;
+  for (const std::string& path : scanned) {
+    roots.insert(path.substr(0, path.find('/')));
+  }
+  EXPECT_EQ(roots, (std::set<std::string>{"bench", "src", "tests"}));
+}
+
+}  // namespace
+}  // namespace aggrecol::lint

@@ -1,0 +1,143 @@
+// Regression battery for the locale bug lint rule L1 exists to prevent:
+// under a comma-decimal global locale (de_DE et al.), std::strtod/std::stod
+// stop at the '.' radix point and silently truncate "12.5" to 12 — which
+// breaks Table 4 number-format normalization and annotation parsing. The
+// numfmt::ParseDouble wrapper (std::from_chars) is locale-independent.
+//
+// When no comma-decimal locale is installed (minimal containers), the
+// locale-imbued cases skip; the locale-independent semantics of ParseDouble
+// are asserted unconditionally.
+#include <clocale>
+#include <cstdlib>
+#include <string>
+
+#include "csv/grid.h"
+#include "eval/annotations.h"
+#include "gtest/gtest.h"
+#include "numfmt/number_format.h"
+#include "numfmt/parse_double.h"
+
+namespace aggrecol {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParseDouble semantics, any locale.
+// ---------------------------------------------------------------------------
+
+TEST(ParseDouble, ParsesCanonicalDecimals) {
+  EXPECT_EQ(numfmt::ParseDouble("12.5"), 12.5);
+  EXPECT_EQ(numfmt::ParseDouble("-0.25"), -0.25);
+  EXPECT_EQ(numfmt::ParseDouble("+3.5"), 3.5);
+  EXPECT_EQ(numfmt::ParseDouble("1e3"), 1000.0);
+  EXPECT_EQ(numfmt::ParseDouble("2.5E-2"), 0.025);
+  EXPECT_EQ(numfmt::ParseDouble("  42  "), 42.0);
+  EXPECT_EQ(numfmt::ParseDouble("0"), 0.0);
+}
+
+TEST(ParseDouble, RejectsPartialAndEmptyInput) {
+  EXPECT_FALSE(numfmt::ParseDouble("").has_value());
+  EXPECT_FALSE(numfmt::ParseDouble("   ").has_value());
+  EXPECT_FALSE(numfmt::ParseDouble("12abc").has_value());
+  EXPECT_FALSE(numfmt::ParseDouble("1.2.3").has_value());
+  EXPECT_FALSE(numfmt::ParseDouble("+-1").has_value());
+  EXPECT_FALSE(numfmt::ParseDouble("abc").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// The locale-imbued regression proper.
+// ---------------------------------------------------------------------------
+
+// Switches LC_NUMERIC to a comma-decimal locale for the test's duration.
+// Skips when none is installed.
+class CommaDecimalLocaleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+    saved_ = previous != nullptr ? previous : "C";
+    for (const char* name :
+         {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR.utf8",
+          "fr_FR", "es_ES.UTF-8", "it_IT.UTF-8", "pt_BR.UTF-8"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        imbued_ = name;
+        break;
+      }
+    }
+    if (imbued_ == nullptr) {
+      GTEST_SKIP() << "no comma-decimal locale installed (locale-gen "
+                      "de_DE.UTF-8 to enable this regression test)";
+    }
+    // Paranoia: the named locale must actually use ',' as the radix point,
+    // or the regression below cannot reproduce.
+    const lconv* conv = localeconv();
+    if (conv == nullptr || conv->decimal_point == nullptr ||
+        conv->decimal_point[0] != ',') {
+      std::setlocale(LC_NUMERIC, saved_.c_str());
+      GTEST_SKIP() << imbued_ << " does not use a comma radix point";
+    }
+  }
+
+  void TearDown() override { std::setlocale(LC_NUMERIC, saved_.c_str()); }
+
+  std::string saved_;
+  const char* imbued_ = nullptr;
+};
+
+TEST_F(CommaDecimalLocaleTest, LegacyParserMisreadsCanonicalDecimals) {
+  // The failure mode this file regresses: the locale-dependent parser stops
+  // at '.' under a comma-decimal locale. If this assertion ever fails, the
+  // libc changed behavior and the whole battery should be revisited.
+  // aggrecol-lint: allow(L1): demonstrating the exact bug ParseDouble fixes
+  const double misparsed = std::strtod("12.5", nullptr);
+  EXPECT_EQ(misparsed, 12.0) << "expected the legacy parser to truncate";
+
+  // The sanctioned wrapper is immune.
+  EXPECT_EQ(numfmt::ParseDouble("12.5"), 12.5);
+}
+
+TEST_F(CommaDecimalLocaleTest, NumberFormatElectionAndParsingSurvive) {
+  // A comma/dot file: election must still pick comma/dot and parse exact
+  // values — with strtod in ParseNumber, "1,234.5" came back as 1234.0.
+  csv::Grid grid({{"1,234.50", "2,000.25", "930.125"},
+                  {"12,345.75", "4.50", "1,000.5"}});
+  EXPECT_EQ(numfmt::ElectFormat(grid), numfmt::NumberFormat::kCommaDot);
+
+  const auto parsed =
+      numfmt::ParseNumber("1,234.50", numfmt::NumberFormat::kCommaDot);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, 1234.5);
+
+  const auto fraction =
+      numfmt::ParseNumber("930.125", numfmt::NumberFormat::kCommaDot);
+  ASSERT_TRUE(fraction.has_value());
+  EXPECT_EQ(*fraction, 930.125);
+}
+
+TEST_F(CommaDecimalLocaleTest, AnnotationErrorFieldsSurvive) {
+  // Annotation error levels are canonical decimals; std::stod truncated
+  // "0.25" to 0 under the imbued locale, silently loosening every
+  // error-level comparison in evaluation.
+  const auto annotations = eval::ParseAnnotations("row,2,1,sum,2;3;4,0.25\n");
+  ASSERT_TRUE(annotations.has_value());
+  ASSERT_EQ(annotations->size(), 1u);
+  EXPECT_EQ((*annotations)[0].error, 0.25);
+
+  const auto composites =
+      eval::ParseComposites("composite,row,1,4,2,5;6,0.125\n");
+  ASSERT_TRUE(composites.has_value());
+  ASSERT_EQ(composites->size(), 1u);
+  EXPECT_EQ((*composites)[0].error, 0.125);
+}
+
+TEST_F(CommaDecimalLocaleTest, FormatRoundTripSurvives) {
+  // The datagen round-trip property under the imbued locale: format, then
+  // parse back, bit-identical.
+  for (const numfmt::NumberFormat format : numfmt::kAllNumberFormats) {
+    const std::string text = numfmt::FormatNumber(9876.5, format, 1);
+    const auto parsed = numfmt::ParseNumber(text, format);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(*parsed, 9876.5) << text;
+  }
+}
+
+}  // namespace
+}  // namespace aggrecol

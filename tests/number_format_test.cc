@@ -3,6 +3,7 @@
 #include <random>
 
 #include "gtest/gtest.h"
+#include "numfmt/parse_double.h"
 #include "tests/test_support.h"
 #include "util/string_util.h"
 
@@ -159,7 +160,7 @@ TEST_P(FormatRoundTrip, RandomValues) {
     const int decimals = static_cast<int>(rng() % 3);
     double value = std::uniform_real_distribution<double>(-1e7, 1e7)(rng);
     // Round through the decimal representation first, as the generator does.
-    value = std::strtod(util::FormatDouble(value, decimals).c_str(), nullptr);
+    value = ParseDouble(util::FormatDouble(value, decimals)).value_or(0.0);
     const std::string text = FormatNumber(value, format, decimals);
     const auto parsed = ParseNumber(text, format);
     ASSERT_TRUE(parsed.has_value()) << text;

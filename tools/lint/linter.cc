@@ -1,0 +1,454 @@
+#include "tools/lint/linter.h"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "tools/lint/source_lexer.h"
+
+namespace aggrecol::lint {
+namespace {
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+bool Contains(std::string_view text, std::string_view needle) {
+  return text.find(needle) != std::string_view::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Rule scoping. Paths are repo-relative with forward slashes.
+// ---------------------------------------------------------------------------
+
+// L1: the sanctioned wrapper is the only place allowed to host a fallback.
+bool InScopeL1(std::string_view path) {
+  return path != "src/numfmt/parse_double.h";
+}
+
+// L2: float comparisons are policed where Def. 5 tolerance matters.
+bool InScopeL2(std::string_view path) {
+  return StartsWith(path, "src/core/") && path != "src/core/approx.h";
+}
+
+// L3: code paths whose output feeds detection results must be deterministic.
+bool InScopeL3(std::string_view path) {
+  for (std::string_view prefix :
+       {"src/core/", "src/eval/", "src/numfmt/", "src/csv/", "src/structure/",
+        "src/cellclass/", "src/baselines/"}) {
+    if (StartsWith(path, prefix)) return true;
+  }
+  return false;
+}
+
+// L4: production and bench code parallelize via util::ThreadPool only.
+bool InScopeL4(std::string_view path) {
+  if (path == "src/util/thread_pool.h" || path == "src/util/thread_pool.cc") {
+    return false;
+  }
+  return StartsWith(path, "src/") || StartsWith(path, "bench/");
+}
+
+// L5: instrumented pipeline code lives under src/.
+bool InScopeL5(std::string_view path) { return StartsWith(path, "src/"); }
+
+// ---------------------------------------------------------------------------
+// Token helpers.
+// ---------------------------------------------------------------------------
+
+bool IsPunct(const Token& token, std::string_view text) {
+  return token.kind == TokenKind::kPunct && token.text == text;
+}
+
+bool IsIdent(const Token& token, std::string_view text) {
+  return token.kind == TokenKind::kIdentifier && token.text == text;
+}
+
+// True for number tokens spelled as floating-point (a '.' or a decimal
+// exponent; hex literals excluded).
+bool IsFloatLiteral(const Token& token) {
+  if (token.kind != TokenKind::kNumber) return false;
+  const std::string& text = token.text;
+  if (text.size() > 1 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    return false;
+  }
+  return Contains(text, ".") || Contains(text, "e") || Contains(text, "E");
+}
+
+// True when a float literal spells exactly zero ("0.0", "0.", ".0", "0.0f").
+bool IsZeroLiteral(const Token& token) {
+  std::string digits;
+  for (const char c : token.text) {
+    if (c == 'f' || c == 'F' || c == 'l' || c == 'L' || c == '\'') continue;
+    digits += c;
+  }
+  double value = 1.0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  return ec == std::errc() && ptr == digits.data() + digits.size() &&
+         value == 0.0;
+}
+
+// Operand-window boundary for the L2 scan: punctuation that ends the operand
+// expression of a comparison. Additive operators are deliberately not
+// boundaries so `a + 0.5 == b` still sees the literal.
+bool IsWindowBoundary(const Token& token) {
+  if (token.kind != TokenKind::kPunct) return false;
+  static const std::set<std::string> kBoundaries = {
+      "(", ")", "[", "]", "{", "}", ";", ",",  "?",  ":",  "=",
+      "<", ">", "<=", ">=", "&&", "||", "!", "<<", ">>", "=="};
+  return kBoundaries.count(token.text) > 0;
+}
+
+// Identifier substrings that mark a value as a derived floating-point score.
+bool IsFloatSuggestiveIdent(const Token& token) {
+  if (token.kind != TokenKind::kIdentifier) return false;
+  for (std::string_view needle :
+       {"error", "ratio", "sufficiency", "coverage", "epsilon"}) {
+    if (Contains(token.text, needle)) return true;
+  }
+  return false;
+}
+
+struct FileContext {
+  std::string_view path;
+  const std::vector<Token>& tokens;
+  const Options& options;
+  std::vector<Diagnostic>* out;
+
+  void Report(std::string rule, int line, std::string message) const {
+    out->push_back(Diagnostic{std::string(path), line, std::move(rule),
+                              std::move(message)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// L1 — locale-dependent numeric parsing.
+// ---------------------------------------------------------------------------
+
+void CheckL1(const FileContext& context) {
+  if (!InScopeL1(context.path)) return;
+  static const std::set<std::string> kParsers = {
+      "atof", "strtod", "strtof", "strtold", "stod", "stof", "stold"};
+  const auto& tokens = context.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier ||
+        kParsers.count(tokens[i].text) == 0) {
+      continue;
+    }
+    if (i + 1 >= tokens.size() || !IsPunct(tokens[i + 1], "(")) continue;
+    if (i > 0 && (IsPunct(tokens[i - 1], ".") || IsPunct(tokens[i - 1], "->"))) {
+      continue;  // member function of some unrelated class
+    }
+    context.Report("L1", tokens[i].line,
+                   "locale-dependent parser `" + tokens[i].text +
+                       "` — route through numfmt::ParseDouble "
+                       "(src/numfmt/parse_double.h)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L2 — raw floating-point ==/!= in src/core/.
+// ---------------------------------------------------------------------------
+
+void CheckL2(const FileContext& context) {
+  if (!InScopeL2(context.path)) return;
+  const auto& tokens = context.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsPunct(tokens[i], "==") && !IsPunct(tokens[i], "!=")) continue;
+
+    // Collect the operand windows on both sides, bounded by expression
+    // punctuation and a small radius.
+    std::vector<const Token*> window;
+    for (size_t left = i, steps = 0; left > 0 && steps < 8; ++steps) {
+      --left;
+      if (IsWindowBoundary(tokens[left])) break;
+      window.push_back(&tokens[left]);
+    }
+    const size_t left_size = window.size();
+    for (size_t right = i + 1, steps = 0;
+         right < tokens.size() && steps < 8; ++right, ++steps) {
+      if (IsWindowBoundary(tokens[right])) break;
+      window.push_back(&tokens[right]);
+    }
+
+    bool nonzero_float = false;
+    bool zero_float = false;
+    for (const Token* token : window) {
+      if (!IsFloatLiteral(*token)) continue;
+      if (IsZeroLiteral(*token)) {
+        zero_float = true;
+      } else {
+        nonzero_float = true;
+      }
+    }
+    bool suggestive_left = false;
+    bool suggestive_right = false;
+    for (size_t w = 0; w < window.size(); ++w) {
+      if (!IsFloatSuggestiveIdent(*window[w])) continue;
+      (w < left_size ? suggestive_left : suggestive_right) = true;
+    }
+
+    if (nonzero_float || (!zero_float && suggestive_left && suggestive_right)) {
+      context.Report("L2", tokens[i].line,
+                     "raw floating-point `" + tokens[i].text +
+                         "` — use core::ApproxEq (src/core/approx.h); exact "
+                         "comparisons against 0.0 are the only whitelisted "
+                         "form");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L3 — nondeterminism primitives in result-bearing code paths.
+// ---------------------------------------------------------------------------
+
+void CheckL3(const FileContext& context) {
+  if (!InScopeL3(context.path)) return;
+  static const std::set<std::string> kPrimitives = {
+      "rand", "srand", "random_device", "system_clock"};
+  const auto& tokens = context.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier) continue;
+    const bool member_access =
+        i > 0 && (IsPunct(tokens[i - 1], ".") || IsPunct(tokens[i - 1], "->"));
+    if (kPrimitives.count(tokens[i].text) > 0 && !member_access) {
+      context.Report("L3", tokens[i].line,
+                     "nondeterminism primitive `" + tokens[i].text +
+                         "` in a result-bearing code path — seed an mt19937 "
+                         "explicitly and use steady_clock for timing");
+      continue;
+    }
+    if (IsIdent(tokens[i], "time") && !member_access && i + 1 < tokens.size() &&
+        IsPunct(tokens[i + 1], "(")) {
+      context.Report("L3", tokens[i].line,
+                     "wall-clock `time()` in a result-bearing code path — "
+                     "results must not depend on the current time");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L4 — raw threading primitives bypassing util::ThreadPool.
+// ---------------------------------------------------------------------------
+
+void CheckL4(const FileContext& context) {
+  if (!InScopeL4(context.path)) return;
+  const auto& tokens = context.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (IsIdent(tokens[i], "pthread_create")) {
+      context.Report("L4", tokens[i].line,
+                     "raw pthread_create — submit work to util::ThreadPool");
+      continue;
+    }
+    // std::thread / std::jthread / std::async; static member access like
+    // std::thread::hardware_concurrency() is fine.
+    if (!IsIdent(tokens[i], "std") || i + 2 >= tokens.size() ||
+        !IsPunct(tokens[i + 1], "::")) {
+      continue;
+    }
+    const Token& name = tokens[i + 2];
+    const bool static_member =
+        i + 3 < tokens.size() && IsPunct(tokens[i + 3], "::");
+    if ((IsIdent(name, "thread") && !static_member) ||
+        IsIdent(name, "jthread") || IsIdent(name, "async")) {
+      context.Report("L4", name.line,
+                     "raw std::" + name.text +
+                         " — parallelism goes through util::ThreadPool so "
+                         "merges stay deterministic and cancellable");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L5 — obs metric-name literals must match the documented catalog.
+// ---------------------------------------------------------------------------
+
+void CheckL5(const FileContext& context) {
+  if (!InScopeL5(context.path) || context.options.obs_catalog.empty()) return;
+  static const std::set<std::string> kEmitters = {
+      "Count", "GaugeSet", "GaugeMax", "Observe", "ScopedSpan"};
+  const std::string& catalog = context.options.obs_catalog;
+  const auto& tokens = context.tokens;
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (!IsIdent(tokens[i], "obs") || !IsPunct(tokens[i + 1], "::") ||
+        tokens[i + 2].kind != TokenKind::kIdentifier ||
+        kEmitters.count(tokens[i + 2].text) == 0) {
+      continue;
+    }
+    size_t cursor = i + 3;
+    // `obs::ScopedSpan span("...")` declares a variable before the paren.
+    if (cursor < tokens.size() &&
+        tokens[cursor].kind == TokenKind::kIdentifier) {
+      ++cursor;
+    }
+    if (cursor >= tokens.size() || !IsPunct(tokens[cursor], "(")) continue;
+    ++cursor;
+    if (cursor >= tokens.size() || tokens[cursor].kind != TokenKind::kString) {
+      continue;  // dynamically built name; not statically checkable
+    }
+    const Token& literal = tokens[cursor];
+    const bool concatenated =
+        cursor + 1 < tokens.size() && IsPunct(tokens[cursor + 1], "+");
+    if (concatenated) {
+      // A stem like "numfmt.elect." — the dynamic tail must be documented as
+      // a <placeholder> entry sharing the stem.
+      if (!Contains(catalog, literal.text + "<")) {
+        context.Report("L5", literal.line,
+                       "obs name stem \"" + literal.text +
+                           "\" has no <placeholder> entry in "
+                           "docs/OBSERVABILITY.md");
+      }
+      continue;
+    }
+    if (!Contains(catalog, literal.text)) {
+      context.Report("L5", literal.line,
+                     "obs name \"" + literal.text +
+                         "\" is not in the docs/OBSERVABILITY.md catalog");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppression filtering.
+// ---------------------------------------------------------------------------
+
+bool KnownRule(const std::string& id) {
+  for (const RuleInfo& rule : Rules()) {
+    if (rule.id == id) return true;
+  }
+  return false;
+}
+
+// The set of lines a suppression covers: its own line, plus — for a comment
+// with no code before it on its line — the line of the next code token.
+std::set<int> CoveredLines(const Suppression& suppression,
+                           const std::vector<Token>& tokens) {
+  std::set<int> lines = {suppression.line};
+  if (suppression.own_line) {
+    for (const Token& token : tokens) {
+      if (token.line > suppression.line) {
+        lines.insert(token.line);
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"L1", "locale-parse",
+       "no std::stod/stof/atof/strtod outside numfmt::ParseDouble — "
+       "locale-dependent parsing misreads Table 4 normalized numbers"},
+      {"L2", "float-compare",
+       "no raw ==/!= between floating-point expressions in src/core/ — "
+       "route through core::ApproxEq; exact-zero guards are whitelisted"},
+      {"L3", "nondeterminism",
+       "no rand/std::random_device/time()/system_clock in code paths that "
+       "feed detection results"},
+      {"L4", "raw-thread",
+       "no std::thread/std::async bypassing util::ThreadPool in src/ or "
+       "bench/"},
+      {"L5", "obs-catalog",
+       "obs counter/gauge/span name literals must appear in the "
+       "docs/OBSERVABILITY.md catalog"},
+  };
+  return kRules;
+}
+
+std::vector<Diagnostic> LintSource(std::string_view relpath,
+                                   std::string_view content,
+                                   const Options& options) {
+  const LexResult lexed = Lex(content);
+  std::vector<Diagnostic> raw;
+  const FileContext context{relpath, lexed.tokens, options, &raw};
+  CheckL1(context);
+  CheckL2(context);
+  CheckL3(context);
+  CheckL4(context);
+  CheckL5(context);
+
+  std::vector<Diagnostic> out;
+  for (const Suppression& suppression : lexed.suppressions) {
+    if (!KnownRule(suppression.rule)) {
+      out.push_back(Diagnostic{
+          std::string(relpath), suppression.line, "suppression",
+          "allow(" + suppression.rule + ") names no compiled rule"});
+    } else if (!suppression.has_reason) {
+      out.push_back(Diagnostic{
+          std::string(relpath), suppression.line, "suppression",
+          "allow(" + suppression.rule +
+              ") needs a reason: `// aggrecol-lint: allow(" + suppression.rule +
+              "): <why this is sound>`"});
+    }
+  }
+  for (Diagnostic& diagnostic : raw) {
+    bool suppressed = false;
+    for (const Suppression& suppression : lexed.suppressions) {
+      if (suppression.rule != diagnostic.rule || !suppression.has_reason) {
+        continue;
+      }
+      if (CoveredLines(suppression, lexed.tokens).count(diagnostic.line) > 0) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(diagnostic));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
+  return out;
+}
+
+std::vector<Diagnostic> LintTree(const std::string& root,
+                                 std::vector<std::string>* scanned) {
+  namespace fs = std::filesystem;
+  Options options;
+  {
+    std::ifstream catalog(fs::path(root) / "docs" / "OBSERVABILITY.md");
+    if (catalog.is_open()) {
+      std::ostringstream content;
+      content << catalog.rdbuf();
+      options.obs_catalog = content.str();
+    }
+  }
+
+  std::vector<std::string> paths;
+  for (const char* tree : {"src", "tests", "bench"}) {
+    const fs::path base = fs::path(root) / tree;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string extension = entry.path().extension().string();
+      if (extension != ".cc" && extension != ".h") continue;
+      paths.push_back(
+          fs::path(entry.path()).lexically_relative(root).generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<Diagnostic> out;
+  for (const std::string& path : paths) {
+    std::ifstream file(fs::path(root) / path);
+    if (!file.is_open()) continue;
+    std::ostringstream content;
+    content << file.rdbuf();
+    std::vector<Diagnostic> diagnostics =
+        LintSource(path, content.str(), options);
+    out.insert(out.end(), std::make_move_iterator(diagnostics.begin()),
+               std::make_move_iterator(diagnostics.end()));
+    if (scanned != nullptr) scanned->push_back(path);
+  }
+  return out;
+}
+
+}  // namespace aggrecol::lint

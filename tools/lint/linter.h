@@ -1,0 +1,55 @@
+#ifndef AGGRECOL_TOOLS_LINT_LINTER_H_
+#define AGGRECOL_TOOLS_LINT_LINTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aggrecol::lint {
+
+/// One violation (or malformed suppression) found in a file.
+struct Diagnostic {
+  std::string path;     // repo-relative, forward slashes
+  int line = 0;         // 1-based
+  std::string rule;     // "L1".."L5", or "suppression" for directive errors
+  std::string message;  // human-readable explanation
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// A compiled rule, for --list-rules and the docs drift check.
+struct RuleInfo {
+  std::string id;       // "L1".."L5"
+  std::string name;     // short kebab-case name
+  std::string summary;  // one-line description
+};
+
+/// The compiled rule registry, in id order. docs/STATIC_ANALYSIS.md is
+/// drift-checked against this list by tests/docs_test.cc.
+const std::vector<RuleInfo>& Rules();
+
+struct Options {
+  /// Contents of docs/OBSERVABILITY.md; the catalog rule L5 checks obs
+  /// metric-name literals against. When empty, L5 is skipped.
+  std::string obs_catalog;
+};
+
+/// Lints one translation unit. `relpath` is the repo-relative path with
+/// forward slashes — rule scoping ("src/core/", "src/numfmt/", ...) keys off
+/// it. Diagnostics suppressed by a well-formed
+/// `// aggrecol-lint: allow(<rule>): <reason>` are dropped; malformed
+/// directives (missing reason) are reported as rule "suppression".
+std::vector<Diagnostic> LintSource(std::string_view relpath,
+                                   std::string_view content,
+                                   const Options& options = {});
+
+/// Walks `root`'s src/, tests/, and bench/ trees (every .cc/.h file, sorted
+/// order) and lints each file; loads docs/OBSERVABILITY.md from `root` as the
+/// L5 catalog. `scanned`, when non-null, receives the repo-relative paths
+/// visited.
+std::vector<Diagnostic> LintTree(const std::string& root,
+                                 std::vector<std::string>* scanned = nullptr);
+
+}  // namespace aggrecol::lint
+
+#endif  // AGGRECOL_TOOLS_LINT_LINTER_H_

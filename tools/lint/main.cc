@@ -1,0 +1,61 @@
+// aggrecol-lint: the project-invariant static analysis pass. Walks src/,
+// tests/, and bench/ and enforces the rules documented in
+// docs/STATIC_ANALYSIS.md (L1 locale-parse, L2 float-compare, L3
+// nondeterminism, L4 raw-thread, L5 obs-catalog). Exit status 1 when any
+// violation is found, so CI can gate on it.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint/linter.h"
+
+int main(int argc, char** argv) {
+  using aggrecol::lint::Diagnostic;
+  using aggrecol::lint::LintTree;
+  using aggrecol::lint::RuleInfo;
+  using aggrecol::lint::Rules;
+
+  std::string root = ".";
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: aggrecol-lint [--root=DIR] [--list-rules]\n\n"
+          "Lints DIR's src/, tests/, and bench/ trees against the project\n"
+          "invariants in docs/STATIC_ANALYSIS.md. Suppress a finding with\n"
+          "  // aggrecol-lint: allow(<rule>): <reason>\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "aggrecol-lint: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  if (list_rules) {
+    for (const RuleInfo& rule : Rules()) {
+      std::printf("%s  %-16s %s\n", rule.id.c_str(), rule.name.c_str(),
+                  rule.summary.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<std::string> scanned;
+  const std::vector<Diagnostic> diagnostics = LintTree(root, &scanned);
+  for (const Diagnostic& diagnostic : diagnostics) {
+    std::printf("%s:%d: [%s] %s\n", diagnostic.path.c_str(), diagnostic.line,
+                diagnostic.rule.c_str(), diagnostic.message.c_str());
+  }
+  if (diagnostics.empty()) {
+    std::printf("aggrecol-lint: %zu files clean\n", scanned.size());
+    return 0;
+  }
+  std::printf("aggrecol-lint: %zu violation(s) in %zu files scanned\n",
+              diagnostics.size(), scanned.size());
+  return 1;
+}

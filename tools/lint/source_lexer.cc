@@ -1,0 +1,277 @@
+#include "tools/lint/source_lexer.h"
+
+#include <cctype>
+
+namespace aggrecol::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// String-literal prefixes whose next token may be a quote: "", u8, u, U, L,
+// and their raw variants ending in R.
+bool IsStringPrefix(std::string_view ident) {
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L" ||
+         ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  LexResult Run() {
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '"') {
+        LexString();
+        continue;
+      }
+      if (c == '\'') {
+        LexChar();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifierOrPrefixedString();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokenKind kind, std::string text, int line) {
+    result_.tokens.push_back(Token{kind, std::move(text), line});
+    last_code_line_ = line;
+  }
+
+  void LexLineComment() {
+    const int start_line = line_;
+    const size_t start = pos_;
+    while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+    HarvestSuppressions(source_.substr(start, pos_ - start), start_line);
+  }
+
+  void LexBlockComment() {
+    const int start_line = line_;
+    const size_t start = pos_;
+    pos_ += 2;
+    while (pos_ < source_.size()) {
+      if (source_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (source_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    HarvestSuppressions(source_.substr(start, pos_ - start), start_line);
+  }
+
+  // Parses every `aggrecol-lint: allow(<rule>)[: reason]` inside `comment`.
+  void HarvestSuppressions(std::string_view comment, int line) {
+    const bool own_line = last_code_line_ != line;
+    size_t cursor = comment.find("aggrecol-lint:");
+    if (cursor == std::string_view::npos) return;
+    while ((cursor = comment.find("allow(", cursor)) != std::string_view::npos) {
+      cursor += 6;
+      const size_t close = comment.find(')', cursor);
+      if (close == std::string_view::npos) return;
+      Suppression suppression;
+      suppression.line = line;
+      suppression.rule = std::string(comment.substr(cursor, close - cursor));
+      suppression.own_line = own_line;
+      // A mandatory reason: `: non-empty text` after the closing paren.
+      size_t after = close + 1;
+      while (after < comment.size() &&
+             std::isspace(static_cast<unsigned char>(comment[after])) != 0) {
+        ++after;
+      }
+      if (after < comment.size() && comment[after] == ':') {
+        ++after;
+        while (after < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[after])) != 0) {
+          ++after;
+        }
+        suppression.has_reason =
+            after < comment.size() && comment[after] != '*';  // "*/" only
+      }
+      result_.suppressions.push_back(std::move(suppression));
+      cursor = close;
+    }
+  }
+
+  void LexString() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (c == '\\' && pos_ + 1 < source_.size()) {
+        text += c;
+        text += source_[pos_ + 1];
+        if (source_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        break;
+      }
+      if (c == '\n') ++line_;  // unterminated; keep line count honest
+      text += c;
+      ++pos_;
+    }
+    Emit(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void LexRawString() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string delimiter;
+    while (pos_ < source_.size() && source_[pos_] != '(') {
+      delimiter += source_[pos_];
+      ++pos_;
+    }
+    if (pos_ < source_.size()) ++pos_;  // '('
+    const std::string closer = ")" + delimiter + "\"";
+    std::string text;
+    while (pos_ < source_.size()) {
+      if (source_.compare(pos_, closer.size(), closer) == 0) {
+        pos_ += closer.size();
+        break;
+      }
+      if (source_[pos_] == '\n') ++line_;
+      text += source_[pos_];
+      ++pos_;
+    }
+    Emit(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void LexChar() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (c == '\\' && pos_ + 1 < source_.size()) {
+        text += c;
+        text += source_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        break;
+      }
+      if (c == '\n') {
+        ++line_;
+        break;  // stray quote, not a literal — do not eat the file
+      }
+      text += c;
+      ++pos_;
+    }
+    Emit(TokenKind::kChar, std::move(text), start_line);
+  }
+
+  void LexNumber() {
+    // pp-number: digits, identifier characters, digit separators, '.', and
+    // sign characters directly after an exponent marker.
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (IsIdentBody(c) || c == '.' || c == '\'') {
+        text += c;
+        ++pos_;
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            text.find('x') == std::string::npos &&
+            (Peek(0) == '+' || Peek(0) == '-')) {
+          text += source_[pos_];
+          ++pos_;
+        }
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, std::move(text), start_line);
+  }
+
+  void LexIdentifierOrPrefixedString() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < source_.size() && IsIdentBody(source_[pos_])) {
+      text += source_[pos_];
+      ++pos_;
+    }
+    if (pos_ < source_.size() && source_[pos_] == '"' && IsStringPrefix(text)) {
+      if (text.back() == 'R') {
+        LexRawString();
+      } else {
+        LexString();
+      }
+      return;
+    }
+    Emit(TokenKind::kIdentifier, std::move(text), start_line);
+  }
+
+  void LexPunct() {
+    const int start_line = line_;
+    static constexpr std::string_view kTwoChar[] = {
+        "==", "!=", "::", "<=", ">=", "&&", "||", "->", "<<", ">>",
+        "++", "--", "+=", "-=", "*=", "/=", "|=", "&=", "^=", "%="};
+    for (std::string_view two : kTwoChar) {
+      if (source_.compare(pos_, 2, two) == 0) {
+        pos_ += 2;
+        Emit(TokenKind::kPunct, std::string(two), start_line);
+        return;
+      }
+    }
+    Emit(TokenKind::kPunct, std::string(1, source_[pos_]), start_line);
+    ++pos_;
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int last_code_line_ = 0;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace aggrecol::lint

@@ -1,0 +1,48 @@
+#ifndef AGGRECOL_TOOLS_LINT_SOURCE_LEXER_H_
+#define AGGRECOL_TOOLS_LINT_SOURCE_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aggrecol::lint {
+
+/// Token kinds produced by Lex(). Comments and whitespace are consumed (and
+/// mined for suppression directives); string and character literals survive
+/// as single tokens so rules can inspect literal text (L5) without ever
+/// mistaking it for code (L1-L4).
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords
+  kNumber,      // pp-numbers: 1, 0.5, 1e-9, 0x1F, 1'000'000
+  kString,      // "..." / R"(...)" — text holds the contents, quotes stripped
+  kChar,        // 'c'
+  kPunct,       // operators and punctuation; multi-char ==, !=, :: kept whole
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 1;  // 1-based line of the token's first character
+};
+
+/// A `aggrecol-lint: allow(<rule>): <reason>` directive found in a comment.
+struct Suppression {
+  int line = 1;        // line the directive's comment starts on
+  std::string rule;    // the rule id inside allow(...)
+  bool has_reason = false;  // non-empty reason text after the closing paren
+  bool own_line = false;    // comment had no code before it on its line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+/// Tokenizes C++ source. Handles //, /* */, string/char literals with
+/// escapes, raw strings R"delim(...)delim", digit separators, and line
+/// counting. Never throws; unterminated constructs consume to end of input.
+LexResult Lex(std::string_view source);
+
+}  // namespace aggrecol::lint
+
+#endif  // AGGRECOL_TOOLS_LINT_SOURCE_LEXER_H_
