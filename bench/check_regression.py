@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Ratio-based regression gate for the Stage-1 kernel benchmark.
+
+Compares the kernel-vs-naive speedup ratios in a freshly generated
+BENCH_stage1.json against the committed baseline. Speedup ratios are
+hardware-independent (both variants run on the same machine in the same
+process), so a materially lower ratio means the kernel itself regressed,
+not that CI got a slower runner.
+
+Usage:
+    bench/check_regression.py CURRENT.json [BASELINE.json]
+
+Exits 0 when every section's speedup is within TOLERANCE of the baseline
+(or when the baseline file is missing — first landing), 1 on regression.
+"""
+
+import json
+import os
+import sys
+
+TOLERANCE = 1.10  # current speedup may be up to 10% below baseline
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current_path = sys.argv[1]
+    baseline_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_stage1.json"
+
+    if not os.path.exists(baseline_path):
+        print(f"no baseline at {baseline_path}; skipping gate (first landing)")
+        return 0
+
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failed = False
+    for section, entry in baseline.items():
+        if not isinstance(entry, dict) or "speedup" not in entry:
+            continue
+        base = entry["speedup"]
+        cur = current.get(section, {}).get("speedup")
+        if cur is None:
+            print(f"FAIL {section}: missing from current results")
+            failed = True
+            continue
+        floor = base / TOLERANCE
+        verdict = "ok" if cur >= floor else "FAIL"
+        print(
+            f"{verdict} {section}: speedup {cur:.2f}x vs baseline "
+            f"{base:.2f}x (floor {floor:.2f}x)"
+        )
+        failed = failed or cur < floor
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

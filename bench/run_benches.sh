@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Builds a Release tree and runs the Stage-1 kernel benchmark.
+#
+#   bench/run_benches.sh            # human-readable tables only
+#   bench/run_benches.sh --json     # also writes BENCH_stage1.json at repo root
+#
+# The JSON artifact is consumed by bench/check_regression.py (the CI ratio
+# gate) and committed as the reference baseline. Timings are wall-clock and
+# machine-dependent; only the kernel-vs-naive speedup RATIOS are comparable
+# across machines, which is what the gate checks.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${ROOT}/build-bench"
+JSON=""
+
+for arg in "$@"; do
+  case "${arg}" in
+    --json) JSON="${ROOT}/BENCH_stage1.json" ;;
+    --json=*) JSON="${arg#--json=}" ;;
+    *)
+      echo "usage: $0 [--json[=PATH]]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD}" --target stage1_kernels -j "$(nproc)" >/dev/null
+
+if [[ -n "${JSON}" ]]; then
+  "${BUILD}/bench/stage1_kernels" --json "${JSON}"
+else
+  "${BUILD}/bench/stage1_kernels"
+fi

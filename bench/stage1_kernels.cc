@@ -1,0 +1,266 @@
+// Stage-1 hot-path kernel benchmark: the transpose-free column-axis view and
+// the prefix-sum adjacency scan against the retained naive references.
+//
+//   column_axis     — the full column-axis stage-1 scan (all five functions)
+//                     per VALIDATION file: NumericGrid::Transposed() deep copy
+//                     + naive scans vs zero-copy AxisView::Columns() + kernels.
+//   wide_adjacency  — sum/average candidate generation on synthetic wide
+//                     files (many columns per row), the regime the prefix-sum
+//                     screen targets.
+//
+// Prints a human-readable table; `--json [PATH]` additionally writes the
+// machine-readable BENCH_stage1.json consumed by bench/check_regression.py
+// (default path: BENCH_stage1.json in the current directory). Both scans are
+// bit-identical by construction (tests/stage1_kernel_test.cc), so candidate
+// counts must agree between the naive and kernel variants; the benchmark
+// aborts if they do not.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/adjacency_strategy.h"
+#include "core/window_strategy.h"
+#include "csv/grid.h"
+#include "numfmt/axis_view.h"
+#include "numfmt/numeric_grid.h"
+#include "util/stopwatch.h"
+
+namespace aggrecol {
+namespace {
+
+using core::AggregationFunction;
+
+struct VariantStats {
+  std::vector<double> per_file_us;
+  double total_seconds = 0.0;
+  long long candidates = 0;
+
+  void Record(double seconds, size_t found) {
+    per_file_us.push_back(seconds * 1e6);
+    total_seconds += seconds;
+    candidates += static_cast<long long>(found);
+  }
+
+  double Percentile(double p) const {
+    std::vector<double> sorted = per_file_us;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.empty()) return 0.0;
+    const size_t index = std::min(
+        sorted.size() - 1, static_cast<size_t>(p * static_cast<double>(sorted.size())));
+    return sorted[index];
+  }
+
+  double CandidatesPerSecond() const {
+    return total_seconds > 0.0 ? static_cast<double>(candidates) / total_seconds : 0.0;
+  }
+};
+
+struct Comparison {
+  const char* name;
+  int files = 0;
+  VariantStats naive;
+  VariantStats kernel;
+
+  double Speedup() const {
+    return kernel.total_seconds > 0.0 ? naive.total_seconds / kernel.total_seconds
+                                      : 0.0;
+  }
+};
+
+// One full stage-1 scan of `view`: every function over every line. Returns
+// the number of candidates. `use_kernel` selects the implementation.
+size_t ScanAllFunctions(const numfmt::AxisView& view, bool use_kernel) {
+  const std::vector<bool> active(static_cast<size_t>(view.columns()), true);
+  size_t found = 0;
+  for (AggregationFunction function : core::kAllFunctions) {
+    const bool commutative = core::TraitsOf(function).commutative;
+    for (int line = 0; line < view.rows(); ++line) {
+      if (commutative) {
+        found += (use_kernel
+                      ? core::DetectAdjacentCommutative(view, active, line,
+                                                        function, 0.0)
+                      : core::DetectAdjacentCommutativeNaive(view, active, line,
+                                                             function, 0.0))
+                     .size();
+      } else {
+        found += (use_kernel
+                      ? core::DetectWindowPairwise(view, active, line, function,
+                                                   0.0, 10)
+                      : core::DetectWindowPairwiseNaive(view, active, line,
+                                                        function, 0.0, 10))
+                     .size();
+      }
+    }
+  }
+  return found;
+}
+
+// Column-axis comparison over the VALIDATION corpus: the naive variant pays
+// the transposed deep copy (what the pipeline used to materialize) plus the
+// naive scans; the kernel variant runs the zero-copy view and the stage-1
+// kernels.
+Comparison BenchColumnAxis() {
+  Comparison comparison;
+  comparison.name = "column_axis";
+  util::Stopwatch stopwatch;
+  for (const auto& file : bench::ValidationFiles()) {
+    const auto grid = numfmt::NumericGrid::FromGrid(file.grid, file.format);
+    ++comparison.files;
+
+    stopwatch.Reset();
+    const numfmt::NumericGrid transposed = grid.Transposed();
+    const size_t naive_found = ScanAllFunctions(transposed, /*use_kernel=*/false);
+    comparison.naive.Record(stopwatch.ElapsedSeconds(), naive_found);
+
+    stopwatch.Reset();
+    const size_t kernel_found =
+        ScanAllFunctions(numfmt::AxisView::Columns(grid), /*use_kernel=*/true);
+    comparison.kernel.Record(stopwatch.ElapsedSeconds(), kernel_found);
+
+    if (naive_found != kernel_found) {
+      std::fprintf(stderr, "FATAL: candidate mismatch on %s: naive=%zu kernel=%zu\n",
+                   file.name.c_str(), naive_found, kernel_found);
+      std::exit(1);
+    }
+  }
+  return comparison;
+}
+
+// Wide-file sum/average comparison: synthetic grids with hundreds of columns
+// per row and planted sums, scanned row-wise with the commutative detectors
+// only — the candidate-generation path the prefix-sum kernel accelerates.
+Comparison BenchWideAdjacency() {
+  constexpr int kFiles = 24;
+  constexpr int kRows = 32;
+  constexpr int kColumns = 256;
+
+  Comparison comparison;
+  comparison.name = "wide_adjacency";
+  std::mt19937 rng(0x5747E1);
+  util::Stopwatch stopwatch;
+  for (int f = 0; f < kFiles; ++f) {
+    csv::Grid raw(kRows, kColumns);
+    for (int i = 0; i < kRows; ++i) {
+      long long sum = 0;
+      for (int j = 1; j < kColumns; ++j) {
+        const int value = 1 + static_cast<int>(rng() % 99);
+        raw.set(i, j, std::to_string(value));
+        if (j <= 8) sum += value;
+      }
+      raw.set(i, 0, std::to_string(sum));  // planted: col 0 = sum(cols 1..8)
+    }
+    const auto grid =
+        numfmt::NumericGrid::FromGrid(raw, numfmt::NumberFormat::kCommaDot);
+    const numfmt::AxisView view = numfmt::AxisView::Rows(grid);
+    const std::vector<bool> active(static_cast<size_t>(view.columns()), true);
+    ++comparison.files;
+
+    const AggregationFunction commutative[] = {AggregationFunction::kSum,
+                                               AggregationFunction::kAverage};
+    stopwatch.Reset();
+    size_t naive_found = 0;
+    for (AggregationFunction function : commutative) {
+      for (int line = 0; line < view.rows(); ++line) {
+        naive_found += core::DetectAdjacentCommutativeNaive(view, active, line,
+                                                            function, 0.0)
+                           .size();
+      }
+    }
+    comparison.naive.Record(stopwatch.ElapsedSeconds(), naive_found);
+
+    stopwatch.Reset();
+    size_t kernel_found = 0;
+    for (AggregationFunction function : commutative) {
+      for (int line = 0; line < view.rows(); ++line) {
+        kernel_found +=
+            core::DetectAdjacentCommutative(view, active, line, function, 0.0)
+                .size();
+      }
+    }
+    comparison.kernel.Record(stopwatch.ElapsedSeconds(), kernel_found);
+
+    if (naive_found != kernel_found) {
+      std::fprintf(stderr,
+                   "FATAL: candidate mismatch on wide file %d: naive=%zu kernel=%zu\n",
+                   f, naive_found, kernel_found);
+      std::exit(1);
+    }
+  }
+  return comparison;
+}
+
+void PrintComparison(const Comparison& comparison) {
+  std::printf("%s (%d files)\n", comparison.name, comparison.files);
+  std::printf("  %-8s %10s %10s %14s %16s\n", "variant", "p50 us", "p95 us",
+              "total ms", "candidates/s");
+  auto row = [](const char* label, const VariantStats& stats) {
+    std::printf("  %-8s %10.1f %10.1f %14.2f %16.0f\n", label,
+                stats.Percentile(0.50), stats.Percentile(0.95),
+                stats.total_seconds * 1e3, stats.CandidatesPerSecond());
+  };
+  row("naive", comparison.naive);
+  row("kernel", comparison.kernel);
+  std::printf("  speedup: %.2fx (candidates: %lld, identical by construction)\n\n",
+              comparison.Speedup(), comparison.kernel.candidates);
+}
+
+void WriteVariantJson(std::FILE* out, const char* label, const VariantStats& stats) {
+  std::fprintf(out,
+               "    \"%s\": {\"p50_us\": %.3f, \"p95_us\": %.3f, "
+               "\"total_ms\": %.3f, \"candidates\": %lld, "
+               "\"candidates_per_sec\": %.1f}",
+               label, stats.Percentile(0.50), stats.Percentile(0.95),
+               stats.total_seconds * 1e3, stats.candidates,
+               stats.CandidatesPerSecond());
+}
+
+void WriteJson(const std::string& path, const std::vector<Comparison>& comparisons) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n  \"bench\": \"stage1_kernels\",\n");
+  for (size_t c = 0; c < comparisons.size(); ++c) {
+    const Comparison& comparison = comparisons[c];
+    std::fprintf(out, "  \"%s\": {\n    \"files\": %d,\n", comparison.name,
+                 comparison.files);
+    WriteVariantJson(out, "naive", comparison.naive);
+    std::fprintf(out, ",\n");
+    WriteVariantJson(out, "kernel", comparison.kernel);
+    std::fprintf(out, ",\n    \"speedup\": %.3f\n  }%s\n", comparison.Speedup(),
+                 c + 1 < comparisons.size() ? "," : "");
+  }
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace aggrecol
+
+int main(int argc, char** argv) {
+  using namespace aggrecol;
+
+  std::string json_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::string(argv[a]) == "--json") {
+      json_path = a + 1 < argc ? argv[a + 1] : "BENCH_stage1.json";
+      ++a;
+    }
+  }
+
+  std::printf(
+      "Stage-1 kernels: transpose-free AxisView + prefix-sum adjacency scan\n"
+      "vs the retained naive references (error level 0, window 10).\n\n");
+
+  const std::vector<Comparison> comparisons = {BenchColumnAxis(),
+                                               BenchWideAdjacency()};
+  for (const auto& comparison : comparisons) PrintComparison(comparison);
+  if (!json_path.empty()) WriteJson(json_path, comparisons);
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "baselines/adjacent_only_detector.h"
 
 #include "core/adjacency_strategy.h"
+#include "numfmt/axis_view.h"
 
 namespace aggrecol::baselines {
 
@@ -19,11 +20,11 @@ std::vector<core::Aggregation> DetectAdjacentOnly(const numfmt::NumericGrid& gri
     }
   }
 
-  const numfmt::NumericGrid transposed = grid.Transposed();
-  const std::vector<bool> all_cols(transposed.columns(), true);
+  const numfmt::AxisView columns_view = numfmt::AxisView::Columns(grid);
+  const std::vector<bool> all_cols(columns_view.columns(), true);
   for (core::AggregationFunction function : functions) {
-    for (int row = 0; row < transposed.rows(); ++row) {
-      auto found = core::DetectAdjacentCommutative(transposed, all_cols, row, function,
+    for (int row = 0; row < columns_view.rows(); ++row) {
+      auto found = core::DetectAdjacentCommutative(columns_view, all_cols, row, function,
                                                    error_level);
       for (auto& aggregation : found) {
         aggregation.axis = core::Axis::kColumn;

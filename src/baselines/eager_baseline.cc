@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "numfmt/axis_view.h"
 #include "util/stopwatch.h"
 
 namespace aggrecol::baselines {
@@ -37,7 +38,7 @@ struct Enumeration {
 
 // Enumerates subsets (size >= 2) of `cells` excluding position `skip`,
 // recording every subset whose aggregate matches `observed`.
-void EnumerateSubsets(const numfmt::NumericGrid& grid, int line,
+void EnumerateSubsets(const numfmt::AxisView& grid, int line,
                       const std::vector<int>& cells, size_t skip, double observed,
                       Enumeration* state, std::vector<Aggregation>* out) {
   const AggregationFunction function = state->config->function;
@@ -80,7 +81,7 @@ void EnumerateSubsets(const numfmt::NumericGrid& grid, int line,
 }
 
 // Enumerates ordered pairs from `cells` for pairwise functions.
-void EnumeratePairs(const numfmt::NumericGrid& grid, int line,
+void EnumeratePairs(const numfmt::AxisView& grid, int line,
                     const std::vector<int>& cells, size_t skip, double observed,
                     Enumeration* state, std::vector<Aggregation>* out) {
   const AggregationFunction function = state->config->function;
@@ -108,7 +109,7 @@ void EnumeratePairs(const numfmt::NumericGrid& grid, int line,
   }
 }
 
-void ScanRowwise(const numfmt::NumericGrid& grid, Axis axis, Enumeration* state,
+void ScanRowwise(const numfmt::AxisView& grid, Axis axis, Enumeration* state,
                  std::vector<Aggregation>* out) {
   const bool pairwise = core::TraitsOf(state->config->function).pairwise;
   for (int line = 0; line < grid.rows(); ++line) {
@@ -146,8 +147,8 @@ EagerBaselineResult RunEagerBaseline(const numfmt::NumericGrid& grid,
 
   if (config.rows) ScanRowwise(grid, Axis::kRow, &state, &result.aggregations);
   if (config.columns && !state.expired) {
-    const numfmt::NumericGrid transposed = grid.Transposed();
-    ScanRowwise(transposed, Axis::kColumn, &state, &result.aggregations);
+    ScanRowwise(numfmt::AxisView::Columns(grid), Axis::kColumn, &state,
+                &result.aggregations);
   }
   result.finished = !state.expired;
   result.seconds = state.stopwatch.ElapsedSeconds();

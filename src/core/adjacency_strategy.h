@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/aggregation.h"
-#include "numfmt/numeric_grid.h"
+#include "numfmt/axis_view.h"
 
 namespace aggrecol::core {
 
@@ -18,9 +18,23 @@ namespace aggrecol::core {
 ///
 /// `active_columns` masks columns logically removed by the cumulative
 /// iteration of Alg. 1 or by the supplemental stage's constructed files.
-/// Results are row-wise in the coordinates of `grid`.
+/// Results are row-wise in the coordinates of `view`.
+///
+/// This is the prefix-sum kernel: the row is compacted once into a LineIndex,
+/// each candidate range sum becomes a O(1) prefix subtraction, and only
+/// candidates the conservative rounding bound cannot reject fall back to the
+/// compensated per-element walk. Detection decisions and reported error
+/// levels are bit-identical to DetectAdjacentCommutativeNaive (enforced by
+/// tests/stage1_kernel_test.cc).
 std::vector<Aggregation> DetectAdjacentCommutative(
-    const numfmt::NumericGrid& grid, const std::vector<bool>& active_columns,
+    const numfmt::AxisView& view, const std::vector<bool>& active_columns,
+    int row, AggregationFunction function, double error_level);
+
+/// The retained reference implementation: the original per-candidate walk
+/// over the raw view, summing with Kahan compensation. Kept for the
+/// differential test and the stage-1 benchmark; the pipeline runs the kernel.
+std::vector<Aggregation> DetectAdjacentCommutativeNaive(
+    const numfmt::AxisView& view, const std::vector<bool>& active_columns,
     int row, AggregationFunction function, double error_level);
 
 }  // namespace aggrecol::core

@@ -8,6 +8,7 @@
 #include "core/supplemental_detector.h"
 #include "csv/parser.h"
 #include "csv/sniffer.h"
+#include "numfmt/axis_view.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "structure/table_splitter.h"
@@ -131,13 +132,19 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
   DetectionResult result;
   result.format = numeric.format();
 
-  struct AxisView {
+  // Both axes are zero-copy strided views of the same grid: the column axis
+  // no longer materializes a transposed deep copy (see numfmt/axis_view.h).
+  struct DetectionAxis {
     Axis axis;
-    numfmt::NumericGrid grid;
+    numfmt::AxisView grid;
   };
-  std::vector<AxisView> views;
-  if (config_.detect_rows) views.push_back({Axis::kRow, numeric});
-  if (config_.detect_columns) views.push_back({Axis::kColumn, numeric.Transposed()});
+  std::vector<DetectionAxis> views;
+  if (config_.detect_rows) {
+    views.push_back({Axis::kRow, numfmt::AxisView::Rows(numeric)});
+  }
+  if (config_.detect_columns) {
+    views.push_back({Axis::kColumn, numfmt::AxisView::Columns(numeric)});
+  }
 
   util::Stopwatch stopwatch;
 

@@ -25,7 +25,7 @@ bool SameAggregateOverlappingRange(const Pattern& a, const Pattern& b) {
 
 }  // namespace
 
-std::vector<Aggregation> CollectivePrune(const numfmt::NumericGrid& grid,
+std::vector<Aggregation> CollectivePrune(const numfmt::AxisView& grid,
                                          const std::vector<Aggregation>& candidates) {
   std::vector<PatternGroup> groups = GroupByPattern(grid, candidates);
 

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/aggregation.h"
-#include "numfmt/numeric_grid.h"
+#include "numfmt/axis_view.h"
 
 namespace aggrecol::core {
 
@@ -20,7 +20,7 @@ namespace aggrecol::core {
 /// disjoint ranges are fine — the net-income example). Division groups are
 /// exempt on both sides: a part-of-whole division legitimately divides a
 /// range element by its own aggregate (the a2/a4 example of Fig. 5).
-std::vector<Aggregation> CollectivePrune(const numfmt::NumericGrid& grid,
+std::vector<Aggregation> CollectivePrune(const numfmt::AxisView& grid,
                                          const std::vector<Aggregation>& candidates);
 
 }  // namespace aggrecol::core

@@ -13,7 +13,7 @@ namespace {
 // The `window` nearest active range-usable cells on one side of a column,
 // ordered by increasing distance (the same collection the sliding-window
 // strategy uses).
-std::vector<int> CollectWindow(const numfmt::NumericGrid& grid, int row, int column,
+std::vector<int> CollectWindow(const numfmt::AxisView& grid, int row, int column,
                                int step, int window) {
   std::vector<int> cells;
   for (int index = column + step;
@@ -49,7 +49,7 @@ std::string ToString(const CompositeAggregation& composite) {
 }
 
 std::vector<CompositeAggregation> DetectCompositeRowwise(
-    const numfmt::NumericGrid& grid, const CompositeConfig& config,
+    const numfmt::AxisView& grid, const CompositeConfig& config,
     const std::vector<Aggregation>& detected) {
   // Ranges of detected sum aggregations (any line): a composite whose
   // numerator matches one of them is redundant with the plain division over

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/aggregation.h"
-#include "numfmt/numeric_grid.h"
+#include "numfmt/axis_view.h"
 
 namespace aggrecol::core {
 
@@ -61,7 +61,7 @@ struct CompositeConfig {
 /// exists and the plain division of the core pipeline already explains the
 /// relationship.
 std::vector<CompositeAggregation> DetectCompositeRowwise(
-    const numfmt::NumericGrid& grid, const CompositeConfig& config,
+    const numfmt::AxisView& grid, const CompositeConfig& config,
     const std::vector<Aggregation>& detected);
 
 }  // namespace aggrecol::core

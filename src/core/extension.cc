@@ -5,7 +5,7 @@
 
 namespace aggrecol::core {
 
-std::vector<Aggregation> ExtendAggregations(const numfmt::NumericGrid& grid,
+std::vector<Aggregation> ExtendAggregations(const numfmt::AxisView& grid,
                                             const std::vector<bool>& active_columns,
                                             const std::vector<Aggregation>& detected,
                                             double error_level) {

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/aggregation.h"
-#include "numfmt/numeric_grid.h"
+#include "numfmt/axis_view.h"
 
 namespace aggrecol::core {
 
@@ -18,7 +18,7 @@ namespace aggrecol::core {
 /// range cells range-usable and active, a defined function value, and an
 /// error level within `error_level`. Returns the union of `detected` and the
 /// newly validated aggregations, without duplicates.
-std::vector<Aggregation> ExtendAggregations(const numfmt::NumericGrid& grid,
+std::vector<Aggregation> ExtendAggregations(const numfmt::AxisView& grid,
                                             const std::vector<bool>& active_columns,
                                             const std::vector<Aggregation>& detected,
                                             double error_level);

@@ -45,12 +45,12 @@ std::optional<AggregationFunction> FunctionFromName(std::string_view name) {
 }
 
 double ApplyCommutative(AggregationFunction function, const std::vector<double>& values) {
-  double sum = 0.0;
-  for (double v : values) sum += v;
+  KahanAccumulator accumulator;
+  for (double v : values) accumulator.Add(v);
   if (function == AggregationFunction::kAverage && !values.empty()) {
-    return sum / static_cast<double>(values.size());
+    return accumulator.Total() / static_cast<double>(values.size());
   }
-  return sum;
+  return accumulator.Total();
 }
 
 std::optional<double> ApplyPairwise(AggregationFunction function, double b, double c) {

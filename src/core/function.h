@@ -55,7 +55,29 @@ std::string ToString(AggregationFunction function);
 /// Returns std::nullopt for unknown names.
 std::optional<AggregationFunction> FunctionFromName(std::string_view name);
 
-/// Applies a commutative function (sum or average) to `values`.
+/// Kahan (compensated) running sum. Every summation on the detection path —
+/// ApplyCommutative, the adjacency walks, and the LineIndex precision
+/// fallback — goes through this one accumulator so their results are
+/// bit-identical for the same value order. Plain left-to-right accumulation
+/// drifts by O(n·eps·Σ|v|), which on long ranges (hundreds of columns) can
+/// exceed a Def. 5 error level of 0 + kErrorSlack and flip a detection;
+/// compensation keeps the error at O(eps·Σ|v|) independent of length.
+struct KahanAccumulator {
+  double sum = 0.0;
+  double compensation = 0.0;
+
+  void Add(double value) {
+    const double y = value - compensation;
+    const double t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+
+  double Total() const { return sum; }
+};
+
+/// Applies a commutative function (sum or average) to `values`, summing with
+/// Kahan compensation in the given order.
 /// Must not be called with a pairwise function.
 double ApplyCommutative(AggregationFunction function, const std::vector<double>& values);
 

@@ -12,7 +12,7 @@
 namespace aggrecol::core {
 
 std::vector<Aggregation> DetectIndividualRowwise(
-    const numfmt::NumericGrid& grid, AggregationFunction function,
+    const numfmt::AxisView& grid, AggregationFunction function,
     const IndividualConfig& config, const std::vector<bool>* initial_active) {
   const FunctionTraits traits = TraitsOf(function);
   std::vector<bool> active = initial_active

@@ -5,7 +5,7 @@
 
 #include "core/aggregation.h"
 #include "core/pruning.h"
-#include "numfmt/numeric_grid.h"
+#include "numfmt/axis_view.h"
 #include "util/thread_pool.h"
 
 namespace aggrecol::core {
@@ -35,7 +35,9 @@ struct IndividualConfig {
   util::CancellationToken cancel;
 };
 
-/// Individual aggregation detection (Alg. 1), row-wise on `grid`:
+/// Individual aggregation detection (Alg. 1), line-wise on `grid` (a
+/// zero-copy AxisView: pass a NumericGrid directly for row-wise detection, or
+/// AxisView::Columns() for column-wise detection without a transposed copy):
 /// repeatedly (a) detects adjacent aggregations per row using the strategy
 /// matching the function's properties, (b) extends them across rows,
 /// (c) prunes spurious pattern groups, and, for cumulative functions,
@@ -47,7 +49,7 @@ struct IndividualConfig {
 /// Pass nullptr for "all columns active". Results are row-wise in the
 /// coordinates of `grid`.
 std::vector<Aggregation> DetectIndividualRowwise(
-    const numfmt::NumericGrid& grid, AggregationFunction function,
+    const numfmt::AxisView& grid, AggregationFunction function,
     const IndividualConfig& config,
     const std::vector<bool>* initial_active = nullptr);
 

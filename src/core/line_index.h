@@ -1,0 +1,81 @@
+#ifndef AGGRECOL_CORE_LINE_INDEX_H_
+#define AGGRECOL_CORE_LINE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "numfmt/axis_view.h"
+
+namespace aggrecol::core {
+
+/// Per-line scratch index for the stage-1 hot loops: the numeric-run index
+/// plus prefix sums of one grid line.
+///
+/// The naive scans walk the raw grid once per aggregate candidate, paying the
+/// active-mask branch, the CellKind branch, and (on the column axis) a strided
+/// load for every cell they merely skip. Build() pays those costs exactly once
+/// per line, compacting the range-usable cells — the adjacency list of
+/// Sec. 3.1 — into dense arrays:
+///
+///   cols[p]     original view column of the p-th usable cell
+///   value(p)    its numeric value
+///   is_numeric  whether it may serve as an aggregate
+///
+/// plus two prefix arrays over the compacted values (`prefix` of the values,
+/// `prefix_abs` of their magnitudes), so any candidate range sum is a O(1)
+/// subtraction and its worst-case rounding is boundable. Consecutive usable
+/// cells are adjacent in compact space, so every adjacency-list range is a
+/// contiguous [begin, end) span here.
+class LineIndex {
+ public:
+  /// Indexes line `line` of `view`, honoring the `active` column mask.
+  /// Reuses the buffers across calls; callers keep one instance per scan.
+  void Build(const numfmt::AxisView& view, const std::vector<bool>& active,
+             int line);
+
+  /// Number of usable (range-eligible) cells in the line.
+  int size() const { return static_cast<int>(cols_.size()); }
+
+  /// Original view column of compact position `pos`.
+  int col(int pos) const { return cols_[static_cast<size_t>(pos)]; }
+
+  double value(int pos) const { return values_[static_cast<size_t>(pos)]; }
+
+  bool is_numeric(int pos) const {
+    return numeric_[static_cast<size_t>(pos)] != 0;
+  }
+
+  /// Sum of values over compact positions [begin, end) as one prefix
+  /// subtraction. O(1); see SumErrorBound for how far it can sit from the
+  /// compensated walk over the same span.
+  double PrefixSum(int begin, int end) const {
+    return prefix_[static_cast<size_t>(end)] - prefix_[static_cast<size_t>(begin)];
+  }
+
+  /// Conservative bound on |PrefixSum(begin, end) - compensated walk sum|
+  /// for any span ending at `end`. Both prefix entries carry accumulated
+  /// rounding proportional to the *whole-prefix* magnitude mass (not just the
+  /// span's), so the bound uses prefix_abs at the span end; the linear factor
+  /// covers the classic gamma_n forward-error term of n sequential adds, the
+  /// final subtraction, and the O(eps) error of a compensated sum. The value
+  /// is precomputed per position in Build(), so the hot screens pay one load.
+  double SumErrorBound(int end) const { return drift_[static_cast<size_t>(end)]; }
+
+  /// Compensated (Kahan) sum of values over compact positions [begin, end),
+  /// in ascending order, or descending when `reverse` — the exact operation
+  /// sequence of the retained naive adjacency walk in each direction, so a
+  /// fallback through this path is bit-identical to the reference scan.
+  double CompensatedSum(int begin, int end, bool reverse) const;
+
+ private:
+  std::vector<int> cols_;
+  std::vector<double> values_;
+  std::vector<uint8_t> numeric_;
+  std::vector<double> prefix_;      // prefix_[p] = sum of values_[0..p)
+  std::vector<double> prefix_abs_;  // same over |values_|
+  std::vector<double> drift_;       // SumErrorBound(p), precomputed
+};
+
+}  // namespace aggrecol::core
+
+#endif  // AGGRECOL_CORE_LINE_INDEX_H_

@@ -36,7 +36,7 @@ bool CompletelyIncluded(const Pattern& inner, const Pattern& outer) {
 
 }  // namespace
 
-std::vector<PatternGroup> GroupByPattern(const numfmt::NumericGrid& grid,
+std::vector<PatternGroup> GroupByPattern(const numfmt::AxisView& grid,
                                          const std::vector<Aggregation>& candidates) {
   std::map<Pattern, PatternGroup> groups;
   for (const auto& candidate : candidates) {
@@ -90,7 +90,7 @@ bool MutualInclusion(const Pattern& a, const Pattern& b) {
   return Contains(b.range, a.aggregate) && Contains(a.range, b.aggregate);
 }
 
-std::vector<Aggregation> PruneIndividual(const numfmt::NumericGrid& grid,
+std::vector<Aggregation> PruneIndividual(const numfmt::AxisView& grid,
                                          const std::vector<Aggregation>& candidates,
                                          double coverage, const PruningRules& rules) {
   std::vector<PatternGroup> groups = GroupByPattern(grid, candidates);

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/aggregation.h"
-#include "numfmt/numeric_grid.h"
+#include "numfmt/axis_view.h"
 
 namespace aggrecol::core {
 
@@ -23,7 +23,7 @@ struct PatternGroup {
 
 /// Groups `candidates` by pattern and computes sufficiency scores against
 /// `grid` (the denominator counts numeric cells in the aggregate's column).
-std::vector<PatternGroup> GroupByPattern(const numfmt::NumericGrid& grid,
+std::vector<PatternGroup> GroupByPattern(const numfmt::AxisView& grid,
                                          const std::vector<Aggregation>& candidates);
 
 /// Side of `pattern`'s range relative to its aggregate.
@@ -63,7 +63,7 @@ struct PruningRules {
 ///     an accepted one per the three heuristics above.
 /// Returns the aggregations of the accepted groups. `rules` disables
 /// individual steps for ablation.
-std::vector<Aggregation> PruneIndividual(const numfmt::NumericGrid& grid,
+std::vector<Aggregation> PruneIndividual(const numfmt::AxisView& grid,
                                          const std::vector<Aggregation>& candidates,
                                          double coverage,
                                          const PruningRules& rules = {});

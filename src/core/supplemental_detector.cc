@@ -91,7 +91,7 @@ std::vector<std::vector<bool>> BuildConfigurations(
 }  // namespace
 
 std::vector<Aggregation> DetectSupplementalRowwise(
-    const numfmt::NumericGrid& grid, const SupplementalConfig& config,
+    const numfmt::AxisView& grid, const SupplementalConfig& config,
     const std::vector<Aggregation>& detected) {
   std::deque<AggregationFunction> queue(config.functions.begin(),
                                         config.functions.end());

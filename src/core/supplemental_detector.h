@@ -7,7 +7,7 @@
 #include "core/aggregation.h"
 #include "core/function.h"
 #include "core/pruning.h"
-#include "numfmt/numeric_grid.h"
+#include "numfmt/axis_view.h"
 #include "util/thread_pool.h"
 
 namespace aggrecol::core {
@@ -58,7 +58,7 @@ struct SupplementalConfig {
 /// `detected` holds the (row-wise, same coordinates) aggregations accepted by
 /// the earlier stages; the return value contains only *new* aggregations.
 std::vector<Aggregation> DetectSupplementalRowwise(
-    const numfmt::NumericGrid& grid, const SupplementalConfig& config,
+    const numfmt::AxisView& grid, const SupplementalConfig& config,
     const std::vector<Aggregation>& detected);
 
 }  // namespace aggrecol::core

@@ -1,43 +1,170 @@
 #include "core/window_strategy.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/line_index.h"
+
 namespace aggrecol::core {
 namespace {
 
 // Collects the `window_size` active, range-usable columns closest to
-// `aggregate_col` in direction `step`.
-std::vector<int> CollectWindow(const numfmt::NumericGrid& grid,
+// `aggregate_col` in direction `step` (raw-view reference path).
+std::vector<int> CollectWindow(const numfmt::AxisView& view,
                                const std::vector<bool>& active_columns, int row,
                                int aggregate_col, int step, int window_size) {
   std::vector<int> window;
   for (int col = aggregate_col + step;
-       col >= 0 && col < grid.columns() &&
+       col >= 0 && col < view.columns() &&
        static_cast<int>(window.size()) < window_size;
        col += step) {
     if (!active_columns[col]) continue;
-    if (!grid.IsRangeUsable(row, col)) continue;
+    if (!view.IsRangeUsable(row, col)) continue;
     window.push_back(col);
   }
   return window;
 }
 
+// Keep-first suppression of candidates whose canonical forms collide. For
+// difference, A = B - C (aggregate A) and its mirror C = B - A (aggregate C)
+// both canonicalize to the sum B = A + C; the later one in scan order is the
+// mirror and is dropped. Division and relative change are their own canonical
+// forms, so they pass through untouched.
+std::vector<Aggregation> SuppressCanonicalMirrors(std::vector<Aggregation> found) {
+  std::vector<Aggregation> kept;
+  kept.reserve(found.size());
+  std::vector<Aggregation> canonical_seen;
+  for (Aggregation& aggregation : found) {
+    Aggregation canonical = Canonicalize(aggregation);
+    const auto at = std::lower_bound(canonical_seen.begin(), canonical_seen.end(),
+                                     canonical, AggregationLess);
+    if (at != canonical_seen.end() && *at == canonical) continue;
+    canonical_seen.insert(at, std::move(canonical));
+    kept.push_back(std::move(aggregation));
+  }
+  return kept;
+}
+
+// Shared pair loop: tests every ordered pair of each side's window against
+// the aggregate at compact position `pos` of `index`.
+//
+// Each pair is first screened division-free: the reference test
+//   ErrorLevel(obs, ApplyPairwise(f, b, c)) <= level + slack
+// is multiplied through by the pairwise function's denominator, turning it
+// into one absolute comparison per pair (no division, no optional, no call).
+// The eps terms and kInflate make the screen strictly conservative — it can
+// only certify *misses* — so every survivor replays the exact
+// ApplyPairwise + ErrorLevel decision and the kernel stays bit-identical to
+// the naive scan. (When obs == 0 the reference error is absolute; then
+// target = obs * denom = 0 and threshold = level + slack, so the same
+// formulas cover both cases without a branch.)
+void TestWindows(const LineIndex& index, int row, int pos,
+                 AggregationFunction function, double error_level,
+                 int window_size, std::vector<Aggregation>& found) {
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  constexpr double kInflate = 1.0 + 32.0 * kEps;
+  const double observed = index.value(pos);
+  const double threshold = (error_level + kErrorSlack) *
+                           (observed != 0.0 ? std::fabs(observed) : 1.0);
+  for (int step : {+1, -1}) {
+    // The window in compact space: the nearest usable positions on one side.
+    const int available = step > 0 ? index.size() - 1 - pos : pos;
+    const int width = std::min(window_size, available);
+    for (int bi = 1; bi <= width; ++bi) {
+      for (int ci = 1; ci <= width; ++ci) {
+        if (bi == ci) continue;
+        const int b_pos = pos + step * bi;
+        const int c_pos = pos + step * ci;
+        const double b = index.value(b_pos);
+        const double c = index.value(c_pos);
+        switch (function) {
+          case AggregationFunction::kDifference: {
+            // |(b - c) - obs| > (level + slack) * |obs|  => miss.
+            const double diff = b - c;
+            if (std::fabs(diff - observed) >
+                (threshold + kEps * std::fabs(diff)) * kInflate) {
+              continue;
+            }
+            break;
+          }
+          case AggregationFunction::kDivision: {
+            // b / c vs obs, scaled by |c|: |b - obs*c| > thr*|c|  => miss.
+            if (c == 0.0) continue;  // reference skips the pair entirely
+            const double target = observed * c;
+            if (std::fabs(b - target) >
+                (threshold * std::fabs(c) + kEps * std::fabs(target)) *
+                    kInflate) {
+              continue;
+            }
+            break;
+          }
+          case AggregationFunction::kRelativeChange: {
+            // (c - b) / b vs obs, scaled by |b|: |(c-b) - obs*b| > thr*|b|.
+            if (b == 0.0) continue;  // reference skips the pair entirely
+            const double diff = c - b;
+            const double target = observed * b;
+            if (std::fabs(diff - target) >
+                (threshold * std::fabs(b) +
+                 kEps * (std::fabs(diff) + std::fabs(target))) *
+                    kInflate) {
+              continue;
+            }
+            break;
+          }
+          default:
+            break;  // commutative functions never reach the window scan
+        }
+        const auto calculated = ApplyPairwise(function, b, c);
+        if (!calculated.has_value()) continue;
+        const double error = ErrorLevel(observed, *calculated);
+        if (WithinErrorLevel(error, error_level)) {
+          Aggregation aggregation;
+          aggregation.axis = Axis::kRow;
+          aggregation.line = row;
+          aggregation.aggregate = index.col(pos);
+          aggregation.range = {index.col(b_pos), index.col(c_pos)};
+          aggregation.function = function;
+          aggregation.error = error;
+          found.push_back(std::move(aggregation));
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Aggregation> DetectWindowPairwise(
-    const numfmt::NumericGrid& grid, const std::vector<bool>& active_columns,
+    const numfmt::AxisView& view, const std::vector<bool>& active_columns,
     int row, AggregationFunction function, double error_level, int window_size) {
   std::vector<Aggregation> found;
-  for (int j = 0; j < grid.columns(); ++j) {
+  LineIndex index;
+  index.Build(view, active_columns, row);
+  for (int pos = 0; pos < index.size(); ++pos) {
+    if (!index.is_numeric(pos)) continue;
+    TestWindows(index, row, pos, function, error_level, window_size, found);
+  }
+  return SuppressCanonicalMirrors(std::move(found));
+}
+
+std::vector<Aggregation> DetectWindowPairwiseNaive(
+    const numfmt::AxisView& view, const std::vector<bool>& active_columns,
+    int row, AggregationFunction function, double error_level, int window_size) {
+  std::vector<Aggregation> found;
+  for (int j = 0; j < view.columns(); ++j) {
     if (!active_columns[j]) continue;
-    if (!grid.IsNumeric(row, j)) continue;
-    const double observed = grid.value(row, j);
+    if (!view.IsNumeric(row, j)) continue;
+    const double observed = view.value(row, j);
     for (int step : {+1, -1}) {
       const std::vector<int> window =
-          CollectWindow(grid, active_columns, row, j, step, window_size);
+          CollectWindow(view, active_columns, row, j, step, window_size);
       for (int b_col : window) {
         for (int c_col : window) {
           if (b_col == c_col) continue;
-          const auto calculated = ApplyPairwise(function, grid.value(row, b_col),
-                                                grid.value(row, c_col));
+          const auto calculated = ApplyPairwise(function, view.value(row, b_col),
+                                                view.value(row, c_col));
           if (!calculated.has_value()) continue;
           const double error = ErrorLevel(observed, *calculated);
           if (WithinErrorLevel(error, error_level)) {
@@ -54,7 +181,7 @@ std::vector<Aggregation> DetectWindowPairwise(
       }
     }
   }
-  return found;
+  return SuppressCanonicalMirrors(std::move(found));
 }
 
 }  // namespace aggrecol::core

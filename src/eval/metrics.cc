@@ -5,6 +5,12 @@
 namespace aggrecol::eval {
 namespace {
 
+// Canonicalizes and *deduplicates* one side of the comparison.
+// Deduplication is load-bearing for both sides: duplicate canonical
+// predictions (a sum and the difference that folds into it, or the same
+// aggregation surfacing from several stages) must count as one prediction,
+// and duplicate canonical truth entries must not inflate the miss count.
+// CanonicalizeAll's sort + unique provides exactly that set semantics.
 std::vector<core::Aggregation> Prepare(const std::vector<core::Aggregation>& in,
                                        FunctionFilter filter) {
   std::vector<core::Aggregation> canonical = core::CanonicalizeAll(in);
@@ -33,7 +39,10 @@ Scores Score(const std::vector<core::Aggregation>& predicted,
       ++scores.incorrect;
     }
   }
-  scores.missed = static_cast<int>(t.size()) - scores.correct;
+  // Each correct prediction is a distinct element of the deduplicated truth
+  // set, so t.size() >= correct always holds; the clamp guards the invariant
+  // against any future change that lets duplicates back through Prepare().
+  scores.missed = std::max(0, static_cast<int>(t.size()) - scores.correct);
 
   const int predicted_count = scores.correct + scores.incorrect;
   const int truth_count = scores.correct + scores.missed;

@@ -72,8 +72,11 @@ class NumericGrid {
   /// The elected (or supplied) number format of the underlying file.
   NumberFormat format() const { return format_; }
 
-  /// Returns the transposed view: rows become columns. Used to run row-wise
-  /// detectors column-wise (Sec. 3).
+  /// Returns a deep-copied transposed grid: rows become columns. The
+  /// detection pipeline no longer uses this — column-wise detection runs on
+  /// the zero-copy AxisView::Columns() (see axis_view.h) — but the copy is
+  /// kept as the reference for the transpose-elimination benchmark and for
+  /// tests.
   NumericGrid Transposed() const;
 
   /// Returns the view restricted to the columns in `keep`, in order. Used by
@@ -81,6 +84,10 @@ class NumericGrid {
   NumericGrid WithColumns(const std::vector<int>& keep) const;
 
  private:
+  // AxisView (axis_view.h) wraps the SoA buffers with stride arithmetic; it
+  // is the only other type allowed at the raw storage.
+  friend class AxisView;
+
   NumericGrid(int rows, int columns, NumberFormat format)
       : rows_(rows),
         columns_(columns),

@@ -169,7 +169,8 @@ TEST(Docs, CrossReferencedPagesExist) {
   // checked above and by the CI link checker.
   for (const char* page :
        {"docs/ARCHITECTURE.md", "docs/CLI.md", "docs/OBSERVABILITY.md",
-        "docs/ALGORITHM.md", "docs/STATIC_ANALYSIS.md", "README.md"}) {
+        "docs/ALGORITHM.md", "docs/STATIC_ANALYSIS.md", "docs/PERFORMANCE.md",
+        "README.md"}) {
     EXPECT_FALSE(ReadDoc(page).empty()) << page;
   }
 }

@@ -1,5 +1,8 @@
 #include "core/function.h"
 
+#include <vector>
+
+#include "core/aggregation.h"
 #include "gtest/gtest.h"
 
 namespace aggrecol::core {
@@ -69,6 +72,27 @@ TEST(Apply, DispatchesOnTraits) {
   EXPECT_DOUBLE_EQ(*Apply(AggregationFunction::kDivision, {9, 3}), 3.0);
   EXPECT_FALSE(Apply(AggregationFunction::kDifference, {1, 2, 3}).has_value());
   EXPECT_FALSE(Apply(AggregationFunction::kSum, {}).has_value());
+}
+
+TEST(ApplyCommutative, CompensatedSummationSurvivesCancellation) {
+  // A 1000-element range whose detection outcome flips under naive
+  // summation: 2^53 + 1 - 2^53 loses the +1 entirely in plain left-to-right
+  // order (1 is half an ulp at 2^53 magnitude, ties-to-even drops it), so a
+  // naive sum yields 997 against the true 998 — an error level of ~1e-3,
+  // far outside kErrorSlack. The Kahan accumulator's compensation term
+  // carries the lost 1 and recovers the sum exactly.
+  std::vector<double> values = {9007199254740992.0, 1.0, -9007199254740992.0};
+  for (int i = 0; i < 997; ++i) values.push_back(1.0);
+  ASSERT_EQ(values.size(), 1000u);
+
+  double plain = 0.0;
+  for (double v : values) plain += v;
+  EXPECT_FALSE(WithinErrorLevel(ErrorLevel(998.0, plain), 0.0));
+
+  const double compensated = ApplyCommutative(AggregationFunction::kSum, values);
+  EXPECT_EQ(compensated, 998.0);
+  EXPECT_TRUE(WithinErrorLevel(ErrorLevel(998.0, compensated), 0.0));
+  EXPECT_EQ(ApplyCommutative(AggregationFunction::kAverage, values), 0.998);
 }
 
 TEST(MinRange, TwoElementsForAllFunctions) {

@@ -110,6 +110,41 @@ TEST(Score, DuplicatePredictionsCollapse) {
   EXPECT_EQ(scores.incorrect, 0);
 }
 
+TEST(Score, CanonicalDuplicatePredictionsCountOnce) {
+  // A sum, its reordered twin, and the difference that folds into the same
+  // canonical form (aggregate 0 = 1 - 2 with the sum 1 = 0 + 2): three raw
+  // predictions, one canonical prediction. Neither correct nor incorrect may
+  // be double-counted, and missed must not go negative.
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 1, {0, 2}, AggregationFunction::kSum)};
+  const std::vector<core::Aggregation> predicted = {
+      Agg(1, 1, {0, 2}, AggregationFunction::kSum),
+      Agg(1, 1, {2, 0}, AggregationFunction::kSum),
+      Agg(1, 0, {1, 2}, AggregationFunction::kDifference)};
+  const auto scores = Score(predicted, truth);
+  EXPECT_EQ(scores.correct, 1);
+  EXPECT_EQ(scores.incorrect, 0);
+  EXPECT_EQ(scores.missed, 0);
+  EXPECT_DOUBLE_EQ(scores.precision, 1.0);
+  EXPECT_DOUBLE_EQ(scores.recall, 1.0);
+}
+
+TEST(Score, DuplicateTruthDoesNotInflateMissed) {
+  // The same ground-truth aggregation annotated twice (e.g. once as sum,
+  // once as the equivalent difference) is one truth entry after
+  // canonicalization: matching it yields perfect recall, not a phantom miss.
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 1, {0, 2}, AggregationFunction::kSum),
+      Agg(1, 0, {1, 2}, AggregationFunction::kDifference)};
+  const std::vector<core::Aggregation> predicted = {
+      Agg(1, 1, {0, 2}, AggregationFunction::kSum)};
+  const auto scores = Score(predicted, truth);
+  EXPECT_EQ(scores.correct, 1);
+  EXPECT_EQ(scores.missed, 0);
+  EXPECT_GE(scores.missed, 0);
+  EXPECT_DOUBLE_EQ(scores.recall, 1.0);
+}
+
 TEST(Accumulate, PoolsCounts) {
   Scores a;
   a.correct = 8;

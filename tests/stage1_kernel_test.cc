@@ -1,0 +1,248 @@
+// Differential coverage for the stage-1 hot-path kernels: the prefix-sum
+// adjacency scan and the LineIndex-compacted window scan must be
+// *bit-identical* to the retained naive reference scans — same aggregation
+// sets in the same order, with bitwise-equal observed error levels — on both
+// axes, for all five functions, across every Fig. 7 error level. Also unit
+// coverage for AxisView (the zero-copy transpose) and LineIndex itself.
+#include <cmath>
+#include <vector>
+
+#include "core/adjacency_strategy.h"
+#include "core/line_index.h"
+#include "core/window_strategy.h"
+#include "datagen/corpus.h"
+#include "gtest/gtest.h"
+#include "numfmt/axis_view.h"
+#include "tests/test_support.h"
+
+namespace aggrecol::core {
+namespace {
+
+using aggrecol::testing::Figure5Grid;
+using aggrecol::testing::MakeNumeric;
+
+// The Fig. 7 sweep, as in bench/fig7_error_levels.
+const std::vector<double>& Fig7Levels() {
+  static const std::vector<double> levels = {0.0,  1e-6, 1e-4, 1e-3,
+                                             0.01, 0.03, 0.05, 0.1};
+  return levels;
+}
+
+// Asserts the two scans produced the same aggregations in the same order,
+// with bitwise-identical error fields (operator== ignores the error, so it is
+// checked separately; exact double equality is intentional — the kernel
+// contract is bit-identity, not approximate agreement).
+void ExpectIdenticalScan(const std::vector<Aggregation>& kernel,
+                         const std::vector<Aggregation>& naive,
+                         const std::string& context) {
+  ASSERT_EQ(kernel.size(), naive.size()) << context;
+  for (size_t i = 0; i < kernel.size(); ++i) {
+    EXPECT_EQ(kernel[i], naive[i]) << context << " at " << i << ": "
+                                   << ToString(kernel[i]) << " vs "
+                                   << ToString(naive[i]);
+    EXPECT_EQ(kernel[i].error, naive[i].error)
+        << context << " error mismatch at " << i << ": " << ToString(kernel[i]);
+  }
+}
+
+// Runs both implementations of both strategies over every line of both axis
+// views of `grid`, across all five functions and all Fig. 7 error levels,
+// with the given active mask (or all-active when empty).
+void ExpectKernelMatchesNaive(const numfmt::NumericGrid& grid,
+                              const std::string& name,
+                              std::vector<bool> active = {}) {
+  const numfmt::AxisView views[] = {numfmt::AxisView::Rows(grid),
+                                    numfmt::AxisView::Columns(grid)};
+  for (const auto& view : views) {
+    std::vector<bool> mask = active;
+    if (static_cast<int>(mask.size()) != view.columns()) {
+      mask.assign(view.columns(), true);
+    }
+    for (double level : Fig7Levels()) {
+      for (AggregationFunction function : kAllFunctions) {
+        const bool commutative = TraitsOf(function).commutative;
+        for (int line = 0; line < view.rows(); ++line) {
+          const std::string context =
+              name + " axis=" + (view.transposed() ? "col" : "row") +
+              " fn=" + ToString(function) + " level=" + std::to_string(level) +
+              " line=" + std::to_string(line);
+          if (commutative) {
+            ExpectIdenticalScan(
+                DetectAdjacentCommutative(view, mask, line, function, level),
+                DetectAdjacentCommutativeNaive(view, mask, line, function, level),
+                context);
+          } else {
+            ExpectIdenticalScan(
+                DetectWindowPairwise(view, mask, line, function, level, 10),
+                DetectWindowPairwiseNaive(view, mask, line, function, level, 10),
+                context);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Stage1Kernel, MatchesNaiveOnFigure5) {
+  ExpectKernelMatchesNaive(
+      numfmt::NumericGrid::FromGrid(Figure5Grid(), numfmt::NumberFormat::kCommaDot),
+      "figure5");
+}
+
+TEST(Stage1Kernel, MatchesNaiveWithInactiveColumns) {
+  const auto grid =
+      numfmt::NumericGrid::FromGrid(Figure5Grid(), numfmt::NumberFormat::kCommaDot);
+  std::vector<bool> active(static_cast<size_t>(grid.columns()), true);
+  for (size_t j = 0; j < active.size(); j += 3) active[j] = false;
+  // Row axis only: the mask is in row-view coordinates.
+  const numfmt::AxisView view = numfmt::AxisView::Rows(grid);
+  for (double level : Fig7Levels()) {
+    for (AggregationFunction function : kAllFunctions) {
+      for (int line = 0; line < view.rows(); ++line) {
+        if (TraitsOf(function).commutative) {
+          ExpectIdenticalScan(
+              DetectAdjacentCommutative(view, active, line, function, level),
+              DetectAdjacentCommutativeNaive(view, active, line, function, level),
+              "masked");
+        } else {
+          ExpectIdenticalScan(
+              DetectWindowPairwise(view, active, line, function, level, 10),
+              DetectWindowPairwiseNaive(view, active, line, function, level, 10),
+              "masked");
+        }
+      }
+    }
+  }
+}
+
+TEST(Stage1Kernel, MatchesNaiveOnGeneratedCorpus) {
+  const auto corpus = datagen::GenerateSmallCorpus(200, 0xA66);
+  ASSERT_EQ(corpus.size(), 200u);
+  for (const auto& file : corpus) {
+    ExpectKernelMatchesNaive(
+        numfmt::NumericGrid::FromGrid(file.grid, file.format), file.name);
+  }
+}
+
+TEST(Stage1Kernel, PrecisionFallbackMatchesNaiveUnderCancellation) {
+  // 2^53 + 1 - 2^53 destroys the plain prefix sums (the +1 is entirely lost
+  // at 2^53 magnitude), so the prefix screen cannot decide and must fall back
+  // to the compensated walk, which recovers the range sum exactly. The
+  // detection then agrees bitwise with the naive Kahan reference.
+  std::vector<std::string> row = {"998", "9007199254740992", "1",
+                                  "-9007199254740992"};
+  for (int i = 0; i < 997; ++i) row.push_back("1");
+  const auto grid = MakeNumeric({row});
+  const std::vector<bool> active(static_cast<size_t>(grid.columns()), true);
+
+  const auto kernel = DetectAdjacentCommutative(grid, active, 0,
+                                                AggregationFunction::kSum, 0.0);
+  const auto naive = DetectAdjacentCommutativeNaive(
+      grid, active, 0, AggregationFunction::kSum, 0.0);
+  ExpectIdenticalScan(kernel, naive, "cancellation");
+
+  // And the aggregation over the full 1000-column range is actually found.
+  std::vector<int> range(1000);
+  for (int i = 0; i < 1000; ++i) range[i] = i + 1;
+  EXPECT_TRUE(aggrecol::testing::Contains(
+      kernel, aggrecol::testing::Agg(0, 0, range, AggregationFunction::kSum)));
+}
+
+TEST(AxisView, RowViewMatchesGrid) {
+  const auto grid = MakeNumeric({{"1", "x", "3"}, {"", "5", "abc"}});
+  const numfmt::AxisView view = numfmt::AxisView::Rows(grid);
+  EXPECT_FALSE(view.transposed());
+  ASSERT_EQ(view.rows(), grid.rows());
+  ASSERT_EQ(view.columns(), grid.columns());
+  for (int i = 0; i < grid.rows(); ++i) {
+    for (int j = 0; j < grid.columns(); ++j) {
+      EXPECT_EQ(view.kind(i, j), grid.kind(i, j));
+      EXPECT_EQ(view.value(i, j), grid.value(i, j));
+    }
+  }
+  EXPECT_EQ(view.format(), grid.format());
+}
+
+TEST(AxisView, ColumnViewMatchesTransposedCopy) {
+  const auto grid = MakeNumeric({{"1", "x", "3"}, {"", "5", "abc"}});
+  const numfmt::NumericGrid transposed = grid.Transposed();
+  const numfmt::AxisView view = numfmt::AxisView::Columns(grid);
+  EXPECT_TRUE(view.transposed());
+  ASSERT_EQ(view.rows(), transposed.rows());
+  ASSERT_EQ(view.columns(), transposed.columns());
+  for (int i = 0; i < transposed.rows(); ++i) {
+    for (int j = 0; j < transposed.columns(); ++j) {
+      EXPECT_EQ(view.kind(i, j), transposed.kind(i, j));
+      EXPECT_EQ(view.value(i, j), transposed.value(i, j));
+      EXPECT_EQ(view.IsNumeric(i, j), transposed.IsNumeric(i, j));
+      EXPECT_EQ(view.IsRangeUsable(i, j), transposed.IsRangeUsable(i, j));
+    }
+    EXPECT_EQ(view.NumericCountInRow(i), transposed.NumericCountInRow(i));
+  }
+  for (int j = 0; j < transposed.columns(); ++j) {
+    EXPECT_EQ(view.NumericCountInColumn(j), transposed.NumericCountInColumn(j));
+  }
+}
+
+TEST(AxisView, ImplicitConversionIsRowView) {
+  const auto grid = MakeNumeric({{"1", "2"}, {"3", "4"}});
+  const numfmt::AxisView view = grid;  // implicit
+  EXPECT_FALSE(view.transposed());
+  EXPECT_EQ(view.value(1, 0), 3.0);
+}
+
+TEST(LineIndex, CompactsUsableCellsWithPrefixSums) {
+  // "x" is a zero marker (usable, value 0), "abc" is text (skipped), and
+  // column 4 is masked out.
+  const auto grid = MakeNumeric({{"10", "x", "abc", "20", "30", "40"}});
+  std::vector<bool> active(6, true);
+  active[4] = false;
+  LineIndex index;
+  index.Build(grid, active, 0);
+  ASSERT_EQ(index.size(), 4);
+  EXPECT_EQ(index.col(0), 0);
+  EXPECT_EQ(index.col(1), 1);
+  EXPECT_EQ(index.col(2), 3);
+  EXPECT_EQ(index.col(3), 5);
+  EXPECT_TRUE(index.is_numeric(0));
+  EXPECT_FALSE(index.is_numeric(1));  // zero marker: usable, not an aggregate
+  EXPECT_DOUBLE_EQ(index.value(3), 40.0);
+  EXPECT_DOUBLE_EQ(index.PrefixSum(0, 4), 70.0);
+  EXPECT_DOUBLE_EQ(index.PrefixSum(1, 3), 20.0);
+  EXPECT_DOUBLE_EQ(index.PrefixSum(2, 2), 0.0);
+}
+
+TEST(LineIndex, CompensatedSumHonorsWalkOrder) {
+  const auto grid = MakeNumeric({{"1.5", "2.25", "3.125", "4"}});
+  const std::vector<bool> active(4, true);
+  LineIndex index;
+  index.Build(grid, active, 0);
+  KahanAccumulator forward;
+  for (double v : {1.5, 2.25, 3.125, 4.0}) forward.Add(v);
+  EXPECT_EQ(index.CompensatedSum(0, 4, false), forward.Total());
+  KahanAccumulator backward;
+  for (double v : {4.0, 3.125, 2.25, 1.5}) backward.Add(v);
+  EXPECT_EQ(index.CompensatedSum(0, 4, true), backward.Total());
+}
+
+TEST(LineIndex, SumErrorBoundCoversPrefixDrift) {
+  // The bound must dominate the observed |prefix subtraction - compensated
+  // sum| discrepancy, including under heavy cancellation.
+  std::vector<std::string> row = {"9007199254740992", "1", "-9007199254740992",
+                                  "0.1", "0.2", "12345.6789"};
+  const auto grid = MakeNumeric({row});
+  const std::vector<bool> active(row.size(), true);
+  LineIndex index;
+  index.Build(grid, active, 0);
+  for (int begin = 0; begin < index.size(); ++begin) {
+    for (int end = begin + 1; end <= index.size(); ++end) {
+      const double drift = std::fabs(index.PrefixSum(begin, end) -
+                                     index.CompensatedSum(begin, end, false));
+      EXPECT_LE(drift, index.SumErrorBound(end))
+          << "span [" << begin << ", " << end << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aggrecol::core

@@ -114,5 +114,35 @@ TEST(Window, AllMatchingPairsReported) {
   EXPECT_TRUE(Contains(found, Agg(0, 0, {2, 3}, AggregationFunction::kDifference)));
 }
 
+TEST(Window, MirroredDifferenceCandidatesSuppressed) {
+  // Whenever A = B - C holds, so does C = B - A; both canonicalize to the
+  // same sum B = A + C. Only the first in scan order may be emitted: here
+  // 2 = 8 - 6 suppresses its mirror 6 = 8 - 2, and 2 = 6 - 4 suppresses
+  // 4 = 6 - 2. The total count is pinned so a regression that re-emits
+  // mirrors (or over-suppresses) fails loudly.
+  const auto grid = MakeNumeric({{"2", "8", "6", "4"}});
+  const auto found = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                          AggregationFunction::kDifference, 0.0, 10);
+  EXPECT_FALSE(Contains(found, Agg(0, 2, {1, 0}, AggregationFunction::kDifference)));
+  EXPECT_FALSE(Contains(found, Agg(0, 3, {2, 0}, AggregationFunction::kDifference)));
+  EXPECT_EQ(found.size(), 2u);
+
+  // The naive reference applies the same suppression.
+  const auto naive = DetectWindowPairwiseNaive(
+      grid, AllActive(grid), 0, AggregationFunction::kDifference, 0.0, 10);
+  EXPECT_EQ(naive.size(), 2u);
+}
+
+TEST(Window, DistinctDivisionPairsNotSuppressed) {
+  // Division is its own canonical form, so suppression never folds distinct
+  // division candidates together: 0.5 = 2/4 and 4 = 2/0.5 both stay.
+  const auto grid = MakeNumeric({{"0.5", "2", "4"}});
+  const auto found = DetectWindowPairwise(grid, AllActive(grid), 0,
+                                          AggregationFunction::kDivision, 0.0, 10);
+  EXPECT_TRUE(Contains(found, Agg(0, 0, {1, 2}, AggregationFunction::kDivision)));
+  EXPECT_TRUE(Contains(found, Agg(0, 2, {1, 0}, AggregationFunction::kDivision)));
+  EXPECT_EQ(found.size(), 2u);
+}
+
 }  // namespace
 }  // namespace aggrecol::core
