@@ -1,24 +1,31 @@
 #!/usr/bin/env python3
-"""Ratio-based regression gate for the Stage-1 kernel benchmark.
+"""Ratio-based regression gate for the committed benchmark baselines.
 
-Compares the kernel-vs-naive speedup ratios in a freshly generated
-BENCH_stage1.json against the committed baseline. Speedup ratios are
-hardware-independent (both variants run on the same machine in the same
-process), so a materially lower ratio means the kernel itself regressed,
-not that CI got a slower runner.
+Two kinds of gated quantities, distinguished by the key each section
+carries:
+
+* ``speedup`` (BENCH_stage1.json) — kernel-vs-naive ratios. Both variants
+  run on the same machine in the same process, so the ratio is
+  hardware-independent: a materially lower ratio means the kernel itself
+  regressed, not that CI got a slower runner.
+* ``score`` (BENCH_robustness.json) — robustness scores on the
+  deterministic messy corpus. The corpus and the pipeline are both
+  seeded, so the scores are machine-independent and gate directly.
 
 Usage:
     bench/check_regression.py CURRENT.json [BASELINE.json]
 
-Exits 0 when every section's speedup is within TOLERANCE of the baseline
-(or when the baseline file is missing — first landing), 1 on regression.
+Exits 0 when every gated value is within TOLERANCE of the baseline (or
+when the baseline file is missing — first landing), 1 on regression.
 """
 
 import json
 import os
 import sys
 
-TOLERANCE = 1.10  # current speedup may be up to 10% below baseline
+TOLERANCE = 1.10  # current value may be up to 10% below baseline
+
+GATED_KEYS = ("speedup", "score")
 
 
 def main() -> int:
@@ -39,21 +46,24 @@ def main() -> int:
 
     failed = False
     for section, entry in baseline.items():
-        if not isinstance(entry, dict) or "speedup" not in entry:
+        if not isinstance(entry, dict):
             continue
-        base = entry["speedup"]
-        cur = current.get(section, {}).get("speedup")
-        if cur is None:
-            print(f"FAIL {section}: missing from current results")
-            failed = True
-            continue
-        floor = base / TOLERANCE
-        verdict = "ok" if cur >= floor else "FAIL"
-        print(
-            f"{verdict} {section}: speedup {cur:.2f}x vs baseline "
-            f"{base:.2f}x (floor {floor:.2f}x)"
-        )
-        failed = failed or cur < floor
+        for key in GATED_KEYS:
+            if key not in entry:
+                continue
+            base = entry[key]
+            cur = current.get(section, {}).get(key)
+            if cur is None:
+                print(f"FAIL {section}: {key} missing from current results")
+                failed = True
+                continue
+            floor = base / TOLERANCE
+            verdict = "ok" if cur >= floor else "FAIL"
+            print(
+                f"{verdict} {section}: {key} {cur:.3f} vs baseline "
+                f"{base:.3f} (floor {floor:.3f})"
+            )
+            failed = failed or cur < floor
     return 1 if failed else 0
 
 

@@ -1,35 +1,44 @@
 #!/usr/bin/env bash
-# Builds a Release tree and runs the Stage-1 kernel benchmark.
+# Builds a Release tree and runs the benchmark suite: the Stage-1 kernel
+# benchmark and the messy-CSV robustness battery.
 #
 #   bench/run_benches.sh            # human-readable tables only
-#   bench/run_benches.sh --json     # also writes BENCH_stage1.json at repo root
+#   bench/run_benches.sh --json     # also writes BENCH_stage1.json and
+#                                   # BENCH_robustness.json at repo root
+#   bench/run_benches.sh --json=DIR # same, into DIR (CI keeps fresh
+#                                   # results apart from the baselines)
 #
-# The JSON artifact is consumed by bench/check_regression.py (the CI ratio
-# gate) and committed as the reference baseline. Timings are wall-clock and
-# machine-dependent; only the kernel-vs-naive speedup RATIOS are comparable
-# across machines, which is what the gate checks.
+# The JSON artifacts are consumed by bench/check_regression.py (the CI
+# gate) and committed as reference baselines. Stage-1 timings are
+# wall-clock and machine-dependent; only the kernel-vs-naive speedup
+# RATIOS are comparable across machines. The robustness scores come from
+# a fully deterministic corpus and compare directly.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${ROOT}/build-bench"
-JSON=""
+OUT=""
 
 for arg in "$@"; do
   case "${arg}" in
-    --json) JSON="${ROOT}/BENCH_stage1.json" ;;
-    --json=*) JSON="${arg#--json=}" ;;
+    --json) OUT="${ROOT}" ;;
+    --json=*) OUT="${arg#--json=}" ;;
     *)
-      echo "usage: $0 [--json[=PATH]]" >&2
+      echo "usage: $0 [--json[=DIR]]" >&2
       exit 2
       ;;
   esac
 done
 
 cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "${BUILD}" --target stage1_kernels -j "$(nproc)" >/dev/null
+cmake --build "${BUILD}" --target stage1_kernels robustness_corpus \
+  -j "$(nproc)" >/dev/null
 
-if [[ -n "${JSON}" ]]; then
-  "${BUILD}/bench/stage1_kernels" --json "${JSON}"
+if [[ -n "${OUT}" ]]; then
+  mkdir -p "${OUT}"
+  "${BUILD}/bench/stage1_kernels" --json "${OUT}/BENCH_stage1.json"
+  "${BUILD}/bench/robustness_corpus" --json "${OUT}/BENCH_robustness.json"
 else
   "${BUILD}/bench/stage1_kernels"
+  "${BUILD}/bench/robustness_corpus"
 fi

@@ -11,6 +11,7 @@
 #include "csv/sniffer.h"
 #include "csv/writer.h"
 #include "datagen/corpus.h"
+#include "datagen/messy_generator.h"
 #include "eval/annotations.h"
 #include "eval/dataset_io.h"
 #include "eval/file_level.h"
@@ -54,6 +55,9 @@ generate options:
   --count=N             number of files (default 10)
   --seed=S              corpus seed (default 42)
   --profile=validation|unseen
+  --messy               write the adversarial messy corpus instead (raw bytes
+                        with dialect/encoding quirks; --count/--profile ignored)
+  --per-category=N      messy files per category (default 8; with --messy)
 
 batch options (plus all detection options):
   --threads=N           pool worker threads (default: hardware concurrency)
@@ -68,8 +72,8 @@ const std::vector<std::string> kDetectionOptions = {
     "error-level", "coverage",         "window", "functions", "stages",
     "axis",        "no-empty-as-zero", "output", "split-tables"};
 
-const std::vector<std::string> kGenerateOptions = {"out", "count", "seed",
-                                                   "profile"};
+const std::vector<std::string> kGenerateOptions = {
+    "out", "count", "seed", "profile", "messy", "per-category"};
 
 std::vector<std::string> BatchOptionNames() {
   std::vector<std::string> known = kDetectionOptions;
@@ -334,8 +338,34 @@ int RunGenerate(const ArgParser& args, std::ostream& out, std::ostream& err) {
   const auto out_dir = args.GetString("out");
   if (!out_dir.has_value()) {
     err << "usage: aggrecol generate --out=DIR [--count=N] [--seed=S] "
-           "[--profile=validation|unseen]\n";
+           "[--profile=validation|unseen] [--messy [--per-category=N]]\n";
     return 2;
+  }
+  if (args.Has("messy")) {
+    // The adversarial corpus is written as raw bytes: the files carry their
+    // dialect and encoding quirks on disk, so `aggrecol benchmark` exercises
+    // the same sniff-parse-detect path the robustness battery scores.
+    datagen::MessyCorpusSpec spec;
+    spec.seed = static_cast<uint64_t>(args.GetInt("seed", 6021));
+    spec.files_per_category =
+        args.GetInt("per-category", spec.files_per_category);
+    const auto files = datagen::GenerateMessyCorpus(spec);
+    for (const auto& file : files) {
+      std::string stem = file.annotated.name;
+      if (stem.size() > 4 && stem.substr(stem.size() - 4) == ".csv") {
+        stem.resize(stem.size() - 4);
+      }
+      if (!util::WriteFile(*out_dir + "/" + stem + ".csv", file.text) ||
+          !util::WriteFile(
+              *out_dir + "/" + stem + ".annotations",
+              eval::SerializeAnnotations(file.annotated.annotations))) {
+        err << "cannot write into '" << *out_dir << "'\n";
+        return 1;
+      }
+    }
+    out << "wrote " << files.size() << " messy file pairs (.csv + .annotations) to "
+        << *out_dir << "\n";
+    return 0;
   }
   datagen::CorpusSpec spec = datagen::ValidationCorpus();
   if (args.GetString("profile").value_or("validation") == "unseen") {

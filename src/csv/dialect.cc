@@ -8,6 +8,11 @@ std::string ToString(const Dialect& dialect) {
   out += "' quote='";
   out += dialect.quote;
   out += "'";
+  if (dialect.escape != '\0') {
+    out += " escape='";
+    out += dialect.escape;
+    out += "'";
+  }
   return out;
 }
 

@@ -7,10 +7,17 @@ namespace aggrecol::csv {
 
 /// A CSV file dialect: the utility characters used to interpret the file's
 /// structure (Sec. 2.1 of the paper; cf. RFC 4180). Quote characters are
-/// escaped by doubling, as in RFC 4180.
+/// escaped by doubling, as in RFC 4180; dialects may additionally use an
+/// escape character (van den Burg et al.'s dialect model is the triple
+/// delimiter x quote x escape).
 struct Dialect {
   char delimiter = ',';
   char quote = '"';
+
+  /// Escape character active inside quoted fields: `escape` followed by any
+  /// character yields that character literally. '\0' (the default) means the
+  /// dialect escapes quotes only by doubling, exactly as before.
+  char escape = '\0';
 
   friend bool operator==(const Dialect&, const Dialect&) = default;
 };

@@ -13,10 +13,32 @@ enum class State {
   kQuoteInQuote,  // just saw a quote inside a quoted field
 };
 
+constexpr std::string_view kUtf8Bom = "\xEF\xBB\xBF";
+
 }  // namespace
+
+std::string_view StripBom(std::string_view text) {
+  if (text.substr(0, kUtf8Bom.size()) == kUtf8Bom) {
+    text.remove_prefix(kUtf8Bom.size());
+  }
+  return text;
+}
 
 std::vector<std::vector<std::string>> ParseRows(std::string_view text,
                                                 const Dialect& dialect) {
+  // A leading UTF-8 byte-order mark is file metadata, not cell content;
+  // leaving it attached would corrupt the first header cell (and make a
+  // numeric first cell unparseable).
+  text = StripBom(text);
+
+  // The escape character is only honored when it cannot collide with the
+  // structural characters; a dialect claiming '"' both as quote and escape
+  // still means RFC doubling.
+  const char escape = (dialect.escape != '\0' && dialect.escape != dialect.quote &&
+                       dialect.escape != dialect.delimiter)
+                          ? dialect.escape
+                          : '\0';
+
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> row;
   std::string field;
@@ -34,12 +56,26 @@ std::vector<std::vector<std::string>> ParseRows(std::string_view text,
     row.clear();
     row_has_content = false;
   };
+  // Consumes the character after an escape; at end-of-input the dangling
+  // escape character is kept literally to stay lossless.
+  auto consume_escaped = [&](size_t pos) {
+    if (pos + 1 < text.size()) {
+      field.push_back(text[pos + 1]);
+      return true;
+    }
+    field.push_back(escape);
+    return false;
+  };
 
   for (size_t pos = 0; pos < text.size(); ++pos) {
     const char c = text[pos];
     switch (state) {
       case State::kFieldStart:
-        if (c == dialect.quote) {
+        if (escape != '\0' && c == escape) {
+          if (consume_escaped(pos)) ++pos;
+          state = State::kUnquoted;
+          row_has_content = true;
+        } else if (c == dialect.quote) {
           state = State::kQuoted;
           row_has_content = true;
         } else if (c == dialect.delimiter) {
@@ -57,7 +93,9 @@ std::vector<std::vector<std::string>> ParseRows(std::string_view text,
         }
         break;
       case State::kUnquoted:
-        if (c == dialect.delimiter) {
+        if (escape != '\0' && c == escape) {
+          if (consume_escaped(pos)) ++pos;
+        } else if (c == dialect.delimiter) {
           end_field();
         } else if (c == '\r') {
           if (pos + 1 >= text.size() || text[pos + 1] != '\n') end_row();
@@ -68,7 +106,9 @@ std::vector<std::vector<std::string>> ParseRows(std::string_view text,
         }
         break;
       case State::kQuoted:
-        if (c == dialect.quote) {
+        if (escape != '\0' && c == escape) {
+          if (consume_escaped(pos)) ++pos;
+        } else if (c == dialect.quote) {
           state = State::kQuoteInQuote;
         } else {
           field.push_back(c);
@@ -96,7 +136,9 @@ std::vector<std::vector<std::string>> ParseRows(std::string_view text,
   }
 
   // Flush the final row unless the input ended with a row terminator and the
-  // trailing row is completely empty.
+  // trailing row is completely empty. An unterminated final quoted field
+  // (state still kQuoted at end-of-input) flushes its accumulated content —
+  // truncated uploads lose their closing quote, not their data.
   if (row_has_content || !field.empty() || !row.empty()) {
     end_row();
   }

@@ -9,13 +9,21 @@
 
 namespace aggrecol::csv {
 
+/// Returns `text` without a leading UTF-8 byte-order mark, if present.
+/// Exposed so the sniffer and other text-level consumers can share the
+/// parser's definition of "content starts here".
+std::string_view StripBom(std::string_view text);
+
 /// Parses CSV `text` under `dialect` into rows of fields.
 ///
 /// The parser is a single-pass state machine implementing the RFC 4180
-/// grammar generalized to arbitrary delimiter/quote characters: quoted fields
-/// may contain delimiters and line breaks, a doubled quote inside a quoted
-/// field encodes a literal quote, and both LF and CRLF line endings are
-/// accepted. A trailing newline does not produce an extra empty row.
+/// grammar generalized to arbitrary delimiter/quote/escape characters:
+/// quoted fields may contain delimiters and line breaks, a doubled quote
+/// inside a quoted field encodes a literal quote, and when the dialect has
+/// an escape character it yields the following character literally. LF,
+/// CRLF, and lone-CR line endings are all accepted, a leading UTF-8 BOM is
+/// stripped, and an unterminated final quoted field keeps its content. A
+/// trailing newline does not produce an extra empty row.
 std::vector<std::vector<std::string>> ParseRows(std::string_view text,
                                                 const Dialect& dialect);
 

@@ -7,22 +7,47 @@
 
 namespace aggrecol::csv {
 
-/// Result of dialect detection: the winning dialect and its score.
+/// Result of dialect detection: the winning dialect and its score(s).
 struct SniffResult {
   Dialect dialect;
+
+  /// Combined consistency measure of the winning candidate. For the
+  /// consistency sniffer this is `pattern_score * type_score` in [0, 1];
+  /// for the reference sniffer it keeps the legacy magnitude (consistency
+  /// share scaled by 1000 plus mean width).
   double score = 0.0;
+
+  /// Row-pattern regularity of the winning parse: sum over distinct row
+  /// widths w of (share of rows with width w)^2 * (w - 1) / w. 1 row of
+  /// evidence per candidate; 0 when no candidate splits the content.
+  double pattern_score = 0.0;
+
+  /// Type plausibility of the winning parse: mean over cells of 1.0 for
+  /// cells that lex as empty, a number under the elected number format, or a
+  /// date/time, and a small epsilon for free text (labels are expected, but
+  /// a dialect that shreds numbers into text fragments must lose).
+  double type_score = 0.0;
 };
 
-/// Detects the file dialect of `text`.
-///
-/// The paper assumes dialects "have been correctly detected" by prior work
+/// Detects the file dialect of `text` with a consistency measure in the
+/// spirit of van den Burg et al. ("Wrangling Messy CSV Files"): every
+/// candidate dialect (delimiter x quote x escape) parses a bounded prefix,
+/// and candidates are scored by row-pattern regularity (column-count
+/// agreement) times type-pattern plausibility (fraction of cells that lex as
+/// number/date/empty under the per-candidate elected number format). The
+/// paper assumes dialects "have been correctly detected" by prior work
 /// (multi-hypothesis parsing, Sec. 2.1); this sniffer implements that
-/// substrate. It scores each candidate (delimiter, quote) pair by parsing the
-/// text and combining (a) row-width consistency — verbose CSV exports pad
-/// every row to the table width — and (b) the average number of fields per
-/// row, preferring dialects that actually split the content. Ties fall back
-/// to the conventional comma/double-quote dialect.
+/// substrate. Ties fall back to the conventional comma/double-quote dialect.
 SniffResult SniffDialect(std::string_view text);
+
+/// The pre-consistency heuristic, retained as a differential reference the
+/// same way DetectAdjacentCommutativeNaive anchors the stage-1 kernels: it
+/// scores each (delimiter, quote) candidate by row-width agreement and mean
+/// field count only, with no type model, no escape candidates, and no prefix
+/// bound. tests/robustness_corpus_test.cc and bench/robustness_corpus.cc
+/// score both sniffers on the messy corpus; tests/csv_sniffer_test.cc pins
+/// where the two may differ.
+SniffResult SniffDialectReference(std::string_view text);
 
 }  // namespace aggrecol::csv
 

@@ -1,13 +1,25 @@
 #include "csv/writer.h"
 
-namespace aggrecol::csv {
+#include <string_view>
 
-std::string EscapeField(const std::string& field, const Dialect& dialect) {
-  bool needs_quote = false;
+namespace aggrecol::csv {
+namespace {
+
+constexpr std::string_view kUtf8Bom = "\xEF\xBB\xBF";
+
+std::string EscapeFieldImpl(const std::string& field, const Dialect& dialect,
+                            bool force_quote) {
+  // Mirrors the parser's guard: a colliding escape character is inert.
+  const char escape = (dialect.escape != '\0' && dialect.escape != dialect.quote &&
+                       dialect.escape != dialect.delimiter)
+                          ? dialect.escape
+                          : '\0';
+  bool needs_quote = force_quote;
   for (char c : field) {
-    if (c == dialect.delimiter || c == dialect.quote || c == '\n' || c == '\r') {
+    if (needs_quote) break;
+    if (c == dialect.delimiter || c == dialect.quote || c == '\n' || c == '\r' ||
+        (escape != '\0' && c == escape)) {
       needs_quote = true;
-      break;
     }
   }
   if (!needs_quote) return field;
@@ -15,6 +27,9 @@ std::string EscapeField(const std::string& field, const Dialect& dialect) {
   out.reserve(field.size() + 2);
   out.push_back(dialect.quote);
   for (char c : field) {
+    // A literal escape character must escape itself; quotes keep the RFC
+    // doubling convention, which the parser honors in every dialect.
+    if (escape != '\0' && c == escape) out.push_back(escape);
     if (c == dialect.quote) out.push_back(dialect.quote);
     out.push_back(c);
   }
@@ -22,12 +37,24 @@ std::string EscapeField(const std::string& field, const Dialect& dialect) {
   return out;
 }
 
+}  // namespace
+
+std::string EscapeField(const std::string& field, const Dialect& dialect) {
+  return EscapeFieldImpl(field, dialect, /*force_quote=*/false);
+}
+
 std::string WriteGrid(const Grid& grid, const Dialect& dialect) {
   std::string out;
   for (int i = 0; i < grid.rows(); ++i) {
     for (int j = 0; j < grid.columns(); ++j) {
       if (j > 0) out.push_back(dialect.delimiter);
-      out.append(EscapeField(grid.at(i, j), dialect));
+      // A first cell beginning with the UTF-8 BOM must be quoted: emitted
+      // bare, the re-parse would strip those bytes as file metadata and the
+      // write/parse round trip would lose them.
+      const bool force_quote =
+          i == 0 && j == 0 &&
+          std::string_view(grid.at(i, j)).substr(0, kUtf8Bom.size()) == kUtf8Bom;
+      out.append(EscapeFieldImpl(grid.at(i, j), dialect, force_quote));
     }
     out.push_back('\n');
   }

@@ -1,0 +1,370 @@
+#include "datagen/messy_generator.h"
+
+#include <random>
+#include <utility>
+
+#include "csv/parser.h"
+#include "csv/writer.h"
+
+namespace aggrecol::datagen {
+namespace {
+
+using core::Aggregation;
+using core::Axis;
+
+bool Bernoulli(std::mt19937_64& rng, double p) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < p;
+}
+
+int UniformInt(std::mt19937_64& rng, int lo, int hi) {
+  return std::uniform_int_distribution<int>(lo, hi)(rng);
+}
+
+std::vector<std::vector<std::string>> RowsOf(const csv::Grid& grid) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(grid.rows());
+  for (int i = 0; i < grid.rows(); ++i) rows.push_back(grid.row(i));
+  return rows;
+}
+
+bool RowIsBlank(const std::vector<std::string>& row) {
+  for (const auto& cell : row) {
+    if (!cell.empty()) return false;
+  }
+  return true;
+}
+
+/// Shifts every row index >= `at` in `annotations` up by one — the remap for
+/// inserting a row at position `at`. Row-wise aggregations live on a row
+/// (`line`); column-wise aggregations index rows through aggregate/range.
+void ShiftAnnotationsForInsertedRow(std::vector<Aggregation>* annotations, int at) {
+  for (Aggregation& aggregation : *annotations) {
+    if (aggregation.axis == Axis::kRow) {
+      if (aggregation.line >= at) ++aggregation.line;
+    } else {
+      if (aggregation.aggregate >= at) ++aggregation.aggregate;
+      for (int& index : aggregation.range) {
+        if (index >= at) ++index;
+      }
+    }
+  }
+}
+
+/// A base table for one messy file: the clean generator's output with the
+/// knobs that would double up on messiness disabled (stacked tables are the
+/// kMultiTable category's job, and ground-truth roles do not survive the row
+/// surgery some categories perform).
+eval::AnnotatedFile BaseFile(GeneratorProfile profile, uint64_t seed,
+                             const std::string& name) {
+  profile.p_second_table = 0.0;
+  profile.p_no_aggregation = 0.0;  // every messy file carries signal to score
+  eval::AnnotatedFile file = GenerateFile(profile, seed, name);
+  file.roles.clear();
+  file.composites.clear();
+  return file;
+}
+
+char PickDelimiter(std::mt19937_64& rng) {
+  constexpr std::array<char, 4> delimiters = {',', ';', '\t', '|'};
+  return delimiters[UniformInt(rng, 0, static_cast<int>(delimiters.size()) - 1)];
+}
+
+// ---------------------------------------------------------------------------
+// Category transforms. Each returns the serialized bytes and mutates the
+// annotated ground truth so that ParseGrid(text, dialect) == annotated.grid
+// and the annotations index that grid (tests/robustness_corpus_test.cc
+// asserts both for every generated file).
+// ---------------------------------------------------------------------------
+
+/// Every non-blank row's first cell gains exactly `columns - 1` commas
+/// ("Berlin, North, est."): under the true ';'/tab dialect the file is
+/// perfectly regular at width W, and under ',' it is *also* perfectly
+/// regular at the same width W. Row-width statistics alone cannot break the
+/// tie (the legacy sniffer resolves it by candidate order and elects ','),
+/// but under ',' every field is a shredded text fragment while the true
+/// dialect keeps the numbers lexable — the type model disarms the trap. The
+/// profile is forced to the none/dot number format so digit grouping cannot
+/// add uncontrolled commas.
+std::string MakeAmbiguousDialect(std::mt19937_64& rng, csv::Dialect* dialect,
+                                 eval::AnnotatedFile* file) {
+  static const char* const kSuffixes[] = {"North", "South", "East", "West",
+                                          "total", "est.", "rev."};
+  dialect->delimiter = Bernoulli(rng, 0.7) ? ';' : '\t';
+  dialect->quote = '"';
+  auto rows = RowsOf(file->grid);
+  const int commas = file->grid.columns() - 1;
+  for (auto& row : rows) {
+    // Blank separator rows are decorated too ("cf. notes, ..."), otherwise
+    // they parse as width-1 outliers under ',' and break the tie the trap
+    // depends on.
+    std::string decorated = row[0].empty()
+                                ? (RowIsBlank(row) ? "cf. notes" : "area")
+                                : row[0];
+    for (int k = 0; k < commas; ++k) {
+      decorated += std::string(", ") + kSuffixes[UniformInt(rng, 0, 6)];
+    }
+    row[0] = std::move(decorated);
+  }
+  file->grid = csv::Grid(rows);
+  return csv::WriteGrid(file->grid, *dialect);
+}
+
+/// Serializes the grid with trailing empty cells dropped from most rows —
+/// the way spreadsheet exports shorten footnote and title lines. The parser
+/// re-pads, so the ground-truth grid is unchanged; at least one row keeps
+/// the full width so no column disappears.
+std::string MakeRaggedRows(std::mt19937_64& rng, csv::Dialect* dialect,
+                           eval::AnnotatedFile* file) {
+  dialect->delimiter = PickDelimiter(rng);
+  dialect->quote = '"';
+  const csv::Grid& grid = file->grid;
+
+  // Effective width of each row (index of the last non-empty cell + 1).
+  std::vector<int> effective(grid.rows(), 0);
+  int max_effective = 0;
+  for (int i = 0; i < grid.rows(); ++i) {
+    for (int j = grid.columns() - 1; j >= 0; --j) {
+      if (!grid.at(i, j).empty()) {
+        effective[i] = j + 1;
+        break;
+      }
+    }
+    if (effective[i] > max_effective) max_effective = effective[i];
+  }
+  // An everywhere-empty last column would be truncated away by the parser;
+  // keep the serialization rectangular in that (degenerate) case.
+  const bool can_truncate = max_effective == grid.columns();
+
+  std::string out;
+  for (int i = 0; i < grid.rows(); ++i) {
+    int width = grid.columns();
+    if (can_truncate && effective[i] < grid.columns() && Bernoulli(rng, 0.75)) {
+      width = effective[i] > 0 ? effective[i] : 1;
+    }
+    for (int j = 0; j < width; ++j) {
+      if (j > 0) out.push_back(dialect->delimiter);
+      out.append(csv::EscapeField(grid.at(i, j), *dialect));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+/// Standard serialization wrapped in encoding quirks: a UTF-8 BOM and/or
+/// CRLF or lone-CR line endings. Cells contain no line breaks here, so the
+/// rewrite cannot touch quoted content.
+std::string MakeEncodingQuirks(std::mt19937_64& rng, csv::Dialect* dialect,
+                               eval::AnnotatedFile* file) {
+  dialect->delimiter = PickDelimiter(rng);
+  dialect->quote = '"';
+  std::string text = csv::WriteGrid(file->grid, *dialect);
+  const int variant = UniformInt(rng, 0, 3);
+  if (variant == 1 || variant == 2) {  // CRLF (with or without BOM)
+    std::string crlf;
+    crlf.reserve(text.size() + text.size() / 16);
+    for (char c : text) {
+      if (c == '\n') crlf.push_back('\r');
+      crlf.push_back(c);
+    }
+    text = std::move(crlf);
+  } else if (variant == 3) {  // classic-Mac lone-CR endings
+    for (char& c : text) {
+      if (c == '\n') c = '\r';
+    }
+  }
+  if (variant != 2) text.insert(0, "\xEF\xBB\xBF");
+  return text;
+}
+
+/// Embeds the active delimiter, literal quotes, and newlines inside label
+/// cells, exercising the writer's escaping and the sniffer's quote election.
+/// Only cells with alphabetic content are decorated — annotations reference
+/// numeric cells only, so the ground truth indices stay valid.
+std::string MakeQuotedContent(std::mt19937_64& rng, csv::Dialect* dialect,
+                              eval::AnnotatedFile* file) {
+  dialect->delimiter = PickDelimiter(rng);
+  dialect->quote = Bernoulli(rng, 0.75) ? '"' : '\'';
+  auto rows = RowsOf(file->grid);
+
+  auto has_alpha = [](const std::string& cell) {
+    for (char c : cell) {
+      if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) return true;
+    }
+    return false;
+  };
+  int decorated = 0;
+  const int want = UniformInt(rng, 2, 5);
+  for (auto& row : rows) {
+    if (decorated >= want) break;
+    for (auto& cell : row) {
+      if (decorated >= want) break;
+      if (!has_alpha(cell)) continue;
+      if (!Bernoulli(rng, 0.4)) continue;
+      switch (decorated % 3) {
+        case 0:
+          cell += std::string(1, dialect->delimiter) + " incl. tax";
+          break;
+        case 1:
+          cell = "said " + std::string(1, dialect->quote) + cell +
+                 std::string(1, dialect->quote);
+          break;
+        default:
+          cell += "\n(estimate)";
+          break;
+      }
+      ++decorated;
+    }
+  }
+  file->grid = csv::Grid(rows);
+  return csv::WriteGrid(file->grid, *dialect);
+}
+
+/// Inserts footnote/source rows *between* the data rows (not just at the
+/// file edges), shifting the ground-truth row indices accordingly.
+std::string MakeInterleavedFootnotes(std::mt19937_64& rng, csv::Dialect* dialect,
+                                     eval::AnnotatedFile* file) {
+  static const char* const kFootnotes[] = {
+      "1) provisional figures", "Source: national statistics office",
+      "*) break in series", "Note: values rounded"};
+  dialect->delimiter = PickDelimiter(rng);
+  dialect->quote = '"';
+  auto rows = RowsOf(file->grid);
+  const int width = file->grid.columns();
+  const int inserts = UniformInt(rng, 1, 3);
+  for (int n = 0; n < inserts; ++n) {
+    const int at = UniformInt(rng, 1, static_cast<int>(rows.size()));
+    std::vector<std::string> footnote(width);
+    footnote[0] = kFootnotes[UniformInt(rng, 0, 3)];
+    rows.insert(rows.begin() + at, std::move(footnote));
+    ShiftAnnotationsForInsertedRow(&file->annotations, at);
+  }
+  file->grid = csv::Grid(rows);
+  return csv::WriteGrid(file->grid, *dialect);
+}
+
+/// Stacks a second, independently generated table under the first with a
+/// blank separator line — the multi-table layout the table splitter exists
+/// for. Ground truth covers both tables in whole-file coordinates.
+std::string MakeMultiTable(std::mt19937_64& rng, csv::Dialect* dialect,
+                           eval::AnnotatedFile* file,
+                           const GeneratorProfile& profile,
+                           const std::string& name) {
+  dialect->delimiter = PickDelimiter(rng);
+  dialect->quote = '"';
+  eval::AnnotatedFile second = BaseFile(profile, rng(), name + "#2");
+
+  auto rows = RowsOf(file->grid);
+  const int offset = static_cast<int>(rows.size()) + 1;  // + blank separator
+  const int width = std::max(file->grid.columns(), second.grid.columns());
+  rows.emplace_back();  // blank separator row; Grid() re-pads all widths
+  for (int i = 0; i < second.grid.rows(); ++i) rows.push_back(second.grid.row(i));
+
+  for (Aggregation aggregation : second.annotations) {
+    if (aggregation.axis == Axis::kRow) {
+      aggregation.line += offset;
+    } else {
+      aggregation.aggregate += offset;
+      for (int& index : aggregation.range) index += offset;
+    }
+    file->annotations.push_back(std::move(aggregation));
+  }
+  for (auto& row : rows) row.resize(width);
+  file->grid = csv::Grid(rows);
+  return csv::WriteGrid(file->grid, *dialect);
+}
+
+}  // namespace
+
+std::string ToString(MessyCategory category) {
+  switch (category) {
+    case MessyCategory::kAmbiguousDialect:
+      return "ambiguous-dialect";
+    case MessyCategory::kRaggedRows:
+      return "ragged-rows";
+    case MessyCategory::kEncodingQuirks:
+      return "encoding-quirks";
+    case MessyCategory::kQuotedContent:
+      return "quoted-content";
+    case MessyCategory::kInterleavedFootnotes:
+      return "interleaved-footnotes";
+    case MessyCategory::kMultiTable:
+      return "multi-table";
+  }
+  return "unknown";
+}
+
+MessyFile GenerateMessyFile(MessyCategory category, const GeneratorProfile& profile,
+                            uint64_t seed, const std::string& name) {
+  std::mt19937_64 rng(seed);
+  GeneratorProfile base_profile = profile;
+  if (category == MessyCategory::kAmbiguousDialect) {
+    // No digit grouping: a grouped "12,345" would add uncontrolled commas to
+    // the exactly-one-comma-per-row construction.
+    base_profile.format_weights = {0.0, 0.0, 0.0, 0.0, 1.0};
+  }
+
+  MessyFile messy;
+  messy.category = category;
+  messy.annotated = BaseFile(base_profile, rng(), name);
+
+  switch (category) {
+    case MessyCategory::kAmbiguousDialect:
+      messy.text = MakeAmbiguousDialect(rng, &messy.dialect, &messy.annotated);
+      break;
+    case MessyCategory::kRaggedRows:
+      messy.text = MakeRaggedRows(rng, &messy.dialect, &messy.annotated);
+      break;
+    case MessyCategory::kEncodingQuirks:
+      messy.text = MakeEncodingQuirks(rng, &messy.dialect, &messy.annotated);
+      break;
+    case MessyCategory::kQuotedContent:
+      messy.text = MakeQuotedContent(rng, &messy.dialect, &messy.annotated);
+      break;
+    case MessyCategory::kInterleavedFootnotes:
+      messy.text = MakeInterleavedFootnotes(rng, &messy.dialect, &messy.annotated);
+      break;
+    case MessyCategory::kMultiTable:
+      messy.text = MakeMultiTable(rng, &messy.dialect, &messy.annotated,
+                                  base_profile, name);
+      break;
+  }
+  return messy;
+}
+
+std::vector<MessyFile> GenerateMessyCorpus(const MessyCorpusSpec& spec) {
+  std::vector<MessyFile> files;
+  files.reserve(kAllMessyCategories.size() *
+                static_cast<size_t>(spec.files_per_category));
+  for (MessyCategory category : kAllMessyCategories) {
+    for (int i = 0; i < spec.files_per_category; ++i) {
+      const std::string name =
+          "messy_" + ToString(category) + "_" + std::to_string(i) + ".csv";
+      // Category and index key the per-file seed so adding files to one
+      // category never reshuffles another.
+      const uint64_t seed = spec.seed * 1000003ULL +
+                            static_cast<uint64_t>(category) * 1009ULL +
+                            static_cast<uint64_t>(i);
+      files.push_back(GenerateMessyFile(category, spec.profile, seed, name));
+    }
+  }
+  return files;
+}
+
+std::vector<eval::RobustnessCase> ToRobustnessCases(
+    const std::vector<MessyFile>& files) {
+  std::vector<eval::RobustnessCase> cases;
+  cases.reserve(files.size());
+  for (const MessyFile& file : files) {
+    eval::RobustnessCase robustness_case;
+    robustness_case.name = file.annotated.name;
+    robustness_case.category = ToString(file.category);
+    robustness_case.text = file.text;
+    robustness_case.expected_dialect = file.dialect;
+    robustness_case.expected_grid = file.annotated.grid;
+    robustness_case.truth = file.annotated.annotations;
+    cases.push_back(std::move(robustness_case));
+  }
+  return cases;
+}
+
+}  // namespace aggrecol::datagen

@@ -1,0 +1,74 @@
+#ifndef AGGRECOL_DATAGEN_MESSY_GENERATOR_H_
+#define AGGRECOL_DATAGEN_MESSY_GENERATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csv/dialect.h"
+#include "datagen/file_generator.h"
+#include "eval/annotations.h"
+#include "eval/robustness.h"
+
+namespace aggrecol::datagen {
+
+/// The adversarial corpus categories, each isolating one real-world failure
+/// mode the clean VALIDATION/UNSEEN generators never produce (van den Burg
+/// et al. measure dialect detection as the dominant failure mode on wild
+/// files). Categories are pure — one quirk each — so the per-category
+/// robustness score attributes regressions to a specific defence.
+enum class MessyCategory {
+  kAmbiguousDialect,      // every row carries a comma inside a ';'/tab file
+  kRaggedRows,            // trailing empty cells dropped from the byte stream
+  kEncodingQuirks,        // UTF-8 BOM, CRLF, and lone-CR line endings
+  kQuotedContent,         // embedded delimiters, quotes, and newlines
+  kInterleavedFootnotes,  // footnote/source rows between the data rows
+  kMultiTable,            // two stacked tables split by a blank line
+};
+
+inline constexpr std::array<MessyCategory, 6> kAllMessyCategories = {
+    MessyCategory::kAmbiguousDialect,  MessyCategory::kRaggedRows,
+    MessyCategory::kEncodingQuirks,    MessyCategory::kQuotedContent,
+    MessyCategory::kInterleavedFootnotes, MessyCategory::kMultiTable,
+};
+
+/// Stable kebab-case name, e.g. "ambiguous-dialect". These names key the
+/// per-category entries of BENCH_robustness.json and the category table of
+/// docs/ROBUSTNESS.md (drift-checked by tests/docs_test.cc).
+std::string ToString(MessyCategory category);
+
+/// One messy file: the raw bytes as they would sit on disk, the ground-truth
+/// dialect they were written under, and the annotated ground truth (grid +
+/// aggregations) a correct sniff-parse-detect run should recover — the same
+/// contract the VALIDATION/UNSEEN corpora score against.
+struct MessyFile {
+  MessyCategory category = MessyCategory::kAmbiguousDialect;
+  csv::Dialect dialect;
+  std::string text;
+  eval::AnnotatedFile annotated;
+};
+
+/// A named, seeded recipe for the whole adversarial corpus.
+struct MessyCorpusSpec {
+  int files_per_category = 8;
+  uint64_t seed = 6021;
+  GeneratorProfile profile;
+};
+
+/// Generates one messy file of `category`, deterministically from `seed`.
+MessyFile GenerateMessyFile(MessyCategory category, const GeneratorProfile& profile,
+                            uint64_t seed, const std::string& name);
+
+/// Deterministically materializes `files_per_category` files of every
+/// category, in kAllMessyCategories order.
+std::vector<MessyFile> GenerateMessyCorpus(const MessyCorpusSpec& spec);
+
+/// Adapts messy files to the eval scoring plumbing (eval cannot depend on
+/// datagen, so the conversion lives here).
+std::vector<eval::RobustnessCase> ToRobustnessCases(
+    const std::vector<MessyFile>& files);
+
+}  // namespace aggrecol::datagen
+
+#endif  // AGGRECOL_DATAGEN_MESSY_GENERATOR_H_

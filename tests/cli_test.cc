@@ -186,6 +186,26 @@ TEST_F(CliEndToEnd, GenerateWritesCorpus) {
   EXPECT_NE(eval_out.find("overall"), std::string::npos);
 }
 
+TEST_F(CliEndToEnd, GenerateMessyWritesAdversarialCorpus) {
+  const std::string out_dir = (dir_ / "messy").string();
+  std::filesystem::create_directories(out_dir);
+  std::string out;
+  ASSERT_EQ(Run({"generate", "--out=" + out_dir, "--messy", "--per-category=1",
+                 "--seed=7"},
+                &out),
+            0);
+  EXPECT_NE(out.find("6 messy file pairs"), std::string::npos) << out;
+  // One file pair per category, named after the category.
+  EXPECT_TRUE(std::filesystem::exists(out_dir + "/messy_ambiguous-dialect_0.csv"));
+  EXPECT_TRUE(
+      std::filesystem::exists(out_dir + "/messy_multi-table_0.annotations"));
+
+  // The messy pairs run through the sniff-parse-detect benchmark path.
+  std::string bench_out;
+  ASSERT_EQ(Run({"benchmark", out_dir, "--split-tables"}, &bench_out), 0);
+  EXPECT_NE(bench_out.find("6 files"), std::string::npos) << bench_out;
+}
+
 TEST_F(CliEndToEnd, ErrorsAndExitCodes) {
   std::string err;
   EXPECT_EQ(Run({"detect"}, nullptr, &err), 2);

@@ -207,5 +207,133 @@ TEST(ParserProperty, RandomMalformedSoupRoundTrips) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Messy-file audit regressions: UTF-8 BOM, lone-CR endings, unterminated
+// final quoted fields, and escape-character dialects.
+// ---------------------------------------------------------------------------
+
+TEST(Parser, StripsUtf8Bom) {
+  const auto rows = ParseRows("\xEF\xBB\xBFJahr,Wert\n2001,5\n", kComma);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "Jahr");  // not "\xEF\xBB\xBFJahr"
+}
+
+TEST(Parser, StripBomIsExposedAndIdempotent) {
+  EXPECT_EQ(StripBom("\xEF\xBB\xBF" "abc"), "abc");
+  EXPECT_EQ(StripBom("abc"), "abc");
+  EXPECT_EQ(StripBom(StripBom("\xEF\xBB\xBF" "abc")), "abc");
+  // Only a *leading* BOM is metadata.
+  EXPECT_EQ(StripBom("a\xEF\xBB\xBF"), "a\xEF\xBB\xBF");
+}
+
+TEST(Parser, BomBeforeQuotedFirstField) {
+  const auto rows = ParseRows("\xEF\xBB\xBF\"a,b\",c\n", kComma);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0], "a,b");
+}
+
+TEST(Parser, LoneCrTerminatesFinalRow) {
+  // Classic-Mac file whose last line ends in '\r' with no trailing newline:
+  // the final row must not be dropped or merged.
+  const auto rows = ParseRows("a,b\rc,d\r", kComma);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "c");
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(Parser, LoneCrAfterClosingQuoteEndsRow) {
+  const auto rows = ParseRows("\"a,1\",x\r\"b,2\",y\r", kComma);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a,1");
+  EXPECT_EQ(rows[1][0], "b,2");
+}
+
+TEST(Parser, UnterminatedFinalQuotedFieldKeepsContent) {
+  // Truncated uploads lose their closing quote, not their data.
+  const auto rows = ParseRows("a,b\nc,\"trunc", kComma);
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows[1].size(), 2u);
+  EXPECT_EQ(rows[1][1], "trunc");
+}
+
+TEST(Parser, UnterminatedQuoteSwallowsNewlinesAsContent) {
+  // Inside an (unterminated) quoted field a newline is field content; the
+  // truncated field keeps it rather than fabricating extra rows.
+  const auto rows = ParseRows("a,\"x\ny", kComma);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][1], "x\ny");
+}
+
+TEST(Parser, EscapeCharacterEscapesQuoteInsideQuotedField) {
+  const Dialect escaped{',', '"', '\\'};
+  const auto rows = ParseRows("\"he said \\\"hi\\\"\",x\n", escaped);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0], "he said \"hi\"");
+}
+
+TEST(Parser, EscapeCharacterEscapesDelimiterInUnquotedField) {
+  const Dialect escaped{',', '"', '\\'};
+  const auto rows = ParseRows("a\\,b,c\n", escaped);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "c");
+}
+
+TEST(Parser, DanglingEscapeAtEndOfInputKeptLiterally) {
+  const Dialect escaped{',', '"', '\\'};
+  const auto rows = ParseRows("a,b\\", escaped);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], "b\\");
+}
+
+TEST(Parser, EscapeCollidingWithStructuralCharsMeansDoublingOnly) {
+  // A dialect claiming the quote (or delimiter) as its escape character
+  // still parses as RFC doubling — the collision guard must not let the
+  // escape eat structural characters.
+  const Dialect quote_collision{',', '"', '"'};
+  const auto rows = ParseRows("\"say \"\"hi\"\"\",x\n", quote_collision);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+
+  const Dialect delimiter_collision{',', '"', ','};
+  const auto plain = ParseRows("a,b\n", delimiter_collision);
+  ASSERT_EQ(plain.size(), 1u);
+  ASSERT_EQ(plain[0].size(), 2u);
+}
+
+TEST(Parser, EscapeDialectRoundTripsThroughWriter) {
+  const Dialect escaped{';', '"', '\\'};
+  Grid grid(2, 2);
+  grid.set(0, 0, "plain");
+  grid.set(0, 1, "semi;colon");
+  grid.set(1, 0, "back\\slash");
+  grid.set(1, 1, "quo\"te and \\ mix");
+  EXPECT_EQ(RoundTrip(grid, escaped), grid);
+}
+
+TEST(ParserProperty, RandomSoupRoundTripsUnderEscapeDialects) {
+  // The malformed-soup property, extended over escape-bearing dialects.
+  const char alphabet[] = {',', '"', '\n', '\r', '\\', 'a', '9', ';', ' '};
+  std::mt19937 rng(20260809);
+  std::uniform_int_distribution<size_t> pick(0, sizeof(alphabet) - 1);
+  std::uniform_int_distribution<size_t> length(0, 60);
+  for (const Dialect& dialect :
+       {Dialect{',', '"', '\\'}, Dialect{';', '"', '\\'}, Dialect{',', '\'', '\\'}}) {
+    for (int iteration = 0; iteration < 300; ++iteration) {
+      std::string text;
+      const size_t n = length(rng);
+      text.reserve(n);
+      for (size_t i = 0; i < n; ++i) text.push_back(alphabet[pick(rng)]);
+      const Grid grid = ParseGrid(text, dialect);
+      EXPECT_EQ(RoundTrip(grid, dialect), grid)
+          << "dialect '" << dialect.delimiter << "' input: [" << text << "]";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace aggrecol::csv

@@ -5,6 +5,7 @@
 
 #include "csv/parser.h"
 #include "csv/writer.h"
+#include "datagen/file_generator.h"
 #include "gtest/gtest.h"
 
 namespace aggrecol::csv {
@@ -80,6 +81,129 @@ TEST_P(SnifferRoundTrip, RecoversWritingDialect) {
 INSTANTIATE_TEST_SUITE_P(AllDialects, SnifferRoundTrip,
                          ::testing::Combine(::testing::Values(',', ';', '\t', '|'),
                                             ::testing::Values('"')));
+
+// ---------------------------------------------------------------------------
+// Consistency-measure scoring
+// ---------------------------------------------------------------------------
+
+TEST(Sniffer, ScoreComponentsAreExposedAndMultiplicative) {
+  const auto result = SniffDialect("a;b;c\n1;2;3\n4;5;6\n");
+  EXPECT_GT(result.pattern_score, 0.0);
+  EXPECT_LE(result.pattern_score, 1.0);
+  EXPECT_GT(result.type_score, 0.0);
+  EXPECT_LE(result.type_score, 1.0);
+  EXPECT_DOUBLE_EQ(result.score, result.pattern_score * result.type_score);
+}
+
+TEST(Sniffer, TypeScoreBreaksRowWidthTies) {
+  // Every row splits to width 3 under BOTH ',' and ';' — row-width
+  // statistics cannot break the tie. Under ';' the numeric columns stay
+  // lexable; under ',' every field is a shredded text fragment, so the type
+  // model elects the true dialect.
+  const std::string text =
+      "Stadt, Region, Anm;2019;2020\n"
+      "Berlin, Ost, est;12;34\n"
+      "Hamburg, Nord, rev;56;78\n"
+      "Bremen, West, est;90;12\n";
+  const auto consistency = SniffDialect(text);
+  EXPECT_EQ(consistency.dialect.delimiter, ';');
+  // The retained reference scores only row-width agreement and resolves the
+  // tie by candidate order — it elects ',' here. This pinned failure is the
+  // reason the consistency sniffer exists; see docs/ROBUSTNESS.md.
+  const auto reference = SniffDialectReference(text);
+  EXPECT_EQ(reference.dialect.delimiter, ',');
+}
+
+TEST(Sniffer, RecognizesEveryTable4NumberFormat) {
+  // The sniffer's lexical number matcher mirrors numfmt::MatchesFormat (the
+  // csv module cannot link numfmt); this pins the mirror against the five
+  // Table-4 formats, accounting parentheses, signs, and percentages.
+  const std::string samples[] = {
+      "Wert;Anteil\n12 345,67;1 234,5\n(2 345,0);99,1\n",    // space/comma
+      "Wert;Anteil\n12 345.67;1 234.5\n-2 345.0;99.1\n",     // space/dot
+      "Wert;Anteil\n12,345.67;1,234.5\n+2,345.0;99.1%\n",    // comma/dot
+      "Wert;Anteil\n12345,67;1234,5\n(2345,0);99,1\n",       // none/comma
+      "Wert;Anteil\n12345.67;1234.5\n-2345.0;99.1%\n",       // none/dot
+  };
+  for (const std::string& text : samples) {
+    const auto result = SniffDialect(text);
+    EXPECT_EQ(result.dialect.delimiter, ';') << text;
+    // Header cells are text (epsilon-scored); every data cell must lex as a
+    // number for the type score to clear this bar.
+    EXPECT_GT(result.type_score, 0.6) << text;
+  }
+}
+
+TEST(Sniffer, DatesAndTimesCountAsPlausibleCells) {
+  const auto result =
+      SniffDialect("Datum;Zeit;Wert\n1999-12-31;23:59;1\n2000-01-01;00:01;2\n");
+  EXPECT_EQ(result.dialect.delimiter, ';');
+  EXPECT_GT(result.type_score, 0.6);
+}
+
+TEST(Sniffer, EscapedQuoteDialectDetected) {
+  // Backslash-escaped quotes: under the escape-aware candidate every row
+  // parses to width 3; under RFC doubling the rows with escapes shred.
+  const std::string text =
+      "name,remark,value\n"
+      "alpha,\"he said \\\"hi\\\", twice\",12\n"
+      "beta,\"labelled \\\"B\\\", provisional\",34\n"
+      "gamma,\"plain, comma\",56\n";
+  const auto result = SniffDialect(text);
+  EXPECT_EQ(result.dialect.delimiter, ',');
+  EXPECT_EQ(result.dialect.quote, '"');
+  EXPECT_EQ(result.dialect.escape, '\\');
+  const auto rows = ParseRows(text, result.dialect);
+  for (const auto& row : rows) EXPECT_EQ(row.size(), 3u);
+  EXPECT_EQ(rows[1][1], "he said \"hi\", twice");
+}
+
+TEST(Sniffer, NoBackslashMeansNoEscapeCandidate) {
+  // Escape-aware candidates parse identically to doubling-only ones when the
+  // prefix carries no backslash; the sniffer must keep the plain dialect.
+  const auto result = SniffDialect("a,b\n1,2\n3,4\n");
+  EXPECT_EQ(result.dialect.escape, '\0');
+}
+
+TEST(Sniffer, BomDoesNotPerturbSniffing) {
+  const auto result = SniffDialect("\xEF\xBB\xBFJahr;Wert\n2001;12,5\n2002;13,0\n");
+  EXPECT_EQ(result.dialect.delimiter, ';');
+}
+
+TEST(Sniffer, ReferenceFallsBackLikeTheConsistencySniffer) {
+  EXPECT_EQ(SniffDialectReference("").dialect.delimiter, ',');
+  EXPECT_EQ(SniffDialectReference("plain sentence\n").dialect.delimiter, ',');
+}
+
+// ---------------------------------------------------------------------------
+// Differential: on clean corpora the consistency sniffer and the retained
+// reference must elect the same dialect (the new scorer may only *add*
+// robustness on messy files, never change behavior on well-formed ones).
+// ---------------------------------------------------------------------------
+
+class SnifferDifferential
+    : public ::testing::TestWithParam<std::tuple<uint64_t, char>> {};
+
+TEST_P(SnifferDifferential, AgreesWithReferenceOnCleanGeneratedFiles) {
+  const auto [seed, delimiter] = GetParam();
+  const auto file =
+      datagen::GenerateFile(datagen::GeneratorProfile{}, seed, "diff.csv");
+  const Dialect written{delimiter, '"'};
+  const std::string text = WriteGrid(file.grid, written);
+
+  const auto consistency = SniffDialect(text);
+  const auto reference = SniffDialectReference(text);
+  EXPECT_EQ(consistency.dialect.delimiter, delimiter) << ToString(written);
+  EXPECT_TRUE(consistency.dialect == reference.dialect)
+      << "consistency " << ToString(consistency.dialect) << " vs reference "
+      << ToString(reference.dialect);
+  EXPECT_EQ(ParseGrid(text, consistency.dialect), file.grid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CleanCorpus, SnifferDifferential,
+    ::testing::Combine(::testing::Values(11u, 23u, 37u, 51u, 68u, 79u),
+                       ::testing::Values(',', ';', '\t', '|')));
 
 }  // namespace
 }  // namespace aggrecol::csv

@@ -80,5 +80,30 @@ TEST_P(WriterRoundTripProperty, RandomGrids) {
 INSTANTIATE_TEST_SUITE_P(Delimiters, WriterRoundTripProperty,
                          ::testing::Values(',', ';', '\t', '|'));
 
+TEST(Writer, LeadingBomCellIsQuotedToSurviveReparse) {
+  // Fuzzer-found: a first cell beginning with the UTF-8 BOM, written bare,
+  // is stripped as file metadata by the re-parse. The writer must quote it.
+  Grid grid(1, 2);
+  grid.set(0, 0, "\xEF\xBB\xBF" "label");
+  grid.set(0, 1, "x");
+  const Dialect dialect{',', '"'};
+  const std::string text = WriteGrid(grid, dialect);
+  EXPECT_EQ(text.front(), '"');
+  EXPECT_EQ(ParseGrid(text, dialect), grid);
+  // Only the file-leading cell needs the treatment; a BOM elsewhere is plain
+  // cell content and round-trips bare.
+  Grid inner(2, 1);
+  inner.set(0, 0, "head");
+  inner.set(1, 0, "\xEF\xBB\xBF" "body");
+  EXPECT_EQ(ParseGrid(WriteGrid(inner, dialect), dialect), inner);
+}
+
+TEST(Writer, EscapeDialectSelfEscapesAndQuotes) {
+  const Dialect escaped{',', '"', '\\'};
+  EXPECT_EQ(EscapeField("a\\b", escaped), "\"a\\\\b\"");
+  EXPECT_EQ(EscapeField("q\"x", escaped), "\"q\"\"x\"");
+  EXPECT_EQ(EscapeField("plain", escaped), "plain");
+}
+
 }  // namespace
 }  // namespace aggrecol::csv

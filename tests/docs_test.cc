@@ -10,6 +10,7 @@
 
 #include "cli/commands.h"
 #include "datagen/corpus.h"
+#include "datagen/messy_generator.h"
 #include "eval/batch_runner.h"
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
@@ -164,13 +165,41 @@ TEST(StaticAnalysisDocs, EveryDocumentedRuleIdIsCompiled) {
   }
 }
 
+TEST(RobustnessDocs, EveryMessyCategoryIsDocumented) {
+  const std::string doc = ReadDoc("docs/ROBUSTNESS.md");
+  for (datagen::MessyCategory category : datagen::kAllMessyCategories) {
+    EXPECT_NE(doc.find("`" + ToString(category) + "`"), std::string::npos)
+        << "docs/ROBUSTNESS.md does not document messy category "
+        << ToString(category);
+  }
+}
+
+TEST(RobustnessDocs, EveryDocumentedCategoryIsCompiled) {
+  // The reverse direction, scoped to the category table (rows of the form
+  // `| `name` | ...`): a listed category the generator does not produce is
+  // stale documentation.
+  std::set<std::string> compiled;
+  for (datagen::MessyCategory category : datagen::kAllMessyCategories) {
+    compiled.insert(ToString(category));
+  }
+  const std::string doc = ReadDoc("docs/ROBUSTNESS.md");
+  const std::regex row_re("\\| `([a-z-]+)` \\|");
+  for (std::sregex_iterator it(doc.begin(), doc.end(), row_re), end; it != end;
+       ++it) {
+    const std::string name = (*it)[1].str();
+    EXPECT_TRUE(compiled.count(name) > 0)
+        << "docs/ROBUSTNESS.md lists category " << name
+        << ", which GenerateMessyCorpus does not produce";
+  }
+}
+
 TEST(Docs, CrossReferencedPagesExist) {
   // The pages the README and ALGORITHM link to must exist; their content is
   // checked above and by the CI link checker.
   for (const char* page :
        {"docs/ARCHITECTURE.md", "docs/CLI.md", "docs/OBSERVABILITY.md",
         "docs/ALGORITHM.md", "docs/STATIC_ANALYSIS.md", "docs/PERFORMANCE.md",
-        "README.md"}) {
+        "docs/ROBUSTNESS.md", "README.md"}) {
     EXPECT_FALSE(ReadDoc(page).empty()) << page;
   }
 }

@@ -145,6 +145,35 @@ TEST(Score, DuplicateTruthDoesNotInflateMissed) {
   EXPECT_DOUBLE_EQ(scores.recall, 1.0);
 }
 
+TEST(Score, StackedTableTruthRequiresWholeFileCoordinates) {
+  // Ground truth for a second stacked table is expressed in whole-file row
+  // coordinates (here: the table starts at row 4). A prediction left in
+  // region-local coordinates — the bug the split-tables remap in
+  // core::AggreCol exists to prevent — must score as incorrect + missed,
+  // while the correctly remapped prediction is credited.
+  const std::vector<core::Aggregation> truth = {
+      Agg(5, 3, {1, 2}, AggregationFunction::kSum),
+      Agg(1, 7, {5, 6}, AggregationFunction::kSum, Axis::kColumn),
+  };
+  const std::vector<core::Aggregation> region_local = {
+      Agg(1, 3, {1, 2}, AggregationFunction::kSum),
+      Agg(1, 3, {1, 2}, AggregationFunction::kSum, Axis::kColumn),
+  };
+  const auto local_scores = Score(region_local, truth);
+  EXPECT_EQ(local_scores.correct, 0);
+  EXPECT_EQ(local_scores.incorrect, 2);
+  EXPECT_EQ(local_scores.missed, 2);
+
+  const std::vector<core::Aggregation> remapped = {
+      Agg(5, 3, {1, 2}, AggregationFunction::kSum),
+      Agg(1, 7, {5, 6}, AggregationFunction::kSum, Axis::kColumn),
+  };
+  const auto remapped_scores = Score(remapped, truth);
+  EXPECT_EQ(remapped_scores.correct, 2);
+  EXPECT_EQ(remapped_scores.missed, 0);
+  EXPECT_DOUBLE_EQ(remapped_scores.F1(), 1.0);
+}
+
 TEST(Accumulate, PoolsCounts) {
   Scores a;
   a.correct = 8;

@@ -144,5 +144,42 @@ TEST(SplitDetection, CorpusRecallImprovesOnMultiTableFiles) {
   EXPECT_GT(split_total.recall, 0.85);
 }
 
+TEST(SplitDetection, SecondTableAggregationsCreditedInWholeFileCoordinates) {
+  // Whole-file ground truth for a stacked pair of tables: the second table's
+  // aggregations live at row offset 4 (3 table-1 rows + the blank separator).
+  // Split-tables detection must report them in whole-file coordinates so
+  // eval::Score credits them against this truth directly.
+  const auto grid = MakeGrid({
+      {"Item", "A", "B", "Sum"},
+      {"x", "1", "4", "5"},
+      {"y", "2", "5", "7"},
+      {"", "", "", ""},
+      {"Item", "C", "D", "Sum"},
+      {"u", "10", "1", "11"},
+      {"v", "20", "2", "22"},
+      {"Total", "30", "3", "33"},
+  });
+  const std::vector<core::Aggregation> truth = {
+      Agg(1, 3, {1, 2}, core::AggregationFunction::kSum),
+      Agg(2, 3, {1, 2}, core::AggregationFunction::kSum),
+      Agg(5, 3, {1, 2}, core::AggregationFunction::kSum),
+      Agg(6, 3, {1, 2}, core::AggregationFunction::kSum),
+      Agg(1, 7, {5, 6}, core::AggregationFunction::kSum, core::Axis::kColumn),
+      Agg(2, 7, {5, 6}, core::AggregationFunction::kSum, core::Axis::kColumn),
+      Agg(3, 7, {5, 6}, core::AggregationFunction::kSum, core::Axis::kColumn),
+  };
+  core::AggreColConfig config;
+  config.error_levels.fill(0.0);
+  config.split_tables = true;
+  const auto result = core::AggreCol(config).Detect(grid);
+  for (const auto& aggregation : truth) {
+    EXPECT_TRUE(ContainsCanonical(result.aggregations, aggregation))
+        << ToString(aggregation);
+  }
+  const auto scores = eval::Score(result.aggregations, truth);
+  EXPECT_EQ(scores.missed, 0);
+  EXPECT_EQ(scores.correct, static_cast<int>(truth.size()));
+}
+
 }  // namespace
 }  // namespace aggrecol::structure
