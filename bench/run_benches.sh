@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Builds a Release tree and runs the benchmark suite: the Stage-1 kernel
-# benchmark and the messy-CSV robustness battery.
+# benchmark, the messy-CSV robustness battery, and the parse-throughput
+# comparison of the zero-copy ingest against the reference parser.
 #
 #   bench/run_benches.sh            # human-readable tables only
-#   bench/run_benches.sh --json     # also writes BENCH_stage1.json and
-#                                   # BENCH_robustness.json at repo root
+#   bench/run_benches.sh --json     # also writes BENCH_stage1.json,
+#                                   # BENCH_robustness.json, and
+#                                   # BENCH_parse.json at repo root
 #   bench/run_benches.sh --json=DIR # same, into DIR (CI keeps fresh
 #                                   # results apart from the baselines)
 #
@@ -32,13 +34,15 @@ done
 
 cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD}" --target stage1_kernels robustness_corpus \
-  -j "$(nproc)" >/dev/null
+  parse_throughput -j "$(nproc)" >/dev/null
 
 if [[ -n "${OUT}" ]]; then
   mkdir -p "${OUT}"
   "${BUILD}/bench/stage1_kernels" --json "${OUT}/BENCH_stage1.json"
   "${BUILD}/bench/robustness_corpus" --json "${OUT}/BENCH_robustness.json"
+  "${BUILD}/bench/parse_throughput" --json "${OUT}/BENCH_parse.json"
 else
   "${BUILD}/bench/stage1_kernels"
   "${BUILD}/bench/robustness_corpus"
+  "${BUILD}/bench/parse_throughput"
 fi

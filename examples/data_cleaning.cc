@@ -53,7 +53,8 @@ int main() {
     std::printf(
         "  cell (%d,%d) '%s': observed %.2f but its %s range computes %.2f\n"
         "      (error level %.4f) -> suggested correction: %.2f\n",
-        row, col, grid.at(row, col).c_str(), numeric.value(row, col),
+        row, col, std::string(grid.at(row, col)).c_str(),
+        numeric.value(row, col),
         ToString(aggregation.function).c_str(), *calculated, aggregation.error,
         *calculated);
   }

@@ -47,7 +47,7 @@ int main() {
   }
   for (int i = 0; i < grid.rows(); ++i) {
     for (int j = 0; j < grid.columns(); ++j) {
-      const std::string& cell = grid.at(i, j);
+      const std::string cell(grid.at(i, j));
       if (cell.empty() && j > 0) continue;
       if (aggregate_cells.count({i, j}) > 0) {
         std::printf("[%s] ", cell.c_str());

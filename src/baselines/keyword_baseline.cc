@@ -30,7 +30,7 @@ const std::vector<std::string>& KeywordsFor(core::AggregationFunction function) 
 
 namespace {
 
-bool HasKeyword(const std::string& cell,
+bool HasKeyword(std::string_view cell,
                 const std::vector<std::string>& keywords) {
   for (const auto& keyword : keywords) {
     if (util::ContainsIgnoreCase(cell, keyword)) return true;

@@ -8,7 +8,7 @@
 namespace aggrecol::cellclass {
 namespace {
 
-bool ContainsAggregationKeyword(const std::string& text) {
+bool ContainsAggregationKeyword(std::string_view text) {
   static const char* const kKeywords[] = {"total", "sum",     "all",  "overall",
                                           "average", "mean",  "avg",  "subtotal",
                                           "share",   "change", "rate", "%"};
@@ -62,7 +62,7 @@ std::vector<std::vector<float>> ExtractFeatures(
   features.reserve(static_cast<size_t>(rows) * columns);
   for (int i = 0; i < rows; ++i) {
     for (int j = 0; j < columns; ++j) {
-      const std::string& text = grid.at(i, j);
+      const std::string_view text = grid.at(i, j);
       const bool is_numeric = numeric.IsNumeric(i, j);
       const bool is_empty = grid.IsEmpty(i, j);
       int digits = 0;

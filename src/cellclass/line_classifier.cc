@@ -36,7 +36,7 @@ std::vector<std::vector<float>> ExtractLineFeatures(
       if (aggregate_mask[static_cast<size_t>(i) * columns + j]) ++aggregate_cells;
       total_length += static_cast<float>(grid.at(i, j).size());
     }
-    const std::string& first = grid.at(i, 0);
+    const std::string_view first = grid.at(i, 0);
     const bool first_alpha =
         !first.empty() && std::isalpha(static_cast<unsigned char>(first[0]));
     const bool has_keyword = util::ContainsIgnoreCase(first, "total") ||

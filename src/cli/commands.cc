@@ -90,15 +90,17 @@ bool RejectUnknown(const ArgParser& args, const std::vector<std::string>& known,
   return false;
 }
 
-// Loads and parses a CSV file with a sniffed dialect.
+// Loads and parses a CSV file with a sniffed dialect. The mapping moves
+// into the grid's arena, so the cells are zero-copy slices of the file.
 std::optional<csv::Grid> LoadGrid(const std::string& path, std::ostream& err) {
-  const auto text = util::ReadFile(path);
-  if (!text.has_value()) {
+  auto file = csv::MappedFile::Open(path);
+  if (!file.has_value()) {
     err << "cannot read '" << path << "'\n";
     return std::nullopt;
   }
-  const auto sniffed = csv::SniffDialect(*text);
-  return csv::ParseGrid(*text, sniffed.dialect);
+  const auto sniffed = csv::SniffDialect(file->view());
+  return csv::ParseGrid(std::move(*file), sniffed.dialect,
+                        csv::ParseHints{sniffed.modal_row_width});
 }
 
 }  // namespace
@@ -230,8 +232,8 @@ int RunDetect(const ArgParser& args, std::ostream& out, std::ostream& err) {
       row.reserve(grid->columns());
       for (int j = 0; j < grid->columns(); ++j) {
         row.push_back(aggregate_cells.count({i, j}) > 0
-                          ? "[" + grid->at(i, j) + "]"
-                          : grid->at(i, j));
+                          ? "[" + std::string(grid->at(i, j)) + "]"
+                          : std::string(grid->at(i, j)));
       }
       printer.AddRow(std::move(row));
     }
@@ -312,13 +314,14 @@ int RunSniff(const ArgParser& args, std::ostream& out, std::ostream& err) {
     err << "usage: aggrecol sniff <file.csv>\n";
     return 2;
   }
-  const auto text = util::ReadFile(args.positionals()[1]);
-  if (!text.has_value()) {
+  auto file = csv::MappedFile::Open(args.positionals()[1]);
+  if (!file.has_value()) {
     err << "cannot read '" << args.positionals()[1] << "'\n";
     return 1;
   }
-  const auto sniffed = csv::SniffDialect(*text);
-  const auto grid = csv::ParseGrid(*text, sniffed.dialect);
+  const auto sniffed = csv::SniffDialect(file->view());
+  const auto grid = csv::ParseGrid(std::move(*file), sniffed.dialect,
+                                   csv::ParseHints{sniffed.modal_row_width});
   const auto format = numfmt::ElectFormat(grid);
   const auto numeric = numfmt::NumericGrid::FromGrid(grid, format);
   int numeric_cells = 0;

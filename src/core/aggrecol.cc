@@ -121,7 +121,8 @@ DetectionResult AggreCol::Detect(const csv::Grid& grid) const {
 
 DetectionResult AggreCol::DetectText(std::string_view csv_text) const {
   const csv::SniffResult sniffed = csv::SniffDialect(csv_text);
-  return Detect(csv::ParseGrid(csv_text, sniffed.dialect));
+  return Detect(csv::ParseGrid(csv_text, sniffed.dialect,
+                               csv::ParseHints{sniffed.modal_row_width}));
 }
 
 DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {

@@ -60,15 +60,16 @@ NormalizationResult StripAggregates(const csv::Grid& grid,
   for (int column = 0; column < grid.columns(); ++column) {
     if (removed_columns.count(column) == 0) kept_columns.push_back(column);
   }
-  std::vector<std::vector<std::string>> rows;
+  // The kept cells are views into `grid`'s arena; sharing that arena makes
+  // the normalized grid a re-indexing, not a copy.
+  std::vector<std::string_view> cells;
+  std::vector<uint32_t> widths;
   for (int row = 0; row < grid.rows(); ++row) {
     if (removed_rows.count(row) > 0) continue;
-    std::vector<std::string> cells;
-    cells.reserve(kept_columns.size());
     for (int column : kept_columns) cells.push_back(grid.at(row, column));
-    rows.push_back(std::move(cells));
+    widths.push_back(static_cast<uint32_t>(kept_columns.size()));
   }
-  result.grid = csv::Grid(std::move(rows));
+  result.grid = csv::Grid::FromParsed(std::move(cells), widths, grid.arena());
   return result;
 }
 

@@ -1,0 +1,82 @@
+#ifndef AGGRECOL_CSV_CELL_ARENA_H_
+#define AGGRECOL_CSV_CELL_ARENA_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aggrecol::csv {
+
+/// Per-file bump allocator backing a zero-copy Grid (see docs/INGEST.md).
+///
+/// Two kinds of bytes live here:
+///   * **blocks** — a whole input buffer copied (or, via KeepAlive, shared)
+///     once, so clean cells can be `std::string_view` slices into it with no
+///     per-cell allocation;
+///   * **interned cells** — the rare cells whose content differs from the
+///     raw bytes (doubled quotes, escape sequences, malformed-quote repair),
+///     appended into chunk storage.
+///
+/// Every view handed out stays valid for the arena's lifetime: chunks are
+/// append-only, each chunk is a heap-allocated std::string that is never
+/// grown past its reserved capacity, and the vectors only hold owning
+/// pointers (so vector reallocation never moves the bytes themselves).
+///
+/// Not thread-safe: one arena belongs to one file's grid(s). Grids derived
+/// from the same file (SubRows, Transposed, ...) share the arena via
+/// shared_ptr; concurrent *reads* of existing views are safe, concurrent
+/// interning is not (the detection pipeline only reads).
+class CellArena {
+ public:
+  CellArena() = default;
+  CellArena(const CellArena&) = delete;
+  CellArena& operator=(const CellArena&) = delete;
+
+  /// Copies `s` into stable storage and returns the owned view.
+  std::string_view Intern(std::string_view s) {
+    if (chunks_.empty() || chunks_.back()->size() + s.size() >
+                               chunks_.back()->capacity()) {
+      auto chunk = std::make_unique<std::string>();
+      chunk->reserve(std::max(kMinChunkBytes, s.size()));
+      chunks_.push_back(std::move(chunk));
+    }
+    std::string& chunk = *chunks_.back();
+    const size_t offset = chunk.size();
+    chunk.append(s);
+    return std::string_view(chunk).substr(offset, s.size());
+  }
+
+  /// Copies a whole input buffer into the arena as one stable block and
+  /// returns the owned view. Used by the text-input parse path: one bulk
+  /// copy up front, then every clean cell is a free slice of it.
+  std::string_view AddBlock(std::string_view text) {
+    blocks_.push_back(std::make_unique<std::string>(text));
+    return *blocks_.back();
+  }
+
+  /// Shares ownership of an external backing buffer (an mmap'd file) whose
+  /// bytes grid cells point into. The mapping must outlive every view into
+  /// it; parking it here ties the two lifetimes together.
+  void KeepAlive(std::shared_ptr<const void> backing) {
+    backings_.push_back(std::move(backing));
+  }
+
+  /// Number of Intern() calls served — i.e. cells that could not be
+  /// zero-copy slices. Exposed for tests and the parse-throughput bench.
+  size_t interned_cells() const { return interned_cells_; }
+  void CountIntern() { ++interned_cells_; }
+
+ private:
+  static constexpr size_t kMinChunkBytes = 4096;
+
+  std::vector<std::unique_ptr<std::string>> chunks_;
+  std::vector<std::unique_ptr<std::string>> blocks_;
+  std::vector<std::shared_ptr<const void>> backings_;
+  size_t interned_cells_ = 0;
+};
+
+}  // namespace aggrecol::csv
+
+#endif  // AGGRECOL_CSV_CELL_ARENA_H_

@@ -1,38 +1,91 @@
 #include "csv/grid.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/string_util.h"
 
 namespace aggrecol::csv {
 
-Grid::Grid(std::vector<std::vector<std::string>> rows) : cells_(std::move(rows)) {
-  for (const auto& row : cells_) {
+Grid::Grid(std::vector<std::vector<std::string>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  for (const auto& row : rows) {
     columns_ = std::max(columns_, static_cast<int>(row.size()));
   }
-  for (auto& row : cells_) {
-    row.resize(columns_);
+  cells_.resize(static_cast<size_t>(rows_) * columns_);
+  if (rows_ > 0 && columns_ > 0) {
+    CellArena& arena = MutableArena();
+    size_t out = 0;
+    for (const auto& row : rows) {
+      for (const auto& cell : row) {
+        cells_[out++] = cell.empty() ? std::string_view() : arena.Intern(cell);
+      }
+      out += columns_ - row.size();  // padding cells stay default (empty)
+    }
   }
 }
 
 Grid::Grid(int rows, int columns)
-    : cells_(rows, std::vector<std::string>(columns)), columns_(columns) {}
+    : cells_(static_cast<size_t>(rows) * columns), rows_(rows),
+      columns_(columns) {}
+
+Grid Grid::FromParsed(std::vector<std::string_view> cells,
+                      const std::vector<uint32_t>& row_widths,
+                      std::shared_ptr<CellArena> arena) {
+  Grid out;
+  out.arena_ = std::move(arena);
+  out.rows_ = static_cast<int>(row_widths.size());
+  if (row_widths.empty()) return out;
+
+  uint32_t max_width = 0;
+  bool uniform = true;
+  for (const uint32_t width : row_widths) {
+    max_width = std::max(max_width, width);
+    uniform = uniform && width == row_widths.front();
+  }
+  out.columns_ = static_cast<int>(max_width);
+  if (uniform) {
+    out.cells_ = std::move(cells);
+    return out;
+  }
+  out.cells_.resize(static_cast<size_t>(out.rows_) * out.columns_);
+  size_t src = 0;
+  size_t dst = 0;
+  for (const uint32_t width : row_widths) {
+    std::copy_n(cells.begin() + src, width, out.cells_.begin() + dst);
+    src += width;
+    dst += max_width;  // the short tail stays default-constructed (empty)
+  }
+  return out;
+}
+
+CellArena& Grid::MutableArena() {
+  if (!arena_) arena_ = std::make_shared<CellArena>();
+  return *arena_;
+}
+
+void Grid::set(int row, int col, std::string_view value) {
+  cells_[static_cast<size_t>(row) * columns_ + col] =
+      value.empty() ? std::string_view() : MutableArena().Intern(value);
+}
 
 Grid Grid::Transposed() const {
-  Grid out(columns_, rows());
-  for (int i = 0; i < rows(); ++i) {
+  Grid out(columns_, rows_);
+  out.arena_ = arena_;
+  for (int i = 0; i < rows_; ++i) {
     for (int j = 0; j < columns_; ++j) {
-      out.cells_[j][i] = cells_[i][j];
+      out.cells_[static_cast<size_t>(j) * rows_ + i] = at(i, j);
     }
   }
   return out;
 }
 
 Grid Grid::WithColumns(const std::vector<int>& keep) const {
-  Grid out(rows(), static_cast<int>(keep.size()));
-  for (int i = 0; i < rows(); ++i) {
+  Grid out(rows_, static_cast<int>(keep.size()));
+  out.arena_ = arena_;
+  for (int i = 0; i < rows_; ++i) {
     for (size_t k = 0; k < keep.size(); ++k) {
-      out.cells_[i][k] = cells_[i][keep[k]];
+      out.cells_[static_cast<size_t>(i) * keep.size() + k] = at(i, keep[k]);
     }
   }
   return out;
@@ -40,19 +93,22 @@ Grid Grid::WithColumns(const std::vector<int>& keep) const {
 
 Grid Grid::SubRows(int first_row, int row_count) const {
   Grid out;
+  out.rows_ = row_count;
   out.columns_ = columns_;
-  out.cells_.assign(cells_.begin() + first_row,
-                    cells_.begin() + first_row + row_count);
+  out.arena_ = arena_;
+  const auto begin =
+      cells_.begin() + static_cast<size_t>(first_row) * columns_;
+  out.cells_.assign(begin, begin + static_cast<size_t>(row_count) * columns_);
   return out;
 }
 
 bool Grid::IsEmpty(int row, int col) const {
-  return util::StripWhitespace(cells_[row][col]).empty();
+  return util::StripWhitespace(at(row, col)).empty();
 }
 
 int Grid::CountNonEmpty() const {
   int count = 0;
-  for (int i = 0; i < rows(); ++i) {
+  for (int i = 0; i < rows_; ++i) {
     for (int j = 0; j < columns_; ++j) {
       if (!IsEmpty(i, j)) ++count;
     }

@@ -1,8 +1,14 @@
 #ifndef AGGRECOL_CSV_GRID_H_
 #define AGGRECOL_CSV_GRID_H_
 
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "csv/cell_arena.h"
 
 namespace aggrecol::csv {
 
@@ -10,28 +16,54 @@ namespace aggrecol::csv {
 /// string cells. Short rows are padded with empty cells so every row has the
 /// same width, which is the cell-addressing model the paper assumes
 /// (Definition 2 indexes cells as c_{i,j} with i < M, j < N).
+///
+/// Cells are `std::string_view`s into a shared CellArena (see
+/// docs/INGEST.md): in the zero-copy parse path most cells are slices of
+/// the arena-held input buffer, and only cells whose decoded content
+/// differs from the raw bytes (doubled quotes, escapes) own arena storage.
+/// Grids derived from one another (Transposed, WithColumns, SubRows, plain
+/// copies) share the arena, so derived grids stay valid after the original
+/// is destroyed. Equality compares shape and cell *content*, never arena
+/// identity.
 class Grid {
  public:
   Grid() = default;
 
   /// Builds a grid from parsed rows, padding short rows with empty cells.
+  /// Every cell is interned into a fresh arena owned by this grid.
   explicit Grid(std::vector<std::vector<std::string>> rows);
 
   /// Builds an empty grid of the given shape.
   Grid(int rows, int columns);
 
-  int rows() const { return static_cast<int>(cells_.size()); }
+  /// Zero-copy construction from the structural parser: `cells` holds the
+  /// rows back to back, `row_widths[i]` is row i's field count, and `arena`
+  /// owns (or keeps alive) every byte the views point at. Short rows are
+  /// padded to the widest; when all rows already share one width the flat
+  /// vector is adopted as-is.
+  static Grid FromParsed(std::vector<std::string_view> cells,
+                         const std::vector<uint32_t>& row_widths,
+                         std::shared_ptr<CellArena> arena);
+
+  int rows() const { return rows_; }
   int columns() const { return columns_; }
 
   /// Cell accessors; indices must satisfy 0 <= row < rows(), 0 <= col < columns().
-  const std::string& at(int row, int col) const { return cells_[row][col]; }
-  void set(int row, int col, std::string value) { cells_[row][col] = std::move(value); }
+  std::string_view at(int row, int col) const {
+    return cells_[static_cast<size_t>(row) * columns_ + col];
+  }
+  /// Interns `value` into this grid's arena and points the cell at it.
+  void set(int row, int col, std::string_view value);
 
   /// Whole-row view (size == columns()).
-  const std::vector<std::string>& row(int r) const { return cells_[r]; }
+  std::span<const std::string_view> row(int r) const {
+    return {cells_.data() + static_cast<size_t>(r) * columns_,
+            static_cast<size_t>(columns_)};
+  }
 
   /// Returns the transposed grid; row-wise algorithms applied to the
-  /// transpose operate column-wise on the original (Sec. 3).
+  /// transpose operate column-wise on the original (Sec. 3). Shares the
+  /// arena with this grid — only the view table is re-permuted.
   Grid Transposed() const;
 
   /// Returns a grid containing only the columns listed in `keep`, in order.
@@ -48,11 +80,24 @@ class Grid {
   /// Number of non-empty cells in the whole grid.
   int CountNonEmpty() const;
 
-  friend bool operator==(const Grid&, const Grid&) = default;
+  /// Content equality: same shape and same cell text. Arena identity is
+  /// irrelevant — a zero-copy grid equals its reference-parsed twin.
+  friend bool operator==(const Grid& a, const Grid& b) {
+    return a.rows_ == b.rows_ && a.columns_ == b.columns_ &&
+           a.cells_ == b.cells_;
+  }
+
+  /// The arena backing this grid's cell views; null only for
+  /// default-constructed or shape-only grids that were never set().
+  const std::shared_ptr<CellArena>& arena() const { return arena_; }
 
  private:
-  std::vector<std::vector<std::string>> cells_;
+  CellArena& MutableArena();
+
+  std::vector<std::string_view> cells_;  // rows_ * columns_, row-major
+  int rows_ = 0;
   int columns_ = 0;
+  std::shared_ptr<CellArena> arena_;
 };
 
 }  // namespace aggrecol::csv

@@ -1,0 +1,121 @@
+#include "csv/mapped_file.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#include <sstream>
+#endif
+
+namespace aggrecol::csv {
+
+#if !defined(_WIN32)
+
+std::optional<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  MappedFile file;
+  if (S_ISREG(st.st_mode) && st.st_size > 0) {
+    const auto size = static_cast<size_t>(st.st_size);
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      ::close(fd);
+      ::madvise(map, size, MADV_SEQUENTIAL);
+      file.map_ = map;
+      file.size_ = size;
+      file.source_ = Source::kMmap;
+      if (obs::Registry::enabled()) obs::Count("csv.ingest.mmap");
+      return file;
+    }
+    // Fall through to read(): some filesystems refuse mmap.
+  }
+
+  // Pipes, FIFOs, devices, empty files, or a refused mapping: drain the
+  // descriptor into an owned buffer.
+  std::string buffer;
+  if (S_ISREG(st.st_mode)) buffer.reserve(static_cast<size_t>(st.st_size));
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (got == 0) break;
+    buffer.append(chunk, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  file.buffer_ = std::move(buffer);
+  file.source_ = Source::kRead;
+  if (obs::Registry::enabled()) obs::Count("csv.ingest.read");
+  return file;
+}
+
+void MappedFile::Release() {
+  if (map_ != nullptr) {
+    ::munmap(map_, size_);
+    map_ = nullptr;
+    size_ = 0;
+  }
+}
+
+#else  // _WIN32: no mmap wrapper wired up; plain buffered read.
+
+std::optional<MappedFile> MappedFile::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  MappedFile file;
+  file.buffer_ = std::move(contents).str();
+  file.source_ = Source::kRead;
+  if (obs::Registry::enabled()) obs::Count("csv.ingest.read");
+  return file;
+}
+
+void MappedFile::Release() {}
+
+#endif
+
+MappedFile MappedFile::FromBuffer(std::string buffer) {
+  MappedFile file;
+  file.buffer_ = std::move(buffer);
+  file.source_ = Source::kRead;
+  return file;
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      buffer_(std::move(other.buffer_)),
+      source_(other.source_) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    map_ = std::exchange(other.map_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    buffer_ = std::move(other.buffer_);
+    source_ = other.source_;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { Release(); }
+
+}  // namespace aggrecol::csv

@@ -1,0 +1,67 @@
+#ifndef AGGRECOL_CSV_MAPPED_FILE_H_
+#define AGGRECOL_CSV_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace aggrecol::csv {
+
+/// Read-only view of an input file, mmap'd when possible.
+///
+/// This is the single place in the repository allowed to call mmap
+/// (aggrecol-lint rule L6). Regular non-empty files are mapped
+/// MAP_PRIVATE/PROT_READ with a sequential-access hint; pipes, FIFOs,
+/// devices, and empty files (zero-length mappings are invalid) fall back to
+/// a plain read() loop into an owned buffer. Either way `view()` exposes
+/// the full contents and stays valid for this object's lifetime.
+///
+/// Lifetime rule (docs/INGEST.md): any `std::string_view` derived from
+/// `view()` — including every cell of a Grid parsed zero-copy from it —
+/// dangles once this object is destroyed. `ParseGrid(MappedFile, ...)`
+/// enforces this by moving the file into the grid's arena. Take `view()`
+/// only after the object has reached its final address: moving a MappedFile
+/// that used the read() fallback may relocate a small buffer.
+class MappedFile {
+ public:
+  enum class Source {
+    kMmap,  // contents are a kernel mapping
+    kRead,  // contents were read() into an owned buffer
+  };
+
+  /// Opens `path`; nullopt on open/stat/read failure. Never throws.
+  static std::optional<MappedFile> Open(const std::string& path);
+
+  /// Wraps an already-read buffer (stdin capture, tests) in the same
+  /// interface; always Source::kRead.
+  static MappedFile FromBuffer(std::string buffer);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  std::string_view view() const {
+    if (map_ != nullptr) {
+      return std::string_view(static_cast<const char*>(map_), size_);
+    }
+    return buffer_;
+  }
+  size_t size() const { return map_ != nullptr ? size_ : buffer_.size(); }
+  Source source() const { return source_; }
+
+ private:
+  MappedFile() = default;
+  void Release();
+
+  void* map_ = nullptr;  // mmap base, or nullptr when buffer_ holds the bytes
+  size_t size_ = 0;      // mapping length (only meaningful with map_)
+  std::string buffer_;
+  Source source_ = Source::kRead;
+};
+
+}  // namespace aggrecol::csv
+
+#endif  // AGGRECOL_CSV_MAPPED_FILE_H_

@@ -6,6 +6,7 @@
 
 #include "csv/dialect.h"
 #include "csv/grid.h"
+#include "csv/mapped_file.h"
 
 namespace aggrecol::csv {
 
@@ -24,11 +25,41 @@ std::string_view StripBom(std::string_view text);
 /// CRLF, and lone-CR line endings are all accepted, a leading UTF-8 BOM is
 /// stripped, and an unterminated final quoted field keeps its content. A
 /// trailing newline does not produce an extra empty row.
+///
+/// This is the retained differential REFERENCE implementation (same
+/// discipline as SniffDialectReference): the zero-copy ParseGrid below must
+/// stay bit-identical to it for every input and dialect, and the
+/// differential tests in tests/csv_ingest_test.cc pin that. Do not optimize
+/// this function; optimize the structural path and keep this as the oracle.
 std::vector<std::vector<std::string>> ParseRows(std::string_view text,
                                                 const Dialect& dialect);
 
-/// Convenience wrapper: parses and rectangularizes into a Grid.
-Grid ParseGrid(std::string_view text, const Dialect& dialect);
+/// Optional knowledge the caller already has about the file, used to
+/// pre-size parser buffers. The sniffer measures the modal row width while
+/// electing a dialect; threading it through here turns the cell-table
+/// growth into a single up-front reserve on wide files.
+struct ParseHints {
+  int expected_columns = 0;  // sniffer's modal row width; 0 = unknown
+};
+
+/// Zero-copy parse: scans `text` for structural bytes with the best
+/// available ScanTier (see csv/scanner.h), then replays the reference state
+/// machine position-to-position, bulk-slicing the literal spans in between.
+/// `text` is copied ONCE into the grid's arena so the returned cells own
+/// their storage; use the MappedFile overload to avoid even that copy.
+/// Output is bit-identical to `Grid(ParseRows(text, dialect))`.
+Grid ParseGrid(std::string_view text, const Dialect& dialect,
+               const ParseHints& hints = {});
+
+/// True zero-copy parse: the mapping is moved into the grid's arena and
+/// cells are slices of the mapped bytes — no bulk copy, no per-cell
+/// allocation for clean fields.
+Grid ParseGrid(MappedFile file, const Dialect& dialect,
+               const ParseHints& hints = {});
+
+/// Reference grid construction via ParseRows, for differential tests and
+/// the parse-throughput bench. Uninstrumented.
+Grid ParseGridReference(std::string_view text, const Dialect& dialect);
 
 }  // namespace aggrecol::csv
 

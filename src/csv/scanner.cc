@@ -1,0 +1,219 @@
+#include "csv/scanner.h"
+
+#include <bit>
+#include <cstring>
+
+#if defined(AGGRECOL_SIMD_ENABLED) && (defined(__x86_64__) || defined(_M_X64))
+#define AGGRECOL_SCAN_X86 1
+#include <immintrin.h>
+#else
+#define AGGRECOL_SCAN_X86 0
+#endif
+
+namespace aggrecol::csv {
+namespace {
+
+constexpr size_t kScalarCutoffBytes = 64;
+constexpr int kMaxVectorTargets = 4;
+
+bool SwarSupported() { return std::endian::native == std::endian::little; }
+
+// Exact per-byte zero detector: bit 7 of byte k is set iff byte k of `x` is
+// zero. Unlike the classic (x - kOnes) & ~x & kHighs trick this has no
+// false positives from borrow propagation, so each set bit maps to exactly
+// one structural byte.
+uint64_t ZeroBytes(uint64_t x) {
+  constexpr uint64_t kLow7 = 0x7F7F7F7F7F7F7F7FULL;
+  return ~(((x & kLow7) + kLow7) | x | kLow7);
+}
+
+void ScanScalar(std::string_view text, const StructuralSet& set,
+                std::vector<uint32_t>& out, size_t base) {
+  std::array<bool, 256> table{};
+  for (int i = 0; i < set.count; ++i) {
+    table[static_cast<unsigned char>(set.bytes[i])] = true;
+  }
+  for (size_t pos = 0; pos < text.size(); ++pos) {
+    if (table[static_cast<unsigned char>(text[pos])]) {
+      out.push_back(static_cast<uint32_t>(base + pos));
+    }
+  }
+}
+
+void ScanSwar(std::string_view text, const StructuralSet& set,
+              std::vector<uint32_t>& out) {
+  const char* data = text.data();
+  const size_t size = text.size();
+  std::array<uint64_t, 5> patterns{};
+  for (int i = 0; i < set.count; ++i) {
+    patterns[i] =
+        0x0101010101010101ULL * static_cast<unsigned char>(set.bytes[i]);
+  }
+  size_t pos = 0;
+  for (; pos + 8 <= size; pos += 8) {
+    uint64_t word = 0;
+    std::memcpy(&word, data + pos, sizeof(word));
+    uint64_t mask = 0;
+    for (int i = 0; i < set.count; ++i) {
+      mask |= ZeroBytes(word ^ patterns[i]);
+    }
+    while (mask != 0) {
+      // Little-endian: lowest set bit belongs to the lowest-address byte,
+      // so offsets come out ascending.
+      const int byte = std::countr_zero(mask) >> 3;
+      out.push_back(static_cast<uint32_t>(pos + static_cast<size_t>(byte)));
+      mask &= mask - 1;
+    }
+  }
+  ScanScalar(text.substr(pos), set, out, pos);
+}
+
+#if AGGRECOL_SCAN_X86
+
+void ScanSse2(std::string_view text, const StructuralSet& set,
+              std::vector<uint32_t>& out) {
+  const char* data = text.data();
+  const size_t size = text.size();
+  // Plain array: std::array<__m128i, N> trips -Wignored-attributes (the
+  // vector type's alignment attribute is dropped on template arguments).
+  __m128i patterns[5];
+  for (int i = 0; i < set.count; ++i) {
+    patterns[i] = _mm_set1_epi8(set.bytes[i]);
+  }
+  size_t pos = 0;
+  for (; pos + 16 <= size; pos += 16) {
+    const __m128i chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + pos));
+    __m128i hits = _mm_setzero_si128();
+    for (int i = 0; i < set.count; ++i) {
+      hits = _mm_or_si128(hits, _mm_cmpeq_epi8(chunk, patterns[i]));
+    }
+    unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(hits));
+    while (mask != 0) {
+      const int byte = std::countr_zero(mask);
+      out.push_back(static_cast<uint32_t>(pos + static_cast<size_t>(byte)));
+      mask &= mask - 1;
+    }
+  }
+  ScanScalar(text.substr(pos), set, out, pos);
+}
+
+__attribute__((target("avx2"))) void ScanAvx2(std::string_view text,
+                                              const StructuralSet& set,
+                                              std::vector<uint32_t>& out) {
+  const char* data = text.data();
+  const size_t size = text.size();
+  __m256i patterns[5];
+  for (int i = 0; i < set.count; ++i) {
+    patterns[i] = _mm256_set1_epi8(set.bytes[i]);
+  }
+  size_t pos = 0;
+  for (; pos + 32 <= size; pos += 32) {
+    const __m256i chunk =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + pos));
+    __m256i hits = _mm256_setzero_si256();
+    for (int i = 0; i < set.count; ++i) {
+      hits = _mm256_or_si256(hits, _mm256_cmpeq_epi8(chunk, patterns[i]));
+    }
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(hits));
+    while (mask != 0) {
+      const int byte = std::countr_zero(mask);
+      out.push_back(static_cast<uint32_t>(pos + static_cast<size_t>(byte)));
+      mask &= mask - 1;
+    }
+  }
+  ScanScalar(text.substr(pos), set, out, pos);
+}
+
+bool Avx2Supported() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+#endif  // AGGRECOL_SCAN_X86
+
+}  // namespace
+
+std::string_view ToString(ScanTier tier) {
+  switch (tier) {
+    case ScanTier::kScalar:
+      return "scalar";
+    case ScanTier::kSwar:
+      return "swar";
+    case ScanTier::kSse2:
+      return "sse2";
+    case ScanTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::vector<ScanTier> CompiledScanTiers() {
+  std::vector<ScanTier> tiers = {ScanTier::kScalar, ScanTier::kSwar};
+#if AGGRECOL_SCAN_X86
+  tiers.push_back(ScanTier::kSse2);
+  tiers.push_back(ScanTier::kAvx2);
+#endif
+  return tiers;
+}
+
+std::vector<ScanTier> RuntimeScanTiers() {
+  std::vector<ScanTier> tiers = {ScanTier::kScalar};
+  if (SwarSupported()) tiers.push_back(ScanTier::kSwar);
+#if AGGRECOL_SCAN_X86
+  tiers.push_back(ScanTier::kSse2);  // baseline on every x86-64 CPU
+  if (Avx2Supported()) tiers.push_back(ScanTier::kAvx2);
+#endif
+  return tiers;
+}
+
+ScanTier ActiveScanTier() {
+  static const ScanTier best = RuntimeScanTiers().back();
+  return best;
+}
+
+ScanTier EffectiveScanTier(ScanTier requested, size_t text_size,
+                           int structural_count) {
+  if (text_size < kScalarCutoffBytes) return ScanTier::kScalar;
+  if (structural_count > kMaxVectorTargets) return ScanTier::kScalar;
+  return requested;
+}
+
+void ScanStructural(std::string_view text, const StructuralSet& set,
+                    ScanTier tier, std::vector<uint32_t>& out) {
+  switch (tier) {
+    case ScanTier::kScalar:
+      ScanScalar(text, set, out, 0);
+      return;
+    case ScanTier::kSwar:
+      if (SwarSupported()) {
+        ScanSwar(text, set, out);
+      } else {
+        ScanScalar(text, set, out, 0);
+      }
+      return;
+    case ScanTier::kSse2:
+#if AGGRECOL_SCAN_X86
+      ScanSse2(text, set, out);
+#else
+      ScanScalar(text, set, out, 0);
+#endif
+      return;
+    case ScanTier::kAvx2:
+#if AGGRECOL_SCAN_X86
+      if (Avx2Supported()) {
+        ScanAvx2(text, set, out);
+      } else {
+        ScanSse2(text, set, out);
+      }
+#else
+      ScanScalar(text, set, out, 0);
+#endif
+      return;
+  }
+}
+
+}  // namespace aggrecol::csv

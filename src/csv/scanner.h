@@ -1,0 +1,83 @@
+#ifndef AGGRECOL_CSV_SCANNER_H_
+#define AGGRECOL_CSV_SCANNER_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace aggrecol::csv {
+
+/// Kernel tiers for the structural scanner, ordered weakest to strongest.
+/// The dispatch policy (which tier actually runs for a given input) is
+/// documented in docs/INGEST.md and drift-checked by tests/docs_test.cc.
+enum class ScanTier {
+  kScalar,  // byte-at-a-time lookup table; always available
+  kSwar,    // 8-byte words, branch-free zero-byte trick; little-endian only
+  kSse2,    // 16-byte vectors; x86-64 baseline, needs AGGRECOL_SIMD=ON
+  kAvx2,    // 32-byte vectors; runtime __builtin_cpu_supports dispatch
+};
+
+/// Every tier the enum defines, for docs drift checks and tier iteration.
+inline constexpr std::array<ScanTier, 4> kAllScanTiers = {
+    ScanTier::kScalar, ScanTier::kSwar, ScanTier::kSse2, ScanTier::kAvx2};
+
+/// Stable lowercase name ("scalar", "swar", "sse2", "avx2") used in docs,
+/// bench JSON, and test output.
+std::string_view ToString(ScanTier tier);
+
+/// Tiers whose kernels are compiled into this binary. kScalar and kSwar are
+/// unconditional; kSse2/kAvx2 require an x86-64 build with AGGRECOL_SIMD=ON.
+std::vector<ScanTier> CompiledScanTiers();
+
+/// Subset of CompiledScanTiers() that can run on this machine: kSwar needs a
+/// little-endian CPU, kAvx2 needs AVX2 (checked once at runtime).
+std::vector<ScanTier> RuntimeScanTiers();
+
+/// The strongest runtime tier; what the parser requests by default.
+ScanTier ActiveScanTier();
+
+/// The set of bytes the scanner hunts for: delimiter, quote, CR, LF, and
+/// (when active) the escape character. Deduplicated; at most 5 entries.
+struct StructuralSet {
+  std::array<char, 5> bytes{};
+  int count = 0;
+
+  void Add(char c) {
+    if (!Contains(c) && count < static_cast<int>(bytes.size())) {
+      bytes[count++] = c;
+    }
+  }
+  bool Contains(char c) const {
+    for (int i = 0; i < count; ++i) {
+      if (bytes[i] == c) return true;
+    }
+    return false;
+  }
+};
+
+/// Dispatch policy — the "fallback matrix" of docs/INGEST.md. Degrades
+/// `requested` to kScalar for tiny inputs (vector setup costs more than it
+/// saves) and for dialects whose structural set exceeds four bytes (an
+/// active escape character adds a fifth scan target; the wide kernels are
+/// tuned for the four RFC bytes). Otherwise returns `requested` unchanged.
+ScanTier EffectiveScanTier(ScanTier requested, size_t text_size,
+                           int structural_count);
+
+/// Appends the ascending byte offsets of every structural character in
+/// `text` to `out`, using the kernel for `tier`. `tier` must come from
+/// RuntimeScanTiers(). `text.size()` must fit in uint32_t — the parser
+/// feeds bounded blocks (kScanBlockBytes), never whole huge files.
+/// All tiers produce identical output by construction; the alignment
+/// battery in tests/csv_scanner_test.cc pins this.
+void ScanStructural(std::string_view text, const StructuralSet& set,
+                    ScanTier tier, std::vector<uint32_t>& out);
+
+/// Block granularity the parser scans at; bounds offset width and keeps the
+/// positions buffer cache-resident.
+inline constexpr size_t kScanBlockBytes = size_t{4} << 20;
+
+}  // namespace aggrecol::csv
+
+#endif  // AGGRECOL_CSV_SCANNER_H_

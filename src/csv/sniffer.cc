@@ -84,6 +84,23 @@ double PatternScore(const std::vector<std::vector<std::string>>& rows) {
   return score;
 }
 
+/// Most frequent row width (ties prefer the wider width, matching the
+/// reference scorer's mode election); 0 for an empty parse. Threaded into
+/// SniffResult::modal_row_width as the parser's reserve hint.
+int ModalRowWidth(const std::vector<std::vector<std::string>>& rows) {
+  std::map<size_t, int> width_counts;
+  for (const auto& row : rows) ++width_counts[row.size()];
+  size_t mode_width = 0;
+  int mode_count = 0;
+  for (const auto& [width, count] : width_counts) {
+    if (count > mode_count || (count == mode_count && width > mode_width)) {
+      mode_width = width;
+      mode_count = count;
+    }
+  }
+  return static_cast<int>(mode_width);
+}
+
 bool IsAsciiDigit(char c) { return c >= '0' && c <= '9'; }
 
 std::string_view Trim(std::string_view text) {
@@ -302,6 +319,7 @@ SniffResult SniffDialect(std::string_view text) {
           best.score = score;
           best.pattern_score = pattern;
           best.type_score = type;
+          best.modal_row_width = ModalRowWidth(rows);
         }
       }
     }

@@ -27,6 +27,12 @@ struct SniffResult {
   /// date/time, and a small epsilon for free text (labels are expected, but
   /// a dialect that shreds numbers into text fragments must lose).
   double type_score = 0.0;
+
+  /// Most frequent row width of the winning parse (ties prefer the wider
+  /// width); 0 when nothing split. The sniffer already pays for this while
+  /// scoring, and the parser uses it as a buffer reserve hint
+  /// (ParseHints::expected_columns) — measure once, allocate once.
+  int modal_row_width = 0;
 };
 
 /// Detects the file dialect of `text` with a consistency measure in the

@@ -7,7 +7,7 @@ namespace {
 
 constexpr std::string_view kUtf8Bom = "\xEF\xBB\xBF";
 
-std::string EscapeFieldImpl(const std::string& field, const Dialect& dialect,
+std::string EscapeFieldImpl(std::string_view field, const Dialect& dialect,
                             bool force_quote) {
   // Mirrors the parser's guard: a colliding escape character is inert.
   const char escape = (dialect.escape != '\0' && dialect.escape != dialect.quote &&
@@ -22,7 +22,7 @@ std::string EscapeFieldImpl(const std::string& field, const Dialect& dialect,
       needs_quote = true;
     }
   }
-  if (!needs_quote) return field;
+  if (!needs_quote) return std::string(field);
   std::string out;
   out.reserve(field.size() + 2);
   out.push_back(dialect.quote);
@@ -39,7 +39,7 @@ std::string EscapeFieldImpl(const std::string& field, const Dialect& dialect,
 
 }  // namespace
 
-std::string EscapeField(const std::string& field, const Dialect& dialect) {
+std::string EscapeField(std::string_view field, const Dialect& dialect) {
   return EscapeFieldImpl(field, dialect, /*force_quote=*/false);
 }
 
@@ -53,7 +53,7 @@ std::string WriteGrid(const Grid& grid, const Dialect& dialect) {
       // write/parse round trip would lose them.
       const bool force_quote =
           i == 0 && j == 0 &&
-          std::string_view(grid.at(i, j)).substr(0, kUtf8Bom.size()) == kUtf8Bom;
+          grid.at(i, j).substr(0, kUtf8Bom.size()) == kUtf8Bom;
       out.append(EscapeFieldImpl(grid.at(i, j), dialect, force_quote));
     }
     out.push_back('\n');

@@ -2,6 +2,7 @@
 #define AGGRECOL_CSV_WRITER_H_
 
 #include <string>
+#include <string_view>
 
 #include "csv/dialect.h"
 #include "csv/grid.h"
@@ -10,7 +11,7 @@ namespace aggrecol::csv {
 
 /// Serializes a single field under `dialect`, quoting it when it contains the
 /// delimiter, the quote character, or a line break (RFC 4180 rules).
-std::string EscapeField(const std::string& field, const Dialect& dialect);
+std::string EscapeField(std::string_view field, const Dialect& dialect);
 
 /// Serializes `grid` to CSV text under `dialect` with LF line endings.
 /// Round-trips with ParseGrid for any cell content.

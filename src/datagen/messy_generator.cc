@@ -20,10 +20,15 @@ int UniformInt(std::mt19937_64& rng, int lo, int hi) {
   return std::uniform_int_distribution<int>(lo, hi)(rng);
 }
 
+std::vector<std::string> RowStrings(const csv::Grid& grid, int row) {
+  const auto cells = grid.row(row);
+  return {cells.begin(), cells.end()};
+}
+
 std::vector<std::vector<std::string>> RowsOf(const csv::Grid& grid) {
   std::vector<std::vector<std::string>> rows;
   rows.reserve(grid.rows());
-  for (int i = 0; i < grid.rows(); ++i) rows.push_back(grid.row(i));
+  for (int i = 0; i < grid.rows(); ++i) rows.push_back(RowStrings(grid, i));
   return rows;
 }
 
@@ -257,7 +262,9 @@ std::string MakeMultiTable(std::mt19937_64& rng, csv::Dialect* dialect,
   const int offset = static_cast<int>(rows.size()) + 1;  // + blank separator
   const int width = std::max(file->grid.columns(), second.grid.columns());
   rows.emplace_back();  // blank separator row; Grid() re-pads all widths
-  for (int i = 0; i < second.grid.rows(); ++i) rows.push_back(second.grid.row(i));
+  for (int i = 0; i < second.grid.rows(); ++i) {
+    rows.push_back(RowStrings(second.grid, i));
+  }
 
   for (Aggregation aggregation : second.annotations) {
     if (aggregation.axis == Axis::kRow) {

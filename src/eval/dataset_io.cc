@@ -23,13 +23,14 @@ bool SaveAnnotatedFile(const std::string& directory, const std::string& stem,
 
 std::optional<AnnotatedFile> LoadAnnotatedFile(const std::string& csv_path,
                                                const std::string& annotations_path) {
-  const auto text = util::ReadFile(csv_path);
-  if (!text.has_value()) return std::nullopt;
+  auto mapped = csv::MappedFile::Open(csv_path);
+  if (!mapped.has_value()) return std::nullopt;
 
   AnnotatedFile file;
   file.name = csv_path;
-  const auto sniffed = csv::SniffDialect(*text);
-  file.grid = csv::ParseGrid(*text, sniffed.dialect);
+  const auto sniffed = csv::SniffDialect(mapped->view());
+  file.grid = csv::ParseGrid(std::move(*mapped), sniffed.dialect,
+                             csv::ParseHints{sniffed.modal_row_width});
   file.format = numfmt::ElectFormat(file.grid);
 
   if (const auto sidecar = util::ReadFile(annotations_path); sidecar.has_value()) {

@@ -40,7 +40,9 @@ RobustnessReport ScoreRobustness(const std::vector<RobustnessCase>& cases,
         options.sniffer == SnifferKind::kConsistency
             ? csv::SniffDialect(test_case.text)
             : csv::SniffDialectReference(test_case.text);
-    const csv::Grid grid = csv::ParseGrid(test_case.text, sniffed.dialect);
+    const csv::Grid grid =
+        csv::ParseGrid(test_case.text, sniffed.dialect,
+                       csv::ParseHints{sniffed.modal_row_width});
 
     auto it = category_index.find(test_case.category);
     if (it == category_index.end()) {

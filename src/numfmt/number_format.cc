@@ -192,7 +192,7 @@ NumberFormat ElectFormat(const csv::Grid& grid) {
   std::array<int, kAllNumberFormats.size()> counts{};
   for (int i = 0; i < grid.rows(); ++i) {
     for (int j = 0; j < grid.columns(); ++j) {
-      const std::string& cell = grid.at(i, j);
+      const std::string_view cell = grid.at(i, j);
       if (util::StripWhitespace(cell).empty()) continue;
       for (size_t f = 0; f < kAllNumberFormats.size(); ++f) {
         if (MatchesFormat(cell, kAllNumberFormats[f])) ++counts[f];

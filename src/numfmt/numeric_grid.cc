@@ -32,7 +32,7 @@ std::string_view StripTextSuffix(std::string_view text) {
 
 }  // namespace
 
-CellInterpretation InterpretCell(const std::string& cell, NumberFormat format,
+CellInterpretation InterpretCell(std::string_view cell, NumberFormat format,
                                  const NormalizeOptions& options) {
   const std::string_view stripped = util::StripWhitespace(cell);
   if (stripped.empty()) {

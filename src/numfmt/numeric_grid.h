@@ -1,7 +1,7 @@
 #ifndef AGGRECOL_NUMFMT_NUMERIC_GRID_H_
 #define AGGRECOL_NUMFMT_NUMERIC_GRID_H_
 
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "csv/grid.h"
@@ -112,7 +112,7 @@ struct CellInterpretation {
   CellKind kind = CellKind::kText;
   double value = 0.0;
 };
-CellInterpretation InterpretCell(const std::string& cell, NumberFormat format,
+CellInterpretation InterpretCell(std::string_view cell, NumberFormat format,
                                  const NormalizeOptions& options);
 
 }  // namespace aggrecol::numfmt

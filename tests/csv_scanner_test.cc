@@ -1,0 +1,298 @@
+// Alignment and boundary battery for the structural scanner.
+//
+// Every SWAR/SIMD kernel must produce exactly the offsets the scalar
+// lookup-table scan produces — the parser's bit-identity to the reference
+// state machine rests on that equality. The dangerous inputs are the ones
+// where a structural byte straddles a kernel's word or vector boundary
+// (8 bytes for SWAR, 16 for SSE2, 32 for AVX2) or lands in the scalar tail
+// after the last full vector, so this battery sweeps every size residue and
+// every byte position rather than sampling. The whole file runs under the
+// ASan/UBSan CI job, so an out-of-bounds word load at a buffer edge is a
+// test failure, not a latent bug.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csv/scanner.h"
+#include "gtest/gtest.h"
+
+namespace aggrecol::csv {
+namespace {
+
+StructuralSet RfcSet() {
+  StructuralSet set;
+  set.Add(',');
+  set.Add('"');
+  set.Add('\r');
+  set.Add('\n');
+  return set;
+}
+
+StructuralSet EscapeSet() {
+  StructuralSet set = RfcSet();
+  set.Add('\\');
+  return set;
+}
+
+std::vector<uint32_t> Scan(std::string_view text, const StructuralSet& set,
+                           ScanTier tier) {
+  std::vector<uint32_t> out;
+  ScanStructural(text, set, tier, out);
+  return out;
+}
+
+/// xorshift64 — deterministic filler so failures replay exactly.
+uint64_t Next(uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+// Non-structural filler byte, varied so adjacent cells differ.
+char Filler(uint64_t& state) {
+  static constexpr char kPool[] = "abcdefghij0123456789 .-_";
+  return kPool[Next(state) % (sizeof(kPool) - 1)];
+}
+
+TEST(ScanTiers, NamesAreStable) {
+  EXPECT_EQ(ToString(ScanTier::kScalar), "scalar");
+  EXPECT_EQ(ToString(ScanTier::kSwar), "swar");
+  EXPECT_EQ(ToString(ScanTier::kSse2), "sse2");
+  EXPECT_EQ(ToString(ScanTier::kAvx2), "avx2");
+}
+
+TEST(ScanTiers, ScalarAndSwarAlwaysCompiled) {
+  const auto compiled = CompiledScanTiers();
+  ASSERT_GE(compiled.size(), 2u);
+  EXPECT_EQ(compiled[0], ScanTier::kScalar);
+  EXPECT_EQ(compiled[1], ScanTier::kSwar);
+}
+
+TEST(ScanTiers, RuntimeTiersAreASubsetOfCompiled) {
+  const auto compiled = CompiledScanTiers();
+  for (ScanTier tier : RuntimeScanTiers()) {
+    bool found = false;
+    for (ScanTier c : compiled) found = found || c == tier;
+    EXPECT_TRUE(found) << "runtime tier " << ToString(tier)
+                       << " not in compiled set";
+  }
+}
+
+TEST(ScanTiers, ActiveTierIsRunnable) {
+  const auto runtime = RuntimeScanTiers();
+  ASSERT_FALSE(runtime.empty());
+  bool found = false;
+  for (ScanTier tier : runtime) found = found || tier == ActiveScanTier();
+  EXPECT_TRUE(found);
+  // Active is the strongest runtime tier by enum order.
+  for (ScanTier tier : runtime) {
+    EXPECT_LE(static_cast<int>(tier), static_cast<int>(ActiveScanTier()));
+  }
+}
+
+TEST(ScanTiers, EffectivePolicyDegradesTinyAndEscapeInputs) {
+  // Tiny inputs run scalar regardless of the requested tier.
+  EXPECT_EQ(EffectiveScanTier(ScanTier::kAvx2, 8, 4), ScanTier::kScalar);
+  EXPECT_EQ(EffectiveScanTier(ScanTier::kSwar, 63, 4), ScanTier::kScalar);
+  // A five-byte structural set (active escape) forces the scalar path.
+  EXPECT_EQ(EffectiveScanTier(ScanTier::kAvx2, 1 << 20, 5), ScanTier::kScalar);
+  // Normal case: request honored.
+  EXPECT_EQ(EffectiveScanTier(ScanTier::kAvx2, 1 << 20, 4), ScanTier::kAvx2);
+  EXPECT_EQ(EffectiveScanTier(ScanTier::kScalar, 1 << 20, 4),
+            ScanTier::kScalar);
+}
+
+TEST(StructuralSet, DeduplicatesAndCaps) {
+  StructuralSet set;
+  set.Add(',');
+  set.Add(',');
+  EXPECT_EQ(set.count, 1);
+  set.Add('"');
+  set.Add('\r');
+  set.Add('\n');
+  set.Add('\\');
+  EXPECT_EQ(set.count, 5);
+  EXPECT_TRUE(set.Contains('\\'));
+  set.Add('|');  // full: silently ignored, callers never build sets this big
+  EXPECT_EQ(set.count, 5);
+  EXPECT_FALSE(set.Contains('|'));
+}
+
+TEST(ScanScalar, FindsEveryTargetAndNothingElse) {
+  const std::string text = "a,b\"c\rd\ne\\f,g";
+  const auto hits = Scan(text, EscapeSet(), ScanTier::kScalar);
+  const std::vector<uint32_t> expected = {1, 3, 5, 7, 9, 11};
+  EXPECT_EQ(hits, expected);
+}
+
+TEST(ScanScalar, EmptyAndStructuralFreeInputs) {
+  EXPECT_TRUE(Scan("", RfcSet(), ScanTier::kScalar).empty());
+  EXPECT_TRUE(Scan("plain text no csv", RfcSet(), ScanTier::kScalar).empty());
+}
+
+// The core battery: every runtime tier against the scalar oracle, for every
+// file size 0..65 (covers the empty file, sub-word, sub-vector, and
+// one-past-AVX2-register sizes at every residue) and every position of a
+// single structural byte within that size. Sizes 0..65 × positions 0..size
+// × 4 structural bytes ≈ 9k scans per tier — fast, and exhaustive over the
+// alignment space where word/vector loads can go wrong.
+TEST(ScanEquivalence, EverySizeEveryPositionEveryTier) {
+  const StructuralSet set = RfcSet();
+  const char targets[] = {',', '"', '\r', '\n'};
+  uint64_t rng = 0x5CA11AB1E5ULL;
+  for (ScanTier tier : RuntimeScanTiers()) {
+    if (tier == ScanTier::kScalar) continue;
+    for (size_t size = 0; size <= 65; ++size) {
+      std::string base(size, 'x');
+      for (char& c : base) c = Filler(rng);
+      // No structural bytes at all.
+      EXPECT_EQ(Scan(base, set, tier), Scan(base, set, ScanTier::kScalar))
+          << ToString(tier) << " size " << size;
+      for (size_t pos = 0; pos < size; ++pos) {
+        for (char target : targets) {
+          std::string text = base;
+          text[pos] = target;
+          const auto scalar = Scan(text, set, ScanTier::kScalar);
+          const auto tiered = Scan(text, set, tier);
+          ASSERT_EQ(tiered, scalar)
+              << ToString(tier) << " size " << size << " pos " << pos
+              << " target 0x" << std::hex << static_cast<int>(target);
+        }
+      }
+    }
+  }
+}
+
+// Structural bytes planted to straddle every kernel boundary: the last and
+// first byte of adjacent 8-byte words, 16-byte and 32-byte vectors, plus
+// runs crossing those edges. One long buffer exercises all of them at once,
+// in every tier.
+TEST(ScanEquivalence, BoundaryStraddlingPairs) {
+  const StructuralSet set = RfcSet();
+  constexpr size_t kSize = 192;  // six AVX2 registers
+  uint64_t rng = 0xB0DA57ULL;
+  std::string text(kSize, 'x');
+  for (char& c : text) c = Filler(rng);
+  for (size_t boundary : {8u, 16u, 32u, 64u, 128u}) {
+    for (size_t edge = boundary - 1; edge + 1 < kSize; edge += boundary) {
+      text[edge] = '"';       // last byte of one word/vector
+      text[edge + 1] = ',';   // first byte of the next
+    }
+  }
+  // A CRLF crossing the first AVX2 boundary and a quote run crossing the
+  // second: multi-byte structures, not just single characters.
+  text[31] = '\r';
+  text[32] = '\n';
+  text[62] = '"';
+  text[63] = '"';
+  text[64] = '"';
+  const auto scalar = Scan(text, set, ScanTier::kScalar);
+  for (ScanTier tier : RuntimeScanTiers()) {
+    EXPECT_EQ(Scan(text, set, tier), scalar) << ToString(tier);
+  }
+}
+
+// The final byte is the classic over-read spot: a word or vector load
+// "for the tail" must not read past the buffer, and the last byte must
+// still be found. Quote and CR as final byte are the parser's own edge
+// cases (unterminated quote, lone-CR terminator), so pin those bytes
+// specifically at every size residue.
+TEST(ScanEquivalence, FinalByteQuoteAndCrAtEveryResidue) {
+  const StructuralSet set = RfcSet();
+  uint64_t rng = 0xF17A1ULL;
+  for (size_t size = 1; size <= 65; ++size) {
+    for (char last : {'"', '\r', '\n', ','}) {
+      std::string text(size, 'x');
+      for (char& c : text) c = Filler(rng);
+      text[size - 1] = last;
+      const auto scalar = Scan(text, set, ScanTier::kScalar);
+      ASSERT_FALSE(scalar.empty());
+      EXPECT_EQ(scalar.back(), size - 1);
+      for (ScanTier tier : RuntimeScanTiers()) {
+        ASSERT_EQ(Scan(text, set, tier), scalar)
+            << ToString(tier) << " size " << size << " last 0x" << std::hex
+            << static_cast<int>(last);
+      }
+    }
+  }
+}
+
+// Five-target (escape-active) sets must agree across tiers too, even though
+// the parser's EffectiveScanTier policy routes them to scalar in practice —
+// the kernels themselves must stay correct for any set they are handed.
+TEST(ScanEquivalence, FiveByteEscapeSets) {
+  const StructuralSet set = EscapeSet();
+  uint64_t rng = 0xE5CA9EULL;
+  for (size_t size : {7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u, 100u}) {
+    std::string text(size, 'x');
+    for (char& c : text) c = Filler(rng);
+    if (size > 2) {
+      text[size / 2] = '\\';
+      text[size - 1] = '"';
+    }
+    const auto scalar = Scan(text, set, ScanTier::kScalar);
+    for (ScanTier tier : RuntimeScanTiers()) {
+      EXPECT_EQ(Scan(text, set, tier), scalar)
+          << ToString(tier) << " size " << size;
+    }
+  }
+}
+
+// Dense structural content (every byte a target) and high-bit bytes (0x80+,
+// where signed-char and SWAR high-bit arithmetic can slip) across sizes.
+TEST(ScanEquivalence, DenseAndHighBitContent) {
+  const StructuralSet set = RfcSet();
+  for (size_t size = 1; size <= 40; ++size) {
+    std::string dense(size, ',');
+    for (size_t i = 1; i < size; i += 2) dense[i] = '"';
+    std::string high(size, '\0');
+    for (size_t i = 0; i < size; ++i) {
+      high[i] = static_cast<char>(0x80 + (i * 7) % 0x80);
+    }
+    high[size / 2] = ',';
+    for (const std::string& text : {dense, high}) {
+      const auto scalar = Scan(text, set, ScanTier::kScalar);
+      for (ScanTier tier : RuntimeScanTiers()) {
+        ASSERT_EQ(Scan(text, set, tier), scalar)
+            << ToString(tier) << " size " << size;
+      }
+    }
+  }
+}
+
+// 0x00 must never be reported unless it is a target; the SWAR zero-byte
+// detector works by *creating* zero bytes, so embedded NULs are its
+// adversarial input.
+TEST(ScanEquivalence, EmbeddedNulBytes) {
+  const StructuralSet set = RfcSet();
+  for (size_t size : {1u, 7u, 8u, 9u, 16u, 33u, 64u}) {
+    std::string text(size, '\0');
+    if (size > 1) text[size / 2] = ',';
+    const auto scalar = Scan(text, set, ScanTier::kScalar);
+    for (ScanTier tier : RuntimeScanTiers()) {
+      EXPECT_EQ(Scan(text, set, tier), scalar)
+          << ToString(tier) << " size " << size;
+    }
+  }
+}
+
+// Offsets are ascending and unique in every tier — the parser's token walk
+// assumes strictly increasing positions.
+TEST(ScanEquivalence, OffsetsStrictlyAscending) {
+  uint64_t rng = 0xA5CE2DULL;
+  std::string text(4096, 'x');
+  for (char& c : text) {
+    const uint64_t roll = Next(rng);
+    c = roll % 5 == 0 ? ',' : roll % 7 == 0 ? '"' : Filler(rng);
+  }
+  for (ScanTier tier : RuntimeScanTiers()) {
+    const auto hits = Scan(text, RfcSet(), tier);
+    for (size_t i = 1; i < hits.size(); ++i) {
+      ASSERT_LT(hits[i - 1], hits[i]) << ToString(tier);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aggrecol::csv

@@ -148,7 +148,7 @@ TEST(Corpus, ElectedFormatsAgreeOnEveryCellValue) {
     const auto elected = numfmt::ElectFormat(file.grid);
     for (int i = 0; i < file.grid.rows(); ++i) {
       for (int j = 0; j < file.grid.columns(); ++j) {
-        const std::string& cell = file.grid.at(i, j);
+        const std::string_view cell = file.grid.at(i, j);
         const auto written = numfmt::ParseNumber(cell, file.format);
         if (!written.has_value()) continue;
         const auto parsed = numfmt::ParseNumber(cell, elected);

@@ -2,6 +2,7 @@
 // compiled CLI surface (commands + accepted options, both directions), and
 // docs/OBSERVABILITY.md against the counters an instrumented corpus run
 // actually emits. AGGRECOL_SOURCE_DIR is injected by tests/CMakeLists.txt.
+#include <filesystem>
 #include <fstream>
 #include <regex>
 #include <set>
@@ -9,6 +10,7 @@
 #include <string>
 
 #include "cli/commands.h"
+#include "csv/scanner.h"
 #include "datagen/corpus.h"
 #include "datagen/messy_generator.h"
 #include "eval/batch_runner.h"
@@ -193,13 +195,80 @@ TEST(RobustnessDocs, EveryDocumentedCategoryIsCompiled) {
   }
 }
 
+TEST(IngestDocs, EveryCompiledScanTierIsDocumented) {
+  // Forward direction: every tier the scanner enum defines must appear (by
+  // its ToString name, backticked) in the INGEST.md tier table.
+  const std::string doc = ReadDoc("docs/INGEST.md");
+  for (csv::ScanTier tier : csv::kAllScanTiers) {
+    const std::string name(csv::ToString(tier));
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "docs/INGEST.md does not document scan tier " << name;
+  }
+}
+
+TEST(IngestDocs, EveryDocumentedScanTierIsCompiled) {
+  // Reverse direction, scoped to the tier table (rows of the form
+  // "| `name` | N byte..."): a documented tier the enum does not define is
+  // stale documentation.
+  std::set<std::string> compiled;
+  for (csv::ScanTier tier : csv::kAllScanTiers) {
+    compiled.insert(std::string(csv::ToString(tier)));
+  }
+  const std::string doc = ReadDoc("docs/INGEST.md");
+  const std::regex row_re("\\| `([a-z0-9]+)` \\| [0-9]+ byte");
+  int rows = 0;
+  for (std::sregex_iterator it(doc.begin(), doc.end(), row_re), end; it != end;
+       ++it) {
+    ++rows;
+    const std::string name = (*it)[1].str();
+    EXPECT_TRUE(compiled.count(name) > 0)
+        << "docs/INGEST.md lists scan tier " << name
+        << ", which csv::ScanTier does not define";
+  }
+  EXPECT_EQ(rows, static_cast<int>(csv::kAllScanTiers.size()))
+      << "docs/INGEST.md tier table row count drifted from the enum";
+}
+
+TEST(PerformanceDocs, EveryCommittedBenchKeyIsDocumented) {
+  // Every key in every committed BENCH_*.json baseline must be explained in
+  // PERFORMANCE.md's schema section (category section names live in
+  // ROBUSTNESS.md), so a bench schema change without a doc update fails.
+  const std::string doc =
+      ReadDoc("docs/PERFORMANCE.md") + ReadDoc("docs/ROBUSTNESS.md");
+  const std::regex key_re("\"([A-Za-z0-9_<>-]+)\"\\s*:");
+  int baselines = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::path(AGGRECOL_SOURCE_DIR))) {
+    const std::string filename = entry.path().filename().string();
+    if (filename.rfind("BENCH_", 0) != 0 ||
+        entry.path().extension() != ".json") {
+      continue;
+    }
+    ++baselines;
+    std::ifstream in(entry.path());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string json = buffer.str();
+    for (std::sregex_iterator it(json.begin(), json.end(), key_re), end;
+         it != end; ++it) {
+      const std::string key = (*it)[1].str();
+      EXPECT_NE(doc.find(key), std::string::npos)
+          << filename << " key `" << key
+          << "` is not documented in docs/PERFORMANCE.md (or, for category "
+             "names, docs/ROBUSTNESS.md)";
+    }
+  }
+  EXPECT_EQ(baselines, 3) << "committed BENCH_*.json baseline count changed; "
+                             "update docs/PERFORMANCE.md's baseline table";
+}
+
 TEST(Docs, CrossReferencedPagesExist) {
   // The pages the README and ALGORITHM link to must exist; their content is
   // checked above and by the CI link checker.
   for (const char* page :
        {"docs/ARCHITECTURE.md", "docs/CLI.md", "docs/OBSERVABILITY.md",
         "docs/ALGORITHM.md", "docs/STATIC_ANALYSIS.md", "docs/PERFORMANCE.md",
-        "docs/ROBUSTNESS.md", "README.md"}) {
+        "docs/ROBUSTNESS.md", "docs/INGEST.md", "README.md"}) {
     EXPECT_FALSE(ReadDoc(page).empty()) << page;
   }
 }

@@ -2,7 +2,7 @@
 // mutator perturbs the checked-in seed corpus (tests/fuzz_seeds/) and feeds
 // the result to the sniffer and parser under every candidate dialect shape.
 //
-// Two properties are checked on every mutant:
+// Three properties are checked on every mutant:
 //   1. No crash, no hang: sniff + parse + write complete on arbitrary bytes
 //      (this binary runs as a normal ctest, so the ASan/UBSan/TSan CI jobs
 //      exercise exactly this path with sanitizers armed).
@@ -10,6 +10,10 @@
 //      input however it likes, but serializing the resulting grid and
 //      re-parsing it must reproduce the grid exactly — the same lossless
 //      contract csv_parser_test pins on hand-written cases.
+//   3. Zero-copy/reference agreement: the structural-scanner ParseGrid must
+//      produce exactly the grid the retained reference state machine
+//      (ParseGridReference) produces — the differential contract of
+//      docs/INGEST.md, here under adversarial bytes instead of clean files.
 //
 // Everything is seeded; a failure prints the seed file, iteration, and the
 // offending bytes, so any finding replays exactly.
@@ -121,7 +125,7 @@ std::vector<Dialect> DialectsUnderTest(const std::string& text) {
 
 TEST(FuzzCsv, SeedCorpusIsPresentAndParses) {
   const auto corpus = LoadSeedCorpus();
-  ASSERT_GE(corpus.size(), 6u) << "fuzz seed corpus missing or truncated";
+  ASSERT_GE(corpus.size(), 8u) << "fuzz seed corpus missing or truncated";
   for (const auto& seed : corpus) {
     ASSERT_FALSE(seed.empty());
     const auto sniffed = SniffDialect(seed);
@@ -145,6 +149,11 @@ TEST(FuzzCsv, MutantsNeverCrashAndAlwaysRoundTrip) {
       }
       for (const Dialect& dialect : DialectsUnderTest(mutant)) {
         const Grid grid = ParseGrid(mutant, dialect);
+        ASSERT_EQ(grid, ParseGridReference(mutant, dialect))
+            << "zero-copy/reference divergence: seed " << s << " mutant " << m
+            << " dialect '" << dialect.delimiter << "' quote '"
+            << dialect.quote << "' escape '" << dialect.escape
+            << "' input: [" << ::testing::PrintToString(mutant) << "]";
         const std::string written = WriteGrid(grid, dialect);
         const Grid reparsed = ParseGrid(written, dialect);
         ASSERT_EQ(reparsed, grid)
@@ -165,6 +174,8 @@ TEST(FuzzCsv, PureNoiseNeverCrashes) {
     for (char& c : noise) c = static_cast<char>(rng.Below(256));
     for (const Dialect& dialect : DialectsUnderTest(noise)) {
       const Grid grid = ParseGrid(noise, dialect);
+      ASSERT_EQ(grid, ParseGridReference(noise, dialect))
+          << "zero-copy/reference divergence at iteration " << iteration;
       const std::string written = WriteGrid(grid, dialect);
       ASSERT_EQ(ParseGrid(written, dialect), grid) << "iteration " << iteration;
     }

@@ -1,4 +1,4 @@
-// The aggrecol-lint battery: every rule L1-L5 must both fire on seeded
+// The aggrecol-lint battery: every rule L1-L6 must both fire on seeded
 // violations and respect reasoned suppressions, and the repository itself
 // must lint clean (the same gate CI runs via tools/aggrecol-lint).
 // AGGRECOL_SOURCE_DIR is injected by tests/CMakeLists.txt.
@@ -340,13 +340,47 @@ TEST(LintSuppression, SuppressionDoesNotLeakToOtherLines) {
 }
 
 // ---------------------------------------------------------------------------
+// L6 — memory mappings outside csv::MappedFile.
+// ---------------------------------------------------------------------------
+
+TEST(LintL6, RawMmapFires) {
+  const auto diagnostics = LintSource(
+      "src/core/fast_loader.cc",
+      "void* base = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);\n");
+  EXPECT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L6"});
+}
+
+TEST(LintL6, MunmapAndWindowsMappersFire) {
+  const auto diagnostics = LintSource("src/eval/loader.cc",
+                                      "munmap(base, size);\n"
+                                      "void* v = MapViewOfFile(h, 0, 0, 0, 0);\n");
+  EXPECT_EQ(RulesFired(diagnostics),
+            (std::vector<std::string>{"L6", "L6"}));
+}
+
+TEST(LintL6, MappedFileImplementationExempt) {
+  const auto diagnostics = LintSource(
+      "src/csv/mapped_file.cc",
+      "void* base = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);\n"
+      "munmap(base, size);\n");
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(LintL6, MemberNamedMmapExempt) {
+  const auto diagnostics =
+      LintSource("src/core/thing.cc", "holder.mmap(size);\n");
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+// ---------------------------------------------------------------------------
 // Registry and the repository itself.
 // ---------------------------------------------------------------------------
 
-TEST(LintRegistry, FiveRulesWithStableIds) {
+TEST(LintRegistry, SixRulesWithStableIds) {
   const auto& rules = Rules();
-  ASSERT_EQ(rules.size(), 5u);
-  const std::vector<std::string> expected = {"L1", "L2", "L3", "L4", "L5"};
+  ASSERT_EQ(rules.size(), 6u);
+  const std::vector<std::string> expected = {"L1", "L2", "L3",
+                                             "L4", "L5", "L6"};
   for (size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].id, expected[i]);
     EXPECT_FALSE(rules[i].name.empty());

@@ -55,6 +55,11 @@ bool InScopeL4(std::string_view path) {
 // L5: instrumented pipeline code lives under src/.
 bool InScopeL5(std::string_view path) { return StartsWith(path, "src/"); }
 
+// L6: csv::MappedFile is the single sanctioned owner of memory mappings.
+bool InScopeL6(std::string_view path) {
+  return path != "src/csv/mapped_file.h" && path != "src/csv/mapped_file.cc";
+}
+
 // ---------------------------------------------------------------------------
 // Token helpers.
 // ---------------------------------------------------------------------------
@@ -313,6 +318,34 @@ void CheckL5(const FileContext& context) {
 }
 
 // ---------------------------------------------------------------------------
+// L6 — raw memory-mapping calls outside csv::MappedFile.
+// ---------------------------------------------------------------------------
+
+void CheckL6(const FileContext& context) {
+  if (!InScopeL6(context.path)) return;
+  static const std::set<std::string> kMappers = {
+      "mmap",           "mmap64",
+      "munmap",         "MapViewOfFile",
+      "UnmapViewOfFile", "CreateFileMapping",
+      "CreateFileMappingA", "CreateFileMappingW"};
+  const auto& tokens = context.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier ||
+        kMappers.count(tokens[i].text) == 0) {
+      continue;
+    }
+    if (i > 0 && (IsPunct(tokens[i - 1], ".") || IsPunct(tokens[i - 1], "->"))) {
+      continue;  // member of some unrelated class
+    }
+    context.Report("L6", tokens[i].line,
+                   "raw memory-mapping call `" + tokens[i].text +
+                       "` — all mappings go through csv::MappedFile "
+                       "(src/csv/mapped_file.h) so view lifetimes stay tied "
+                       "to one owner");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppression filtering.
 // ---------------------------------------------------------------------------
 
@@ -358,6 +391,9 @@ const std::vector<RuleInfo>& Rules() {
       {"L5", "obs-catalog",
        "obs counter/gauge/span name literals must appear in the "
        "docs/OBSERVABILITY.md catalog"},
+      {"L6", "mmap-owner",
+       "no mmap/munmap/MapViewOfFile outside src/csv/mapped_file.* — "
+       "csv::MappedFile is the single owner of mapping lifetimes"},
   };
   return kRules;
 }
@@ -373,6 +409,7 @@ std::vector<Diagnostic> LintSource(std::string_view relpath,
   CheckL3(context);
   CheckL4(context);
   CheckL5(context);
+  CheckL6(context);
 
   std::vector<Diagnostic> out;
   for (const Suppression& suppression : lexed.suppressions) {

@@ -11,7 +11,7 @@ namespace aggrecol::lint {
 struct Diagnostic {
   std::string path;     // repo-relative, forward slashes
   int line = 0;         // 1-based
-  std::string rule;     // "L1".."L5", or "suppression" for directive errors
+  std::string rule;     // "L1".."L6", or "suppression" for directive errors
   std::string message;  // human-readable explanation
 
   friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
@@ -19,7 +19,7 @@ struct Diagnostic {
 
 /// A compiled rule, for --list-rules and the docs drift check.
 struct RuleInfo {
-  std::string id;       // "L1".."L5"
+  std::string id;       // "L1".."L6"
   std::string name;     // short kebab-case name
   std::string summary;  // one-line description
 };
