@@ -94,6 +94,10 @@ class Grid {
  private:
   CellArena& MutableArena();
 
+  // Cell views borrow from the shared arena below; derived views
+  // (Transposed, WithColumns, SubRows) copy the shared_ptr so the bytes
+  // outlive every view.
+  // aggrecol-lint: owns(arena_)
   std::vector<std::string_view> cells_;  // rows_ * columns_, row-major
   int rows_ = 0;
   int columns_ = 0;

@@ -233,6 +233,8 @@ class FieldBuilder {
     dirty_ = true;
   }
 
+  // aggrecol-lint: allow(L7): FieldBuilder is a transient borrower — it lives
+  // only inside ParseStructural's frame, where the mapped input outlives it
   std::string_view text_;
   CellArena* arena_;
   size_t begin_ = 0;

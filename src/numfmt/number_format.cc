@@ -15,11 +15,33 @@ namespace {
 struct ParsedShape {
   bool negative = false;
   bool percent = false;
-  std::string digits;  // integer digits, group separators removed
-  std::string fraction;
+  // Views into the caller's `text` argument; a ParsedShape never outlives the
+  // ParseShape call that produced it.
+  // aggrecol-lint: allow(L7): transient borrow of the caller's text argument
+  std::string_view integer;   // as written, group separators still present
+  // aggrecol-lint: allow(L7): transient borrow of the caller's text argument
+  std::string_view fraction;  // plain digits
 };
 
 bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Validates an integer part in place — plain digits, or 1-3 digits followed
+// by one or more (separator + exactly 3 digits) blocks. Replaces a
+// util::Split-based walk so the per-cell path never allocates.
+bool ValidIntegerPart(std::string_view text, char group) {
+  size_t lead = 0;
+  while (lead < text.size() && IsDigit(text[lead])) ++lead;
+  if (lead == text.size()) return lead > 0;  // plain digits
+  if (group == '\0' || lead == 0 || lead > 3) return false;
+  for (size_t pos = lead; pos < text.size(); pos += 4) {
+    if (text[pos] != group || pos + 4 > text.size()) return false;
+    if (!IsDigit(text[pos + 1]) || !IsDigit(text[pos + 2]) ||
+        !IsDigit(text[pos + 3])) {
+      return false;
+    }
+  }
+  return true;
+}
 
 // Parses the shape of `text` under `format`; returns std::nullopt on mismatch.
 std::optional<ParsedShape> ParseShape(std::string_view raw, NumberFormat format) {
@@ -78,33 +100,26 @@ std::optional<ParsedShape> ParseShape(std::string_view raw, NumberFormat format)
   }
   if (integer_part.empty()) return std::nullopt;
 
-  // Validate the integer part: plain digits, or 1-3 digits followed by
-  // (group + exactly 3 digits)+ when the format has a group separator.
-  bool plain = true;
-  for (char c : integer_part) {
-    if (!IsDigit(c)) {
-      plain = false;
-      break;
-    }
-  }
-  if (plain) {
-    shape.digits = std::string(integer_part);
-  } else {
-    if (group == '\0') return std::nullopt;
-    // Grouped form.
-    const auto groups = util::Split(integer_part, group);
-    if (groups.size() < 2) return std::nullopt;
-    if (groups[0].empty() || groups[0].size() > 3 || !util::IsAllDigits(groups[0])) {
-      return std::nullopt;
-    }
-    shape.digits = groups[0];
-    for (size_t i = 1; i < groups.size(); ++i) {
-      if (groups[i].size() != 3 || !util::IsAllDigits(groups[i])) return std::nullopt;
-      shape.digits += groups[i];
-    }
-  }
-  shape.fraction = std::string(fraction_part);
+  if (!ValidIntegerPart(integer_part, group)) return std::nullopt;
+  shape.integer = integer_part;
+  shape.fraction = fraction_part;
   return shape;
+}
+
+// Cold fallback for values whose canonical form overflows ParseNumber's
+// stack buffer (more than ~60 significant characters). Deliberately not on
+// the hot-path registry: allocation is fine out here.
+std::optional<double> ParseCanonicalHeap(const ParsedShape& shape) {
+  std::string canonical;
+  canonical.reserve(shape.integer.size() + shape.fraction.size() + 1);
+  for (const char c : shape.integer) {
+    if (IsDigit(c)) canonical += c;
+  }
+  if (!shape.fraction.empty()) {
+    canonical += '.';
+    canonical += shape.fraction;
+  }
+  return ParseDouble(canonical);
 }
 
 }  // namespace
@@ -176,12 +191,25 @@ bool MatchesFormat(std::string_view text, NumberFormat format) {
 std::optional<double> ParseNumber(std::string_view text, NumberFormat format) {
   const auto shape = ParseShape(text, format);
   if (!shape.has_value()) return std::nullopt;
-  std::string canonical = shape->digits;
-  if (!shape->fraction.empty()) {
-    canonical += '.';
-    canonical += shape->fraction;
+  // Canonical "digits.fraction" assembled in a stack buffer so the per-cell
+  // path stays allocation-free (rule L8); absurdly long values take the cold
+  // heap fallback.
+  char buffer[64];
+  size_t length = 0;
+  std::optional<double> parsed;
+  if (shape->integer.size() + shape->fraction.size() + 1 <= sizeof(buffer)) {
+    for (const char c : shape->integer) {
+      if (IsDigit(c)) buffer[length++] = c;
+    }
+    if (!shape->fraction.empty()) {
+      buffer[length++] = '.';
+      for (const char c : shape->fraction) buffer[length++] = c;
+    }
+    parsed = ParseDouble(std::string_view(buffer, length));
+  } else {
+    parsed = ParseCanonicalHeap(*shape);
   }
-  double value = ParseDouble(canonical).value_or(0.0);
+  double value = parsed.value_or(0.0);
   if (shape->negative) value = -value;
   if (shape->percent) value /= 100.0;
   return value;

@@ -1,4 +1,4 @@
-// The aggrecol-lint battery: every rule L1-L6 must both fire on seeded
+// The aggrecol-lint battery: every rule L1-L9 must both fire on seeded
 // violations and respect reasoned suppressions, and the repository itself
 // must lint clean (the same gate CI runs via tools/aggrecol-lint).
 // AGGRECOL_SOURCE_DIR is injected by tests/CMakeLists.txt.
@@ -89,6 +89,50 @@ TEST(SourceLexer, DigitSeparatorsAreNotCharLiterals) {
   }
   EXPECT_TRUE(saw_number);
   EXPECT_TRUE(saw_char);
+}
+
+std::vector<std::string> NumberTexts(const LexResult& lexed) {
+  std::vector<std::string> numbers;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kNumber) numbers.push_back(token.text);
+  }
+  return numbers;
+}
+
+TEST(SourceLexer, SeparatedLiteralBeforeCharLiteralOnSameLine) {
+  // Regression: the old lexer consumed the `'` unconditionally, so the
+  // separator glued `1'000'000); g('x` into one pp-number.
+  const LexResult lexed = Lex("f(1'000'000); g('x');");
+  EXPECT_EQ(NumberTexts(lexed), std::vector<std::string>{"1'000'000"});
+  bool saw_char = false;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kChar && token.text == "x") saw_char = true;
+  }
+  EXPECT_TRUE(saw_char);
+}
+
+TEST(SourceLexer, HexFloatExponentSignStaysAttached) {
+  EXPECT_EQ(NumberTexts(Lex("double d = 0x1.8p+3;")),
+            std::vector<std::string>{"0x1.8p+3"});
+  EXPECT_EQ(NumberTexts(Lex("double e = 1e-9;")),
+            std::vector<std::string>{"1e-9"});
+}
+
+TEST(SourceLexer, HexIntegerPlusIdentifierStaysThreeTokens) {
+  // `e` inside 0xFE is a hex digit, not a decimal exponent marker: the `+`
+  // must be an operator, not part of the literal.
+  const LexResult lexed = Lex("int n = 0xFE+count;");
+  EXPECT_EQ(NumberTexts(lexed), std::vector<std::string>{"0xFE"});
+  bool saw_plus = false;
+  bool saw_count = false;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kPunct && token.text == "+") saw_plus = true;
+    if (token.kind == TokenKind::kIdentifier && token.text == "count") {
+      saw_count = true;
+    }
+  }
+  EXPECT_TRUE(saw_plus);
+  EXPECT_TRUE(saw_count);
 }
 
 // ---------------------------------------------------------------------------
@@ -373,18 +417,271 @@ TEST(LintL6, MemberNamedMmapExempt) {
 }
 
 // ---------------------------------------------------------------------------
+// L7 — view escapes out of the owning grid/arena's lifetime.
+// ---------------------------------------------------------------------------
+
+TEST(LintL7, ViewMemberWithoutOwnsContractFires) {
+  const auto diagnostics = LintSource("src/core/fixture.cc",
+                                      "class Cache {\n"
+                                      " public:\n"
+                                      "  void Fill();\n"
+                                      " private:\n"
+                                      "  std::string_view last_;\n"
+                                      "};\n");
+  ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L7"});
+  EXPECT_EQ(diagnostics[0].line, 5);
+}
+
+TEST(LintL7, OwnsContractSanctionsViewMembers) {
+  EXPECT_TRUE(LintSource("src/csv/fixture.h",
+                         "class Table {\n"
+                         " private:\n"
+                         "  // aggrecol-lint: owns(arena_)\n"
+                         "  std::vector<std::string_view> cells_;\n"
+                         "  std::shared_ptr<CellArena> arena_;\n"
+                         "};\n")
+                  .empty());
+}
+
+TEST(LintL7, OwnsContractMustNameAnOwningMember) {
+  const auto diagnostics = LintSource("src/core/fixture.h",
+                                      "class Bad {\n"
+                                      " private:\n"
+                                      "  // aggrecol-lint: owns(missing_)\n"
+                                      "  std::string_view view_;\n"
+                                      "  int count_ = 0;\n"
+                                      "};\n");
+  ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L7"});
+  EXPECT_NE(diagnostics[0].message.find("missing_"), std::string::npos);
+}
+
+TEST(LintL7, NamespaceScopeViewNeedsLiteralInit) {
+  EXPECT_EQ(RulesFired(LintSource("src/eval/fixture.cc",
+                                  "std::string_view g_name = Compute();\n")),
+            std::vector<std::string>{"L7"});
+  EXPECT_TRUE(LintSource("src/eval/fixture.cc",
+                         "constexpr std::string_view kName = \"numfmt\";\n")
+                  .empty());
+}
+
+TEST(LintL7, ReturningViewOfLocalOwnerFires) {
+  const auto diagnostics =
+      LintSource("src/core/fixture.cc",
+                 "std::string_view Leak() {\n"
+                 "  std::string buffer = Build();\n"
+                 "  return std::string_view(buffer);\n"
+                 "}\n");
+  ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L7"});
+  EXPECT_EQ(diagnostics[0].line, 3);
+}
+
+TEST(LintL7, ReturningViewOfStringTemporaryFires) {
+  const auto diagnostics = LintSource(
+      "src/core/fixture.cc",
+      "std::string_view Label(int x) { return std::string(\"v\") + S(x); }\n");
+  EXPECT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L7"});
+}
+
+TEST(LintL7, StoringBorrowedViewIntoMemberFires) {
+  const auto diagnostics = LintSource("src/core/fixture.cc",
+                                      "void Cache::Fill() {\n"
+                                      "  std::string local = Load();\n"
+                                      "  last_ = std::string_view(local);\n"
+                                      "}\n");
+  ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L7"});
+  EXPECT_EQ(diagnostics[0].line, 3);
+}
+
+TEST(LintL7, TaintFlowsThroughViewLocals) {
+  // The borrow is laundered through an intermediate view local; the member
+  // store must still be caught.
+  const auto diagnostics = LintSource("src/core/fixture.cc",
+                                      "void Cache::Fill() {\n"
+                                      "  std::string local = Load();\n"
+                                      "  std::string_view v = local;\n"
+                                      "  names_.push_back(v);\n"
+                                      "}\n");
+  ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L7"});
+  EXPECT_EQ(diagnostics[0].line, 4);
+}
+
+TEST(LintL7, StaticViewOfLocalOwnerFires) {
+  const auto diagnostics = LintSource(
+      "src/core/fixture.cc",
+      "void F() {\n"
+      "  std::string buffer = Load();\n"
+      "  static std::string_view cached = std::string_view(buffer);\n"
+      "}\n");
+  EXPECT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L7"});
+}
+
+TEST(LintL7, BorrowsOfParametersAndMembersAreFine) {
+  // Views of parameters/members outlive the call by the caller's contract;
+  // scalar reads from owners are not borrows at all.
+  EXPECT_TRUE(LintSource("src/core/fixture.cc",
+                         "std::string_view Trim(std::string_view text) {\n"
+                         "  return text.substr(1);\n"
+                         "}\n"
+                         "void Cache::Fill() {\n"
+                         "  csv::Grid grid = Load();\n"
+                         "  count_ = grid.rows();\n"
+                         "}\n")
+                  .empty());
+}
+
+TEST(LintL7, SuppressionWithReasonCoversMember) {
+  EXPECT_TRUE(
+      LintSource("src/core/fixture.cc",
+                 "class Cursor {\n"
+                 " private:\n"
+                 "  // aggrecol-lint: allow(L7): borrower dies with the frame\n"
+                 "  std::string_view text_;\n"
+                 "};\n")
+          .empty());
+}
+
+TEST(LintL7, OnlyPipelinePathsAreInScope) {
+  const std::string source = "class C { std::string_view v_; };\n";
+  EXPECT_TRUE(LintSource("tests/fixture.cc", source).empty());
+  EXPECT_TRUE(LintSource("src/cli/fixture.cc", source).empty());
+  EXPECT_TRUE(LintSource("tools/lint/fixture.cc", source).empty());
+}
+
+// ---------------------------------------------------------------------------
+// L8 — allocation inside registered hot-path functions.
+// ---------------------------------------------------------------------------
+
+TEST(LintL8, StringConstructionInHotPathFires) {
+  const auto diagnostics = LintSource(
+      "src/core/window_strategy.cc",
+      "void WindowStrategy::TestWindows(const Grid& grid) {\n"
+      "  std::string copy(grid.at(0, 0));\n"
+      "}\n");
+  ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L8"});
+  EXPECT_EQ(diagnostics[0].line, 2);
+}
+
+TEST(LintL8, NewAndAllocatingHelpersFire) {
+  const auto diagnostics =
+      LintSource("src/core/window_strategy.cc",
+                 "void WindowStrategy::TestWindows(const Grid& grid) {\n"
+                 "  int* scratch = new int[8];\n"
+                 "  const auto parts = Split(text, ',');\n"
+                 "}\n");
+  EXPECT_EQ(RulesFired(diagnostics), (std::vector<std::string>{"L8", "L8"}));
+}
+
+TEST(LintL8, NonRegisteredFunctionsInHotFilesMayAllocate) {
+  EXPECT_TRUE(LintSource(
+                  "src/core/window_strategy.cc",
+                  "void WindowStrategy::TestWindows(const Grid& g) { Use(g); }\n"
+                  "std::string Describe() { return std::string(\"w\"); }\n")
+                  .empty());
+}
+
+TEST(LintL8, RenamedHotPathFunctionIsItselfAViolation) {
+  // Registered names must keep existing; a rename would silently drop
+  // coverage otherwise.
+  const auto diagnostics = LintSource("src/core/window_strategy.cc",
+                                      "void SomethingElse() { int x = 0; }\n");
+  ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L8"});
+  EXPECT_NE(diagnostics[0].message.find("TestWindows"), std::string::npos);
+}
+
+TEST(LintL8, NonHotFilesAreOutOfScope) {
+  EXPECT_TRUE(
+      LintSource("src/core/fixture.cc",
+                 "void TestWindows() { std::string s = std::string(\"x\"); }\n")
+          .empty());
+}
+
+TEST(LintL8, SuppressionWithReasonCovers) {
+  EXPECT_TRUE(LintSource(
+                  "src/core/window_strategy.cc",
+                  "void WindowStrategy::TestWindows(const Grid& grid) {\n"
+                  "  // aggrecol-lint: allow(L8): one-time setup, not per-cell\n"
+                  "  std::string header(grid.at(0, 0));\n"
+                  "}\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// L9 — include-graph layering.
+// ---------------------------------------------------------------------------
+
+TEST(LintL9, CoreIncludingCliFires) {
+  const auto diagnostics =
+      LintSource("src/core/fixture.cc", "#include \"cli/args.h\"\n");
+  ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L9"});
+  EXPECT_EQ(diagnostics[0].line, 1);
+}
+
+TEST(LintL9, NumfmtIncludingSinksAndEvalFires) {
+  const auto diagnostics =
+      LintSource("src/numfmt/fixture.cc",
+                 "#include \"eval/metrics.h\"\n"
+                 "#include \"obs/sinks.h\"\n");
+  EXPECT_EQ(RulesFired(diagnostics), (std::vector<std::string>{"L9", "L9"}));
+}
+
+TEST(LintL9, CsvIncludingCoreFires) {
+  EXPECT_EQ(RulesFired(LintSource("src/csv/fixture.cc",
+                                  "#include \"core/line_index.h\"\n")),
+            std::vector<std::string>{"L9"});
+}
+
+TEST(LintL9, AllowedEdgesPass) {
+  // core -> csv, core -> obs metrics, eval -> anything: all sanctioned.
+  EXPECT_TRUE(LintSource("src/core/fixture.cc",
+                         "#include \"csv/grid.h\"\n"
+                         "#include \"obs/metrics.h\"\n"
+                         "#include \"numfmt/number_format.h\"\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintSource("src/eval/fixture.cc", "#include \"cli/args.h\"\n").empty());
+}
+
+TEST(LintL9, TransitiveChainsAreReportedThroughTheGraph) {
+  IncludeGraph graph;
+  graph.AddFile("src/core/a.h", {{"src/util/b.h", 1}});
+  graph.AddFile("src/util/b.h", {{"src/cli/args.h", 3}});
+  Options options;
+  options.include_graph = &graph;
+  const auto diagnostics =
+      LintSource("src/core/a.h", "#include \"util/b.h\"\n", options);
+  ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L9"});
+  EXPECT_NE(diagnostics[0].message.find(
+                "src/core/a.h -> src/util/b.h -> src/cli/args.h"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// io — unreadable inputs are diagnostics, not silent skips.
+// ---------------------------------------------------------------------------
+
+TEST(LintIo, MissingRootTreesAreReported) {
+  const auto diagnostics = LintTree("/nonexistent/aggrecol-lint-root");
+  ASSERT_EQ(diagnostics.size(), 4u);  // src, tests, bench, tools
+  for (const Diagnostic& diagnostic : diagnostics) {
+    EXPECT_EQ(diagnostic.rule, "io");
+    EXPECT_EQ(diagnostic.line, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Registry and the repository itself.
 // ---------------------------------------------------------------------------
 
-TEST(LintRegistry, SixRulesWithStableIds) {
+TEST(LintRegistry, NineRulesWithStableIds) {
   const auto& rules = Rules();
-  ASSERT_EQ(rules.size(), 6u);
-  const std::vector<std::string> expected = {"L1", "L2", "L3",
-                                             "L4", "L5", "L6"};
+  ASSERT_EQ(rules.size(), 9u);
+  const std::vector<std::string> expected = {"L1", "L2", "L3", "L4", "L5",
+                                             "L6", "L7", "L8", "L9"};
   for (size_t i = 0; i < rules.size(); ++i) {
     EXPECT_EQ(rules[i].id, expected[i]);
     EXPECT_FALSE(rules[i].name.empty());
     EXPECT_FALSE(rules[i].summary.empty());
+    EXPECT_FALSE(rules[i].paths.empty());
   }
 }
 
@@ -395,13 +692,13 @@ TEST(LintRepository, RepositoryLintsClean) {
     ADD_FAILURE() << diagnostic.path << ":" << diagnostic.line << " ["
                   << diagnostic.rule << "] " << diagnostic.message;
   }
-  // Sanity: the walk actually visited the three trees.
+  // Sanity: the walk actually visited all four trees.
   EXPECT_GT(scanned.size(), 100u);
   std::set<std::string> roots;
   for (const std::string& path : scanned) {
     roots.insert(path.substr(0, path.find('/')));
   }
-  EXPECT_EQ(roots, (std::set<std::string>{"bench", "src", "tests"}));
+  EXPECT_EQ(roots, (std::set<std::string>{"bench", "src", "tests", "tools"}));
 }
 
 }  // namespace

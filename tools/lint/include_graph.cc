@@ -1,0 +1,90 @@
+#include "tools/lint/include_graph.h"
+
+#include <deque>
+#include <set>
+
+namespace aggrecol::lint {
+namespace {
+
+// First-segment dispatch mirroring tools/tests' include style: src
+// subdirectories are included without the "src/" prefix, everything under
+// tools/tests/bench is included repo-relative.
+const std::set<std::string>& SrcSegments() {
+  static const std::set<std::string> kSegments = {
+      "baselines", "cellclass", "cli",       "core", "csv", "datagen",
+      "eval",      "numfmt",    "obs",       "structure", "util"};
+  return kSegments;
+}
+
+}  // namespace
+
+std::string ResolveInclude(const std::string& include_text) {
+  const size_t slash = include_text.find('/');
+  if (slash == std::string::npos) return "";  // external or flat header
+  const std::string segment = include_text.substr(0, slash);
+  if (SrcSegments().count(segment) > 0) return "src/" + include_text;
+  if (segment == "tools" || segment == "tests" || segment == "bench") {
+    return include_text;
+  }
+  return "";
+}
+
+std::vector<IncludeEdge> ExtractIncludes(const std::vector<Token>& tokens) {
+  std::vector<IncludeEdge> edges;
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kPunct || tokens[i].text != "#") continue;
+    if (tokens[i + 1].kind != TokenKind::kIdentifier ||
+        tokens[i + 1].text != "include") {
+      continue;
+    }
+    if (tokens[i + 2].kind != TokenKind::kString) continue;  // <...> system
+    const std::string resolved = ResolveInclude(tokens[i + 2].text);
+    if (resolved.empty()) continue;
+    edges.push_back(IncludeEdge{resolved, tokens[i].line});
+  }
+  return edges;
+}
+
+void IncludeGraph::AddFile(const std::string& relpath,
+                           const std::vector<IncludeEdge>& includes) {
+  std::vector<std::string>& out = edges_[relpath];
+  for (const IncludeEdge& edge : includes) out.push_back(edge.target);
+}
+
+std::vector<std::string> IncludeGraph::ChainToAny(
+    const std::string& from,
+    const std::vector<std::string>& forbidden_prefixes) const {
+  const auto forbidden = [&forbidden_prefixes](const std::string& path) {
+    for (const std::string& prefix : forbidden_prefixes) {
+      if (path.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+  };
+  // BFS recording each node's predecessor; the start node itself is never a
+  // violation (a file trivially "reaches" itself).
+  std::map<std::string, std::string> parent;
+  std::deque<std::string> queue;
+  parent[from] = "";
+  queue.push_back(from);
+  while (!queue.empty()) {
+    const std::string current = queue.front();
+    queue.pop_front();
+    const auto it = edges_.find(current);
+    if (it == edges_.end()) continue;
+    for (const std::string& next : it->second) {
+      if (parent.count(next) > 0) continue;
+      parent[next] = current;
+      if (forbidden(next)) {
+        std::vector<std::string> chain;
+        for (std::string node = next; !node.empty(); node = parent[node]) {
+          chain.push_back(node);
+        }
+        return {chain.rbegin(), chain.rend()};
+      }
+      queue.push_back(next);
+    }
+  }
+  return {};
+}
+
+}  // namespace aggrecol::lint

@@ -1,0 +1,51 @@
+#ifndef AGGRECOL_TOOLS_LINT_INCLUDE_GRAPH_H_
+#define AGGRECOL_TOOLS_LINT_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/source_lexer.h"
+
+namespace aggrecol::lint {
+
+/// One `#include "..."` directive found in a file.
+struct IncludeEdge {
+  std::string target;  // repo-relative resolved path, e.g. "src/csv/grid.h"
+  int line = 1;        // line of the directive
+};
+
+/// Resolves a quoted include path against this project's -I roots (src/ and
+/// the repo root) to a repo-relative path. Returns "" for external headers
+/// (gtest, system libraries).
+std::string ResolveInclude(const std::string& include_text);
+
+/// Extracts every `#include "..."` directive from a lexed file, resolved via
+/// ResolveInclude. External includes are dropped.
+std::vector<IncludeEdge> ExtractIncludes(const std::vector<Token>& tokens);
+
+/// The project's include graph: repo-relative file path -> files it directly
+/// includes. Built from every scanned file so the layering rule (L9) can
+/// report transitive violations with the offending chain, not just direct
+/// edges.
+class IncludeGraph {
+ public:
+  void AddFile(const std::string& relpath,
+               const std::vector<IncludeEdge>& includes);
+
+  /// Shortest include chain (BFS) from `from` to any known file whose path
+  /// starts with one of `forbidden_prefixes`. The returned chain starts with
+  /// `from` and ends at the forbidden file; empty when unreachable.
+  std::vector<std::string> ChainToAny(
+      const std::string& from,
+      const std::vector<std::string>& forbidden_prefixes) const;
+
+  bool empty() const { return edges_.empty(); }
+
+ private:
+  std::map<std::string, std::vector<std::string>> edges_;
+};
+
+}  // namespace aggrecol::lint
+
+#endif  // AGGRECOL_TOOLS_LINT_INCLUDE_GRAPH_H_

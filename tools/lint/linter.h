@@ -5,13 +5,16 @@
 #include <string_view>
 #include <vector>
 
+#include "tools/lint/include_graph.h"
+
 namespace aggrecol::lint {
 
-/// One violation (or malformed suppression) found in a file.
+/// One violation (or malformed suppression / unreadable input) found while
+/// linting.
 struct Diagnostic {
   std::string path;     // repo-relative, forward slashes
-  int line = 0;         // 1-based
-  std::string rule;     // "L1".."L6", or "suppression" for directive errors
+  int line = 0;         // 1-based; 0 for whole-file problems (rule "io")
+  std::string rule;     // "L1".."L9", "suppression", or "io"
   std::string message;  // human-readable explanation
 
   friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
@@ -19,9 +22,10 @@ struct Diagnostic {
 
 /// A compiled rule, for --list-rules and the docs drift check.
 struct RuleInfo {
-  std::string id;       // "L1".."L6"
+  std::string id;       // "L1".."L9"
   std::string name;     // short kebab-case name
   std::string summary;  // one-line description
+  std::string paths;    // human-readable enforced-path description
 };
 
 /// The compiled rule registry, in id order. docs/STATIC_ANALYSIS.md is
@@ -32,6 +36,11 @@ struct Options {
   /// Contents of docs/OBSERVABILITY.md; the catalog rule L5 checks obs
   /// metric-name literals against. When empty, L5 is skipped.
   std::string obs_catalog;
+
+  /// Whole-project include graph for the layering rule L9. When null, L9
+  /// still checks the file's direct includes but cannot report transitive
+  /// chains. LintTree builds and wires this automatically.
+  const IncludeGraph* include_graph = nullptr;
 };
 
 /// Lints one translation unit. `relpath` is the repo-relative path with
@@ -43,9 +52,11 @@ std::vector<Diagnostic> LintSource(std::string_view relpath,
                                    std::string_view content,
                                    const Options& options = {});
 
-/// Walks `root`'s src/, tests/, and bench/ trees (every .cc/.h file, sorted
-/// order) and lints each file; loads docs/OBSERVABILITY.md from `root` as the
-/// L5 catalog. `scanned`, when non-null, receives the repo-relative paths
+/// Walks `root`'s src/, tests/, bench/, and tools/ trees (every .cc/.h file,
+/// sorted order), builds the include graph, and lints each file; loads
+/// docs/OBSERVABILITY.md from `root` as the L5 catalog. Unreadable files and
+/// missing roots are reported as rule "io" diagnostics, never skipped
+/// silently. `scanned`, when non-null, receives the repo-relative paths
 /// visited.
 std::vector<Diagnostic> LintTree(const std::string& root,
                                  std::vector<std::string>* scanned = nullptr);

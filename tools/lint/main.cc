@@ -1,13 +1,53 @@
 // aggrecol-lint: the project-invariant static analysis pass. Walks src/,
-// tests/, and bench/ and enforces the rules documented in
+// tests/, bench/, and tools/ and enforces the rules documented in
 // docs/STATIC_ANALYSIS.md (L1 locale-parse, L2 float-compare, L3
-// nondeterminism, L4 raw-thread, L5 obs-catalog). Exit status 1 when any
-// violation is found, so CI can gate on it.
+// nondeterminism, L4 raw-thread, L5 obs-catalog, L6 mmap-owner, L7
+// view-escape, L8 hot-path-alloc, L9 layering). Exit status 1 when any
+// violation (or unreadable input) is found, so CI can gate on it.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "tools/lint/linter.h"
+
+namespace {
+
+// JSON string escaping for --format=json: quotes, backslashes, and control
+// characters.
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using aggrecol::lint::Diagnostic;
@@ -16,19 +56,31 @@ int main(int argc, char** argv) {
   using aggrecol::lint::Rules;
 
   std::string root = ".";
+  std::string format = "text";
   bool list_rules = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--root=", 0) == 0) {
       root = arg.substr(7);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::fprintf(stderr, "aggrecol-lint: unknown format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: aggrecol-lint [--root=DIR] [--list-rules]\n\n"
-          "Lints DIR's src/, tests/, and bench/ trees against the project\n"
-          "invariants in docs/STATIC_ANALYSIS.md. Suppress a finding with\n"
-          "  // aggrecol-lint: allow(<rule>): <reason>\n");
+          "usage: aggrecol-lint [--root=DIR] [--format=text|json] "
+          "[--list-rules]\n\n"
+          "Lints DIR's src/, tests/, bench/, and tools/ trees against the\n"
+          "project invariants in docs/STATIC_ANALYSIS.md. Suppress a finding\n"
+          "with\n"
+          "  // aggrecol-lint: allow(<rule>): <reason>\n"
+          "and sanction intentional view sharing (rule L7) with\n"
+          "  // aggrecol-lint: owns(<member>)\n");
       return 0;
     } else {
       std::fprintf(stderr, "aggrecol-lint: unknown argument '%s'\n",
@@ -39,14 +91,30 @@ int main(int argc, char** argv) {
 
   if (list_rules) {
     for (const RuleInfo& rule : Rules()) {
-      std::printf("%s  %-16s %s\n", rule.id.c_str(), rule.name.c_str(),
-                  rule.summary.c_str());
+      std::printf("%s  %-16s %-55s %s\n", rule.id.c_str(), rule.name.c_str(),
+                  rule.paths.c_str(), rule.summary.c_str());
     }
     return 0;
   }
 
   std::vector<std::string> scanned;
   const std::vector<Diagnostic> diagnostics = LintTree(root, &scanned);
+
+  if (format == "json") {
+    std::printf("{\n  \"files_scanned\": %zu,\n  \"diagnostics\": [",
+                scanned.size());
+    for (size_t i = 0; i < diagnostics.size(); ++i) {
+      const Diagnostic& d = diagnostics[i];
+      std::printf(
+          "%s\n    {\"path\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+          "\"message\": \"%s\"}",
+          i == 0 ? "" : ",", JsonEscape(d.path).c_str(), d.line,
+          JsonEscape(d.rule).c_str(), JsonEscape(d.message).c_str());
+    }
+    std::printf("%s]\n}\n", diagnostics.empty() ? "" : "\n  ");
+    return diagnostics.empty() ? 0 : 1;
+  }
+
   for (const Diagnostic& diagnostic : diagnostics) {
     std::printf("%s:%d: [%s] %s\n", diagnostic.path.c_str(), diagnostic.line,
                 diagnostic.rule.c_str(), diagnostic.message.c_str());

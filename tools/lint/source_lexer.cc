@@ -100,11 +100,13 @@ class Lexer {
     HarvestSuppressions(source_.substr(start, pos_ - start), start_line);
   }
 
-  // Parses every `aggrecol-lint: allow(<rule>)[: reason]` inside `comment`.
+  // Parses every `aggrecol-lint: allow(<rule>)[: reason]` and
+  // `aggrecol-lint: owns(<member>)` inside `comment`.
   void HarvestSuppressions(std::string_view comment, int line) {
     const bool own_line = last_code_line_ != line;
     size_t cursor = comment.find("aggrecol-lint:");
     if (cursor == std::string_view::npos) return;
+    HarvestOwns(comment, cursor, line);
     while ((cursor = comment.find("allow(", cursor)) != std::string_view::npos) {
       cursor += 6;
       const size_t close = comment.find(')', cursor);
@@ -113,6 +115,19 @@ class Lexer {
       suppression.line = line;
       suppression.rule = std::string(comment.substr(cursor, close - cursor));
       suppression.own_line = own_line;
+      // Documentation that *describes* the directive grammar (e.g.
+      // `allow(<rule>)` in this very file) is not a real suppression: rule
+      // ids are purely alphanumeric.
+      bool plausible_rule = !suppression.rule.empty();
+      for (const char c : suppression.rule) {
+        if (std::isalnum(static_cast<unsigned char>(c)) == 0) {
+          plausible_rule = false;
+        }
+      }
+      if (!plausible_rule) {
+        cursor = close;
+        continue;
+      }
       // A mandatory reason: `: non-empty text` after the closing paren.
       size_t after = close + 1;
       while (after < comment.size() &&
@@ -130,6 +145,28 @@ class Lexer {
       }
       result_.suppressions.push_back(std::move(suppression));
       cursor = close;
+    }
+  }
+
+  // Parses every `owns(<member>)` contract annotation after an
+  // `aggrecol-lint:` marker. Member names are identifiers (possibly with a
+  // trailing underscore); anything else is documentation, not a contract.
+  void HarvestOwns(std::string_view comment, size_t cursor, int line) {
+    while ((cursor = comment.find("owns(", cursor)) != std::string_view::npos) {
+      cursor += 5;
+      const size_t close = comment.find(')', cursor);
+      if (close == std::string_view::npos) return;
+      const std::string member(comment.substr(cursor, close - cursor));
+      cursor = close;
+      if (member.empty()) continue;
+      bool plausible = true;
+      for (const char c : member) {
+        if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_') {
+          plausible = false;
+        }
+      }
+      if (!plausible) continue;
+      result_.owns.push_back(OwnsAnnotation{line, member});
     }
   }
 
@@ -207,18 +244,30 @@ class Lexer {
   }
 
   void LexNumber() {
-    // pp-number: digits, identifier characters, digit separators, '.', and
-    // sign characters directly after an exponent marker.
+    // pp-number per [lex.ppnumber], with two practical narrowings: a digit
+    // separator `'` continues the number only when followed by an identifier
+    // character (so `f(1'000'000); g('x')` never swallows the char literal),
+    // and exponent signs attach only to the marker the literal's base uses
+    // (e/E for decimal, p/P for hex floats — so `0xFE+count` stays three
+    // tokens instead of the standard's pathological one).
     const int start_line = line_;
     std::string text;
+    const bool hex = source_[pos_] == '0' &&
+                     (Peek(1) == 'x' || Peek(1) == 'X');
     while (pos_ < source_.size()) {
       const char c = source_[pos_];
-      if (IsIdentBody(c) || c == '.' || c == '\'') {
+      if (c == '\'') {
+        if (!IsIdentBody(Peek(1))) break;  // a following char literal
         text += c;
         ++pos_;
-        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
-            text.find('x') == std::string::npos &&
-            (Peek(0) == '+' || Peek(0) == '-')) {
+        continue;
+      }
+      if (IsIdentBody(c) || c == '.') {
+        text += c;
+        ++pos_;
+        const bool exponent = hex ? (c == 'p' || c == 'P')
+                                  : (c == 'e' || c == 'E');
+        if (exponent && (Peek(0) == '+' || Peek(0) == '-')) {
           text += source_[pos_];
           ++pos_;
         }

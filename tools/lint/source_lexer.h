@@ -33,9 +33,18 @@ struct Suppression {
   bool own_line = false;    // comment had no code before it on its line
 };
 
+/// A `aggrecol-lint: owns(<member>)` contract annotation found in a comment:
+/// the class declares that views stored in nearby members borrow from the
+/// named owning member (a shared arena), sanctioning them for rule L7.
+struct OwnsAnnotation {
+  int line = 1;         // line the annotation's comment starts on
+  std::string member;   // the owner member name inside owns(...)
+};
+
 struct LexResult {
   std::vector<Token> tokens;
   std::vector<Suppression> suppressions;
+  std::vector<OwnsAnnotation> owns;
 };
 
 /// Tokenizes C++ source. Handles //, /* */, string/char literals with

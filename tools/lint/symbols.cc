@@ -1,0 +1,434 @@
+#include "tools/lint/symbols.h"
+
+#include <set>
+
+namespace aggrecol::lint {
+namespace {
+
+bool IsPunct(const Token& token, std::string_view text) {
+  return token.kind == TokenKind::kPunct && token.text == text;
+}
+
+bool IsIdent(const Token& token, std::string_view text) {
+  return token.kind == TokenKind::kIdentifier && token.text == text;
+}
+
+// Keywords that precede '(' without naming a function.
+bool IsControlKeyword(const std::string& text) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",     "while",    "switch",        "catch",
+      "return",   "sizeof",  "alignof",  "alignas",       "decltype",
+      "noexcept", "defined", "__attribute__", "static_assert", "throw"};
+  return kKeywords.count(text) > 0;
+}
+
+// Qualifier tokens that may sit between a function's ')' and its body '{'.
+bool IsTrailingQualifier(const Token& token) {
+  if (token.kind == TokenKind::kIdentifier) {
+    static const std::set<std::string> kQualifiers = {
+        "const", "noexcept", "override", "final", "mutable", "volatile"};
+    return kQualifiers.count(token.text) > 0;
+  }
+  return IsPunct(token, "&") || IsPunct(token, "&&");
+}
+
+size_t MatchParen(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (IsPunct(tokens[i], "(")) ++depth;
+    if (IsPunct(tokens[i], ")")) {
+      if (--depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+
+class Indexer {
+ public:
+  explicit Indexer(const std::vector<Token>& tokens) : t_(tokens) {}
+
+  SymbolIndex Run() {
+    ParseRegion(0, t_.size(), "");
+    return std::move(out_);
+  }
+
+ private:
+  // Skips a preprocessor directive: every token on the directive's line,
+  // following backslash line continuations.
+  size_t SkipDirective(size_t i) {
+    int line = t_[i].line;
+    while (i < t_.size() && t_[i].line == line) {
+      if (IsPunct(t_[i], "\\") &&
+          (i + 1 >= t_.size() || t_[i + 1].line == line + 1)) {
+        line = line + 1;
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  // Skips a balanced template argument list starting at '<'. `>>` closes two.
+  size_t SkipAngles(size_t i) {
+    int depth = 0;
+    for (; i < t_.size(); ++i) {
+      if (IsPunct(t_[i], "<")) ++depth;
+      if (IsPunct(t_[i], ">")) --depth;
+      if (IsPunct(t_[i], ">>")) depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+    return i;
+  }
+
+  // From the ')' closing a parameter list, walks trailing qualifiers
+  // (including noexcept(...)), a trailing return type, and a constructor
+  // initializer list. Returns the index of the body '{' or of a pure
+  // declaration's ';', or kNone when neither pattern follows.
+  size_t FindBodyOrSemicolon(size_t close) {
+    size_t j = close + 1;
+    while (j < t_.size() && IsTrailingQualifier(t_[j])) {
+      const bool was_noexcept = IsIdent(t_[j], "noexcept");
+      ++j;
+      if (was_noexcept && j < t_.size() && IsPunct(t_[j], "(")) {
+        j = MatchParen(t_, j) + 1;
+      }
+    }
+    if (j < t_.size() && IsPunct(t_[j], "->")) {
+      ++j;  // trailing return type: idents, ::, <...>, &, *
+      while (j < t_.size() &&
+             (t_[j].kind == TokenKind::kIdentifier || IsPunct(t_[j], "::") ||
+              IsPunct(t_[j], "&") || IsPunct(t_[j], "*"))) {
+        ++j;
+        if (j < t_.size() && IsPunct(t_[j], "<")) j = SkipAngles(j);
+      }
+    }
+    if (j < t_.size() && IsPunct(t_[j], ":")) {
+      // Constructor initializer list: ident followed by (...) or {...},
+      // comma-separated, then the body '{'.
+      ++j;
+      while (j < t_.size() && t_[j].kind == TokenKind::kIdentifier) {
+        ++j;
+        if (j < t_.size() && IsPunct(t_[j], "<")) j = SkipAngles(j);
+        if (j < t_.size() && IsPunct(t_[j], "(")) {
+          j = MatchParen(t_, j) + 1;
+        } else if (j < t_.size() && IsPunct(t_[j], "{")) {
+          j = MatchBrace(t_, j) + 1;
+        } else {
+          break;
+        }
+        if (j < t_.size() && IsPunct(t_[j], ",")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+    }
+    if (j < t_.size() && (IsPunct(t_[j], "{") || IsPunct(t_[j], ";"))) {
+      return j;
+    }
+    return kNone;
+  }
+
+  // The name tokens directly before the parameter-list '(': an identifier,
+  // optionally '~'-prefixed or 'Class::'-qualified, or 'operator' + punct.
+  // Returns false when the '(' does not belong to a function declarator.
+  bool NameBefore(size_t open, std::string* name, std::string* qualifier,
+                  size_t* name_begin) {
+    if (open == 0) return false;
+    const Token& prev = t_[open - 1];
+    size_t begin = open - 1;
+    if (prev.kind == TokenKind::kIdentifier) {
+      if (IsControlKeyword(prev.text)) return false;
+      *name = prev.text;
+      if (begin > 0 && IsPunct(t_[begin - 1], "~")) {
+        *name = "~" + *name;
+        --begin;
+      }
+    } else if (prev.kind == TokenKind::kPunct && open >= 2 &&
+               IsIdent(t_[open - 2], "operator")) {
+      *name = "operator" + prev.text;
+      begin = open - 2;
+    } else {
+      return false;
+    }
+    if (begin >= 2 && IsPunct(t_[begin - 1], "::") &&
+        t_[begin - 2].kind == TokenKind::kIdentifier) {
+      *qualifier = t_[begin - 2].text;
+      begin -= 2;
+    }
+    *name_begin = begin;
+    return true;
+  }
+
+  // Best-effort leading declaration tokens for the declarator starting at
+  // `name_begin`: walks back over type-ish tokens, stopping at statement
+  // punctuation or `stop`.
+  std::string LeadingType(size_t name_begin, size_t stop) {
+    size_t b = name_begin;
+    while (b > stop) {
+      const Token& token = t_[b - 1];
+      const bool type_ish =
+          token.kind == TokenKind::kIdentifier || IsPunct(token, "::") ||
+          IsPunct(token, "<") || IsPunct(token, ">") || IsPunct(token, ">>") ||
+          IsPunct(token, "&") || IsPunct(token, "*") || IsPunct(token, ",");
+      if (!type_ish) break;
+      --b;
+    }
+    std::string joined;
+    for (size_t k = b; k < name_begin; ++k) {
+      if (!joined.empty()) joined += ' ';
+      joined += t_[k].text;
+    }
+    return joined;
+  }
+
+  void RecordFunction(const std::string& cls, const std::string& name,
+                      const std::string& qualifier, size_t name_begin,
+                      size_t stmt_begin, size_t body_open) {
+    FunctionDef fn;
+    fn.name = name;
+    const std::string scope = !qualifier.empty() ? qualifier : cls;
+    fn.qualified = scope.empty() ? name : scope + "::" + name;
+    fn.line = t_[name_begin].line;
+    fn.return_type = LeadingType(name_begin, stmt_begin);
+    fn.body_begin = body_open;
+    fn.body_end = MatchBrace(t_, body_open) + 1;
+    out_.functions.push_back(std::move(fn));
+  }
+
+  void RecordVariable(size_t begin, size_t semi, size_t assign,
+                      size_t init_brace, const std::string& cls) {
+    if (semi <= begin) return;
+    size_t name_end = semi;
+    if (assign != kNone && assign < name_end) name_end = assign;
+    if (init_brace != kNone && init_brace < name_end) name_end = init_brace;
+    // `name[N]` arrays: the name sits before the '['.
+    size_t k = name_end;
+    while (k > begin && (IsPunct(t_[k - 1], "]") || IsPunct(t_[k - 1], "[") ||
+                         t_[k - 1].kind == TokenKind::kNumber)) {
+      --k;
+    }
+    if (k == begin || t_[k - 1].kind != TokenKind::kIdentifier) return;
+    const size_t name_index = k - 1;
+    const std::string type = LeadingType(name_index, begin);
+    if (type.empty()) return;  // expression statement, not a declaration
+    bool literal = true;
+    size_t init_start = semi;
+    if (assign != kNone && assign < semi) {
+      init_start = assign + 1;
+    } else if (init_brace != kNone && init_brace < semi) {
+      init_start = init_brace;
+    }
+    for (size_t p = init_start; p < semi; ++p) {
+      if (t_[p].kind == TokenKind::kIdentifier) literal = false;
+    }
+    if (!cls.empty()) {
+      if (current_class_ == kNone) return;
+      MemberVar member;
+      member.type = type;
+      member.name = t_[name_index].text;
+      member.line = t_[name_index].line;
+      member.constexpr_literal =
+          type.find("constexpr") != std::string::npos && literal;
+      out_.classes[current_class_].members.push_back(std::move(member));
+    } else {
+      GlobalVar var;
+      var.type = type;
+      var.name = t_[name_index].text;
+      var.line = t_[name_index].line;
+      var.literal_init = literal;
+      out_.globals.push_back(std::move(var));
+    }
+  }
+
+  // One region-level statement starting at `i` that is not a namespace,
+  // class, enum, using, or directive. Returns the index to resume at.
+  size_t ParseStatement(size_t i, size_t end, const std::string& cls) {
+    const size_t stmt_begin = i;
+    size_t first_paren = kNone;
+    size_t assign = kNone;
+    size_t init_brace = kNone;
+    size_t j = i;
+    while (j < end) {
+      const Token& token = t_[j];
+      if (IsPunct(token, ";")) break;
+      if (IsPunct(token, "(")) {
+        const bool control = j > 0 &&
+                             t_[j - 1].kind == TokenKind::kIdentifier &&
+                             IsControlKeyword(t_[j - 1].text);
+        if (first_paren == kNone && assign == kNone && !control) {
+          first_paren = j;
+        }
+        j = MatchParen(t_, j) + 1;
+        continue;
+      }
+      if (IsPunct(token, "=") && assign == kNone) assign = j;
+      if (IsPunct(token, "{")) {
+        // Either a function body or a brace initializer. Decide by replaying
+        // the declarator: a parameter list ')' followed (possibly through
+        // qualifiers / a ctor initializer list) by a '{' is a definition.
+        if (first_paren != kNone && assign == kNone) {
+          std::string name;
+          std::string qualifier;
+          size_t name_begin = 0;
+          if (NameBefore(first_paren, &name, &qualifier, &name_begin)) {
+            const size_t close = MatchParen(t_, first_paren);
+            const size_t body = FindBodyOrSemicolon(close);
+            if (body != kNone && IsPunct(t_[body], "{")) {
+              RecordFunction(cls, name, qualifier, name_begin, stmt_begin,
+                             body);
+              return MatchBrace(t_, body) + 1;
+            }
+            if (body != kNone) return body + 1;  // declaration ';'
+          }
+        }
+        if (init_brace == kNone) init_brace = j;
+        j = MatchBrace(t_, j) + 1;
+        continue;
+      }
+      ++j;
+    }
+    // Statement ended at ';' (or region end). A variable declaration has no
+    // parameter list before the initializer.
+    if (j < end &&
+        (first_paren == kNone || (assign != kNone && first_paren > assign))) {
+      RecordVariable(stmt_begin, j, assign, init_brace, cls);
+    }
+    return j < end ? j + 1 : end;
+  }
+
+  void ParseRegion(size_t begin, size_t end, const std::string& cls) {
+    size_t i = begin;
+    while (i < end) {
+      const Token& token = t_[i];
+      if (IsPunct(token, "#")) {
+        i = SkipDirective(i);
+        continue;
+      }
+      if (IsPunct(token, ";") || IsPunct(token, ":") || IsPunct(token, "}")) {
+        ++i;
+        continue;
+      }
+      if (token.kind == TokenKind::kIdentifier) {
+        if (token.text == "public" || token.text == "private" ||
+            token.text == "protected") {
+          ++i;
+          continue;
+        }
+        if (token.text == "namespace") {
+          size_t j = i + 1;
+          while (j < end && !IsPunct(t_[j], "{") && !IsPunct(t_[j], ";") &&
+                 !IsPunct(t_[j], "=")) {
+            ++j;
+          }
+          if (j < end && IsPunct(t_[j], "{")) {
+            const size_t close = MatchBrace(t_, j);
+            ParseRegion(j + 1, close, "");
+            i = close + 1;
+          } else {
+            while (j < end && !IsPunct(t_[j], ";")) ++j;
+            i = j + 1;
+          }
+          continue;
+        }
+        if (token.text == "enum") {
+          size_t j = i + 1;
+          while (j < end && !IsPunct(t_[j], "{") && !IsPunct(t_[j], ";")) ++j;
+          if (j < end && IsPunct(t_[j], "{")) j = MatchBrace(t_, j);
+          while (j < end && !IsPunct(t_[j], ";")) ++j;
+          i = j + 1;
+          continue;
+        }
+        if (token.text == "using" || token.text == "typedef" ||
+            token.text == "friend" || token.text == "extern") {
+          size_t j = i;
+          while (j < end && !IsPunct(t_[j], ";")) {
+            if (IsPunct(t_[j], "{")) j = MatchBrace(t_, j);
+            ++j;
+          }
+          i = j + 1;
+          continue;
+        }
+        if (token.text == "template") {
+          ++i;
+          if (i < end && IsPunct(t_[i], "<")) i = SkipAngles(i);
+          continue;
+        }
+        if (token.text == "class" || token.text == "struct" ||
+            token.text == "union") {
+          size_t j = i + 1;
+          std::string name;
+          while (j < end && !IsPunct(t_[j], "{") && !IsPunct(t_[j], ";")) {
+            if (name.empty() && t_[j].kind == TokenKind::kIdentifier &&
+                t_[j].text != "final" && t_[j].text != "alignas") {
+              name = t_[j].text;
+            }
+            if (IsPunct(t_[j], "(")) j = MatchParen(t_, j);
+            ++j;
+          }
+          if (j >= end || IsPunct(t_[j], ";")) {
+            i = j + 1;  // forward declaration
+            continue;
+          }
+          const size_t close = MatchBrace(t_, j);
+          ClassDef def;
+          def.name = name.empty() ? "<anonymous>" : name;
+          def.line = token.line;
+          def.end_line = close < t_.size() ? t_[close].line : token.line;
+          def.body_begin = j;
+          def.body_end = close + 1;
+          out_.classes.push_back(std::move(def));
+          const size_t saved = current_class_;
+          const size_t this_class = out_.classes.size() - 1;
+          current_class_ = this_class;
+          // Index, not pointer: nested classes reallocate out_.classes.
+          ParseRegion(j + 1, close, out_.classes[this_class].name);
+          current_class_ = saved;
+          i = close + 1;
+          continue;
+        }
+      }
+      if (IsPunct(token, "{")) {  // stray block (e.g. extern "C" { ... })
+        const size_t close = MatchBrace(t_, i);
+        ParseRegion(i + 1, close, cls);
+        i = close + 1;
+        continue;
+      }
+      i = ParseStatement(i, end, cls);
+    }
+  }
+
+  const std::vector<Token>& t_;
+  SymbolIndex out_;
+  size_t current_class_ = kNone;
+};
+
+}  // namespace
+
+size_t MatchBrace(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind == TokenKind::kPunct && tokens[i].text == "{") ++depth;
+    if (tokens[i].kind == TokenKind::kPunct && tokens[i].text == "}") {
+      if (--depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+const ClassDef* SymbolIndex::EnclosingClass(size_t token_index) const {
+  const ClassDef* best = nullptr;
+  for (const ClassDef& def : classes) {
+    if (def.body_begin <= token_index && token_index < def.body_end) {
+      if (best == nullptr || def.body_begin > best->body_begin) best = &def;
+    }
+  }
+  return best;
+}
+
+SymbolIndex BuildSymbolIndex(const std::vector<Token>& tokens) {
+  return Indexer(tokens).Run();
+}
+
+}  // namespace aggrecol::lint

@@ -1,0 +1,75 @@
+#ifndef AGGRECOL_TOOLS_LINT_SYMBOLS_H_
+#define AGGRECOL_TOOLS_LINT_SYMBOLS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/lint/source_lexer.h"
+
+namespace aggrecol::lint {
+
+/// A function (or method) definition with a body, located by the symbol pass.
+struct FunctionDef {
+  std::string name;       // unqualified: "Build"
+  std::string qualified;  // "LineIndex::Build" for methods, else == name
+  std::string return_type;  // leading declaration tokens, space-joined
+  int line = 0;             // line of the name token
+  size_t body_begin = 0;    // token index of the opening '{'
+  size_t body_end = 0;      // token index one past the matching '}'
+};
+
+/// A member *variable* declaration inside a class/struct (method declarations
+/// are excluded; they surface as FunctionDefs or are skipped).
+struct MemberVar {
+  std::string type;  // declaration tokens before the name, space-joined
+  std::string name;
+  int line = 0;
+  bool constexpr_literal = false;  // constexpr member initialized from literals
+};
+
+/// A class or struct definition and its direct member variables.
+struct ClassDef {
+  std::string name;
+  int line = 0;      // line of the class/struct keyword
+  int end_line = 0;  // line of the closing brace
+  size_t body_begin = 0;  // token index of the opening '{'
+  size_t body_end = 0;    // token index one past the matching '}'
+  std::vector<MemberVar> members;
+};
+
+/// A namespace-scope (or static class-scope) variable declaration.
+struct GlobalVar {
+  std::string type;
+  std::string name;
+  int line = 0;
+  bool literal_init = true;  // initializer is string/char/number literals only
+};
+
+/// The per-file symbol table built by the declaration/scope pass: every
+/// function body with its token range, every class with its member variables,
+/// and namespace-scope variable declarations. Built once per file and shared
+/// by the symbol-aware rules (L7 view-escape, L8 hot-path-alloc).
+struct SymbolIndex {
+  std::vector<FunctionDef> functions;
+  std::vector<ClassDef> classes;
+  std::vector<GlobalVar> globals;
+
+  /// The innermost class whose body token range contains `token_index`, or
+  /// nullptr.
+  const ClassDef* EnclosingClass(size_t token_index) const;
+};
+
+/// Walks the token stream tracking namespace/class/function scopes and
+/// declarations. Purely heuristic — no preprocessor, no templates beyond
+/// angle-bracket matching — but exact on this codebase's style, and it never
+/// throws on arbitrary input.
+SymbolIndex BuildSymbolIndex(const std::vector<Token>& tokens);
+
+/// Returns the index of the '}' matching the '{' at `open` (or tokens.size()
+/// when unbalanced). Exposed for the dataflow pass.
+size_t MatchBrace(const std::vector<Token>& tokens, size_t open);
+
+}  // namespace aggrecol::lint
+
+#endif  // AGGRECOL_TOOLS_LINT_SYMBOLS_H_
