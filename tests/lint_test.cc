@@ -372,6 +372,33 @@ TEST(LintSuppression, UnknownRuleIdIsReported) {
   EXPECT_EQ(RulesFired(diagnostics), std::vector<std::string>{"suppression"});
 }
 
+TEST(LintSuppression, TypodRuleIdIsReportedNotDropped) {
+  // Regression: a malformed id (stray space, comma list) used to be silently
+  // discarded by the plausible-rule filter, leaving the author to believe
+  // the finding was suppressed. It must surface as a "suppression"
+  // diagnostic, and the violation itself must still fire.
+  const auto trailing_space = LintSource(
+      "src/eval/fixture.cc",
+      "double d = std::stod(s);  // aggrecol-lint: allow(L1 ): oops\n");
+  EXPECT_EQ(RulesFired(trailing_space),
+            (std::vector<std::string>{"L1", "suppression"}));
+  const auto comma_list = LintSource(
+      "src/eval/fixture.cc",
+      "double d = std::stod(s);  // aggrecol-lint: allow(L1,L4): oops\n");
+  EXPECT_EQ(RulesFired(comma_list),
+            (std::vector<std::string>{"L1", "suppression"}));
+}
+
+TEST(LintSuppression, GrammarPlaceholderIsDocumentationNotADirective) {
+  // The documented `<rule>` placeholder form describes the grammar (as in
+  // tools/lint/main.cc's usage text) and is not harvested.
+  EXPECT_TRUE(
+      LintSource("src/eval/fixture.cc",
+                 "// aggrecol-lint: allow(<rule>): <reason> — the grammar\n"
+                 "int x = 1;\n")
+          .empty());
+}
+
 TEST(LintSuppression, SuppressionDoesNotLeakToOtherLines) {
   const auto diagnostics = LintSource(
       "src/eval/fixture.cc",
@@ -430,6 +457,24 @@ TEST(LintL7, ViewMemberWithoutOwnsContractFires) {
                                       "};\n");
   ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L7"});
   EXPECT_EQ(diagnostics[0].line, 5);
+}
+
+TEST(LintL7, MemberAfterNestedClassesKeepsOuterScope) {
+  // Regression: the symbol indexer passed the enclosing class name by
+  // reference into the recursive region parse; nested class definitions
+  // reallocated the class vector and the outer name dangled (use-after-free
+  // on src/cellclass/random_forest.h's RandomForest{Node,Tree} shape). The
+  // member after the nested structs must still scope to the outer class.
+  const auto diagnostics = LintSource("src/cellclass/fixture.h",
+                                      "class Forest {\n"
+                                      " public:\n"
+                                      "  struct Node { int feature = 0; };\n"
+                                      "  struct Tree { int root = 0; };\n"
+                                      " private:\n"
+                                      "  std::string_view cached_;\n"
+                                      "};\n");
+  ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L7"});
+  EXPECT_EQ(diagnostics[0].line, 6);
 }
 
 TEST(LintL7, OwnsContractSanctionsViewMembers) {

@@ -971,6 +971,61 @@ std::set<int> CoveredLines(const Suppression& suppression,
   return lines;
 }
 
+// Shared core of LintSource and LintTree: all nine rules plus suppression
+// validation over an already-lexed file. LintTree lexes each file once for
+// the include graph and reuses that LexResult here.
+std::vector<Diagnostic> LintLexed(std::string_view relpath,
+                                  const LexResult& lexed,
+                                  const Options& options) {
+  const SymbolIndex symbols = BuildSymbolIndex(lexed.tokens);
+  const std::vector<IncludeEdge> includes = ExtractIncludes(lexed.tokens);
+  std::vector<Diagnostic> raw;
+  const FileContext context{relpath, lexed.tokens, options, &raw};
+  CheckL1(context);
+  CheckL2(context);
+  CheckL3(context);
+  CheckL4(context);
+  CheckL5(context);
+  CheckL6(context);
+  CheckL7(context, lexed, symbols);
+  CheckL8(context, symbols);
+  CheckL9(context, includes);
+
+  std::vector<Diagnostic> out;
+  for (const Suppression& suppression : lexed.suppressions) {
+    if (!KnownRule(suppression.rule)) {
+      out.push_back(Diagnostic{
+          std::string(relpath), suppression.line, "suppression",
+          "allow(" + suppression.rule + ") names no compiled rule"});
+    } else if (!suppression.has_reason) {
+      out.push_back(Diagnostic{
+          std::string(relpath), suppression.line, "suppression",
+          "allow(" + suppression.rule +
+              ") needs a reason: `// aggrecol-lint: allow(" + suppression.rule +
+              "): <why this is sound>`"});
+    }
+  }
+  for (Diagnostic& diagnostic : raw) {
+    bool suppressed = false;
+    for (const Suppression& suppression : lexed.suppressions) {
+      if (suppression.rule != diagnostic.rule || !suppression.has_reason) {
+        continue;
+      }
+      if (CoveredLines(suppression, lexed.tokens).count(diagnostic.line) > 0) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(diagnostic));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
+  return out;
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() {
@@ -1021,54 +1076,7 @@ const std::vector<RuleInfo>& Rules() {
 std::vector<Diagnostic> LintSource(std::string_view relpath,
                                    std::string_view content,
                                    const Options& options) {
-  const LexResult lexed = Lex(content);
-  const SymbolIndex symbols = BuildSymbolIndex(lexed.tokens);
-  const std::vector<IncludeEdge> includes = ExtractIncludes(lexed.tokens);
-  std::vector<Diagnostic> raw;
-  const FileContext context{relpath, lexed.tokens, options, &raw};
-  CheckL1(context);
-  CheckL2(context);
-  CheckL3(context);
-  CheckL4(context);
-  CheckL5(context);
-  CheckL6(context);
-  CheckL7(context, lexed, symbols);
-  CheckL8(context, symbols);
-  CheckL9(context, includes);
-
-  std::vector<Diagnostic> out;
-  for (const Suppression& suppression : lexed.suppressions) {
-    if (!KnownRule(suppression.rule)) {
-      out.push_back(Diagnostic{
-          std::string(relpath), suppression.line, "suppression",
-          "allow(" + suppression.rule + ") names no compiled rule"});
-    } else if (!suppression.has_reason) {
-      out.push_back(Diagnostic{
-          std::string(relpath), suppression.line, "suppression",
-          "allow(" + suppression.rule +
-              ") needs a reason: `// aggrecol-lint: allow(" + suppression.rule +
-              "): <why this is sound>`"});
-    }
-  }
-  for (Diagnostic& diagnostic : raw) {
-    bool suppressed = false;
-    for (const Suppression& suppression : lexed.suppressions) {
-      if (suppression.rule != diagnostic.rule || !suppression.has_reason) {
-        continue;
-      }
-      if (CoveredLines(suppression, lexed.tokens).count(diagnostic.line) > 0) {
-        suppressed = true;
-        break;
-      }
-    }
-    if (!suppressed) out.push_back(std::move(diagnostic));
-  }
-  std::sort(out.begin(), out.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              return std::tie(a.line, a.rule, a.message) <
-                     std::tie(b.line, b.rule, b.message);
-            });
-  return out;
+  return LintLexed(relpath, Lex(content), options);
 }
 
 std::vector<Diagnostic> LintTree(const std::string& root,
@@ -1106,10 +1114,12 @@ std::vector<Diagnostic> LintTree(const std::string& root,
   }
   std::sort(paths.begin(), paths.end());
 
-  // Phase 1: read every file and build the project include graph, so L9 can
-  // chase transitive chains. Unreadable files are diagnostics, not skips: a
-  // file the linter cannot see is a file the invariants do not cover.
-  std::map<std::string, std::string> contents;
+  // Phase 1: read and lex every file once, building the project include
+  // graph so L9 can chase transitive chains; the LexResults are kept for
+  // phase 2 so the tree is tokenized once per run. Unreadable files are
+  // diagnostics, not skips: a file the linter cannot see is a file the
+  // invariants do not cover.
+  std::map<std::string, LexResult> lexed_files;
   IncludeGraph graph;
   for (const std::string& path : paths) {
     std::ifstream file(fs::path(root) / path);
@@ -1126,14 +1136,15 @@ std::vector<Diagnostic> LintTree(const std::string& root,
           Diagnostic{path, 0, "io", "read failed before end of file"});
       continue;
     }
-    graph.AddFile(path, ExtractIncludes(Lex(content.str()).tokens));
-    contents.emplace(path, content.str());
+    LexResult lexed = Lex(content.str());
+    graph.AddFile(path, ExtractIncludes(lexed.tokens));
+    lexed_files.emplace(path, std::move(lexed));
   }
   options.include_graph = &graph;
 
   // Phase 2: lint each readable file with the full graph available.
-  for (const auto& [path, content] : contents) {
-    std::vector<Diagnostic> diagnostics = LintSource(path, content, options);
+  for (const auto& [path, lexed] : lexed_files) {
+    std::vector<Diagnostic> diagnostics = LintLexed(path, lexed, options);
     out.insert(out.end(), std::make_move_iterator(diagnostics.begin()),
                std::make_move_iterator(diagnostics.end()));
     if (scanned != nullptr) scanned->push_back(path);

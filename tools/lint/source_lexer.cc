@@ -116,15 +116,12 @@ class Lexer {
       suppression.rule = std::string(comment.substr(cursor, close - cursor));
       suppression.own_line = own_line;
       // Documentation that *describes* the directive grammar (e.g.
-      // `allow(<rule>)` in this very file) is not a real suppression: rule
-      // ids are purely alphanumeric.
-      bool plausible_rule = !suppression.rule.empty();
-      for (const char c : suppression.rule) {
-        if (std::isalnum(static_cast<unsigned char>(c)) == 0) {
-          plausible_rule = false;
-        }
-      }
-      if (!plausible_rule) {
+      // `allow(<rule>)` in this very file) is not a real suppression. Only
+      // the documented `<placeholder>` form is dropped; any other implausible
+      // id (a typo like `allow(L7 )` or `allow(L7,L8)`) is kept so the
+      // linter reports it instead of silently ignoring the directive.
+      if (suppression.rule.find('<') != std::string::npos ||
+          suppression.rule.find('>') != std::string::npos) {
         cursor = close;
         continue;
       }

@@ -298,7 +298,9 @@ class Indexer {
     return j < end ? j + 1 : end;
   }
 
-  void ParseRegion(size_t begin, size_t end, const std::string& cls) {
+  // `cls` is taken by value: the recursive call below passes a name that
+  // lives inside out_.classes, and nested classes reallocate that vector.
+  void ParseRegion(size_t begin, size_t end, std::string cls) {
     size_t i = begin;
     while (i < end) {
       const Token& token = t_[i];
@@ -382,7 +384,6 @@ class Indexer {
           const size_t saved = current_class_;
           const size_t this_class = out_.classes.size() - 1;
           current_class_ = this_class;
-          // Index, not pointer: nested classes reallocate out_.classes.
           ParseRegion(j + 1, close, out_.classes[this_class].name);
           current_class_ = saved;
           i = close + 1;
