@@ -202,11 +202,17 @@ DetectionResult AggreCol::Detect(const numfmt::NumericGrid& numeric) const {
   std::vector<std::vector<Aggregation>> per_axis_collective(views.size());
   {
     obs::ScopedSpan stage2_span("detect.stage2");
+    // The per-axis walks are independent, so they run as pool jobs like the
+    // stage-1 (axis, function) grid; the merge stays in fixed view order, so
+    // any thread count yields identical output.
+    std::vector<std::vector<Aggregation>> collective_results =
+        util::ParallelMap(pool_, views.size(), [&](size_t v) {
+          return config_.run_collective
+                     ? CollectivePrune(views[v].grid, per_axis_individual[v])
+                     : per_axis_individual[v];
+        });
     for (size_t v = 0; v < views.size(); ++v) {
-      per_axis_collective[v] =
-          config_.run_collective
-              ? CollectivePrune(views[v].grid, per_axis_individual[v])
-              : per_axis_individual[v];
+      per_axis_collective[v] = std::move(collective_results[v]);
       AppendUnique(&result.collective_stage,
                    TagAxis(per_axis_collective[v], views[v].axis));
     }

@@ -8,19 +8,32 @@
 namespace aggrecol::core {
 namespace {
 
-bool RangesOverlap(const std::vector<int>& a, const std::vector<int>& b) {
+bool RangesOverlapLinear(const std::vector<int>& a, const std::vector<int>& b) {
   for (int index : a) {
     if (std::find(b.begin(), b.end(), index) != b.end()) return true;
   }
   return false;
 }
 
-// Same aggregate with (partly) shared range: a cell acting as the aggregate
-// of one function should not aggregate an overlapping range with another.
-bool SameAggregateOverlappingRange(const Pattern& a, const Pattern& b) {
+// Reference form of the same-aggregate-overlap predicate, with the original
+// linear scans; the fast walk uses the PatternGroup overload from pruning.h.
+bool SameAggregateOverlappingRangeLinear(const Pattern& a, const Pattern& b) {
   if (a.axis != b.axis) return false;
   if (a.aggregate != b.aggregate) return false;
-  return RangesOverlap(a.range, b.range);
+  return RangesOverlapLinear(a.range, b.range);
+}
+
+// Rank by (i) range size, (ii) number of detected aggregations; pattern
+// order as a deterministic final tie-break. Shared by both implementations
+// so their walk orders are identical by construction.
+bool RankBefore(const PatternGroup& a, const PatternGroup& b) {
+  if (a.pattern.range.size() != b.pattern.range.size()) {
+    return a.pattern.range.size() > b.pattern.range.size();
+  }
+  if (a.members.size() != b.members.size()) {
+    return a.members.size() > b.members.size();
+  }
+  return a.pattern < b.pattern;
 }
 
 }  // namespace
@@ -36,18 +49,7 @@ std::vector<Aggregation> CollectivePrune(const numfmt::AxisView& grid,
     obs::Count("stage2.input.candidates", candidates.size());
   }
 
-  // Rank by (i) range size, (ii) number of detected aggregations; pattern
-  // order as a deterministic final tie-break.
-  std::sort(groups.begin(), groups.end(),
-            [](const PatternGroup& a, const PatternGroup& b) {
-              if (a.pattern.range.size() != b.pattern.range.size()) {
-                return a.pattern.range.size() > b.pattern.range.size();
-              }
-              if (a.members.size() != b.members.size()) {
-                return a.members.size() > b.members.size();
-              }
-              return a.pattern < b.pattern;
-            });
+  std::sort(groups.begin(), groups.end(), RankBefore);
 
   // Division aggregations can always be included (Sec. 3.2): a part-of-whole
   // division legitimately overlaps the sum that produced the whole. They are
@@ -69,21 +71,24 @@ std::vector<Aggregation> CollectivePrune(const numfmt::AxisView& grid,
   for (const auto& group : groups) {
     if (group.pattern.function == AggregationFunction::kDivision) continue;
     // First matching reason against the accepted/division sets wins, so each
-    // pruned group counts under exactly one stage2.pruned.* reason.
+    // pruned group counts under exactly one stage2.pruned.* reason. The
+    // predicates run through the PatternGroup overloads (pruning.h): same
+    // answers as the Pattern forms, evaluated over the precomputed sorted
+    // ranges instead of nested linear finds per comparison.
     const char* conflict = nullptr;
     for (const PatternGroup* other : accepted) {
-      if (CompleteInclusion(group.pattern, other->pattern)) {
+      if (CompleteInclusion(group, *other)) {
         conflict = "stage2.pruned.complete_inclusion";
-      } else if (MutualInclusion(group.pattern, other->pattern)) {
+      } else if (MutualInclusion(group, *other)) {
         conflict = "stage2.pruned.mutual_inclusion";
-      } else if (SameAggregateOverlappingRange(group.pattern, other->pattern)) {
+      } else if (SameAggregateOverlappingRange(group, *other)) {
         conflict = "stage2.pruned.same_aggregate_overlap";
       }
       if (conflict != nullptr) break;
     }
     if (conflict == nullptr) {
       for (const PatternGroup* division : divisions) {
-        if (MutualInclusion(group.pattern, division->pattern)) {
+        if (MutualInclusion(group, *division)) {
           conflict = "stage2.pruned.division_circular";
           break;
         }
@@ -101,6 +106,47 @@ std::vector<Aggregation> CollectivePrune(const numfmt::AxisView& grid,
     out.insert(out.end(), group.members.begin(), group.members.end());
   }
   if (obs_on) obs::Count("stage2.accepted.candidates", out.size());
+  return out;
+}
+
+std::vector<Aggregation> CollectivePruneNaive(
+    const numfmt::AxisView& grid, const std::vector<Aggregation>& candidates) {
+  std::vector<PatternGroup> groups = GroupByPattern(grid, candidates);
+  std::sort(groups.begin(), groups.end(), RankBefore);
+
+  std::vector<const PatternGroup*> divisions;
+  std::vector<Aggregation> out;
+  for (const auto& group : groups) {
+    if (group.pattern.function == AggregationFunction::kDivision) {
+      divisions.push_back(&group);
+      out.insert(out.end(), group.members.begin(), group.members.end());
+    }
+  }
+
+  std::vector<const PatternGroup*> accepted;
+  for (const auto& group : groups) {
+    if (group.pattern.function == AggregationFunction::kDivision) continue;
+    bool conflict = false;
+    for (const PatternGroup* other : accepted) {
+      if (CompleteInclusion(group.pattern, other->pattern) ||
+          MutualInclusion(group.pattern, other->pattern) ||
+          SameAggregateOverlappingRangeLinear(group.pattern, other->pattern)) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) {
+      for (const PatternGroup* division : divisions) {
+        if (MutualInclusion(group.pattern, division->pattern)) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    if (conflict) continue;
+    accepted.push_back(&group);
+    out.insert(out.end(), group.members.begin(), group.members.end());
+  }
   return out;
 }
 

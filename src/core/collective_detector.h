@@ -20,8 +20,19 @@ namespace aggrecol::core {
 /// disjoint ranges are fine — the net-income example). Division groups are
 /// exempt on both sides: a part-of-whole division legitimately divides a
 /// range element by its own aggregate (the a2/a4 example of Fig. 5).
+/// The conflict walk evaluates its predicates through the PatternGroup
+/// overloads (pruning.h) over sorted ranges precomputed once per group,
+/// instead of rescanning raw ranges with nested linear finds per comparison.
+/// Output is identical to CollectivePruneNaive — same aggregations, same
+/// order.
 std::vector<Aggregation> CollectivePrune(const numfmt::AxisView& grid,
                                          const std::vector<Aggregation>& candidates);
+
+/// The retained reference implementation of the stage-2 walk, with the
+/// original per-comparison linear-scan predicates. Kept as the differential
+/// oracle for the parity tests and the stage-2 benchmark.
+std::vector<Aggregation> CollectivePruneNaive(const numfmt::AxisView& grid,
+                                              const std::vector<Aggregation>& candidates);
 
 }  // namespace aggrecol::core
 

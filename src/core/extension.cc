@@ -1,14 +1,147 @@
 #include "core/extension.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 
-namespace aggrecol::core {
+#include "core/line_index.h"
 
-std::vector<Aggregation> ExtendAggregations(const numfmt::AxisView& grid,
-                                            const std::vector<bool>& active_columns,
-                                            const std::vector<Aggregation>& detected,
-                                            double error_level) {
+namespace aggrecol::core {
+namespace {
+
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+constexpr double kInflate = 1.0 + 32.0 * kEps;
+
+// One pattern to re-validate across rows, with everything that is
+// row-invariant hoisted out of the row loop.
+struct PatternPlan {
+  const Pattern* pattern = nullptr;
+  const std::vector<int>* covered_rows = nullptr;  // sorted
+  bool pairwise = false;
+  // Ascending range (always true for adjacency-produced commutative
+  // patterns); only then can compact-space contiguity make the range a
+  // prefix span.
+  bool ascending = false;
+  std::vector<Aggregation> accepted;  // per-pattern hits, in row order
+};
+
+// Screens pattern `plan` against `row` of the compacted `index` and, when the
+// exact replay confirms, records the validated aggregation. The screens are
+// the same certain-miss bounds as the stage-1 kernels: commutative ranges
+// that are contiguous in compact space use the O(1) prefix-sum test
+// (adjacency_strategy.cc); pairwise ranges use the division-free pair bounds
+// (window_strategy.cc). Every possible accept replays the reference
+// Apply()+ErrorLevel() arithmetic over the same values in the same order, so
+// the recorded aggregation and error are bit-identical to the naive walk.
+void ExtendRowWithIndex(const numfmt::AxisView& grid, const LineIndex& index,
+                        int row, double error_level, Axis axis,
+                        PatternPlan& plan) {
+  const Pattern& pattern = *plan.pattern;
+  const double observed = grid.value(row, pattern.aggregate);
+  const double threshold = (error_level + kErrorSlack) *
+                           (observed != 0.0 ? std::fabs(observed) : 1.0);
+  const int k = static_cast<int>(pattern.range.size());
+  double calculated = 0.0;
+  if (plan.pairwise) {
+    const int b_pos = index.PosOfColumn(pattern.range[0]);
+    const int c_pos = index.PosOfColumn(pattern.range[1]);
+    if (b_pos < 0 || c_pos < 0) return;  // unusable range cell: reference skips
+    const double b = index.value(b_pos);
+    const double c = index.value(c_pos);
+    switch (pattern.function) {
+      case AggregationFunction::kDifference: {
+        const double diff = b - c;
+        if (std::fabs(diff - observed) >
+            (threshold + kEps * std::fabs(diff)) * kInflate) {
+          return;
+        }
+        break;
+      }
+      case AggregationFunction::kDivision: {
+        if (c == 0.0) return;  // reference: ApplyPairwise is undefined
+        const double target = observed * c;
+        if (std::fabs(b - target) >
+            (threshold * std::fabs(c) + kEps * std::fabs(target)) * kInflate) {
+          return;
+        }
+        break;
+      }
+      case AggregationFunction::kRelativeChange: {
+        if (b == 0.0) return;  // reference: ApplyPairwise is undefined
+        const double diff = c - b;
+        const double target = observed * b;
+        if (std::fabs(diff - target) >
+            (threshold * std::fabs(b) +
+             kEps * (std::fabs(diff) + std::fabs(target))) *
+                kInflate) {
+          return;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    const auto exact = ApplyPairwise(pattern.function, b, c);
+    if (!exact.has_value()) return;
+    calculated = *exact;
+  } else {
+    // Commutative: every range cell must be usable in this row, exactly as
+    // the reference walk requires; gather compact positions and contiguity
+    // in one pass over the (already compacted) range.
+    int first_pos = -1;
+    int expected = -1;
+    bool contiguous = plan.ascending;
+    for (int col : pattern.range) {
+      const int pos = index.PosOfColumn(col);
+      if (pos < 0) return;  // unusable range cell: reference skips the row
+      if (expected >= 0 && pos != expected) contiguous = false;
+      if (first_pos < 0) first_pos = pos;
+      expected = pos + 1;
+    }
+    const double scale =
+        pattern.function == AggregationFunction::kAverage
+            ? static_cast<double>(k)
+            : 1.0;
+    if (contiguous) {
+      // O(1) certain-miss screen, identical in form to the adjacency kernel.
+      const int lo = first_pos;
+      const int hi = first_pos + k;
+      const double target = observed * scale;
+      const double fast_sum = index.PrefixSum(lo, hi);
+      const double gap = std::fabs(fast_sum - target);
+      const double drift = index.SumErrorBound(hi) +
+                           kEps * (std::fabs(fast_sum) + std::fabs(target));
+      if (gap > (threshold * scale + drift) * kInflate) return;  // certain miss
+      calculated = index.CompensatedSum(lo, hi, /*reverse=*/false) / scale;
+    } else {
+      // Non-contiguous (an interleaved usable cell outside the range, or a
+      // non-ascending range): no prefix span exists; replay the reference
+      // walk over the compacted values in range order.
+      KahanAccumulator accumulator;
+      for (int col : pattern.range) {
+        accumulator.Add(index.value(index.PosOfColumn(col)));
+      }
+      calculated = accumulator.Total() / scale;
+    }
+  }
+  const double error = ErrorLevel(observed, calculated);
+  if (!WithinErrorLevel(error, error_level)) return;
+  Aggregation aggregation;
+  aggregation.axis = axis;
+  aggregation.line = row;
+  aggregation.aggregate = pattern.aggregate;
+  aggregation.range = pattern.range;
+  aggregation.function = pattern.function;
+  aggregation.error = error;
+  plan.accepted.push_back(std::move(aggregation));
+}
+
+}  // namespace
+
+std::vector<Aggregation> ExtendAggregationsNaive(
+    const numfmt::AxisView& grid, const std::vector<bool>& active_columns,
+    const std::vector<Aggregation>& detected, double error_level) {
   // Pattern -> set of rows already covered.
   std::map<Pattern, std::vector<int>> covered;
   for (const auto& aggregation : detected) {
@@ -47,6 +180,86 @@ std::vector<Aggregation> ExtendAggregations(const numfmt::AxisView& grid,
         out.push_back(std::move(aggregation));
       }
     }
+  }
+  return out;
+}
+
+std::vector<Aggregation> ExtendAggregations(const numfmt::AxisView& grid,
+                                            const std::vector<bool>& active_columns,
+                                            const std::vector<Aggregation>& detected,
+                                            double error_level) {
+  // Pattern -> set of rows already covered (identical grouping and ordering
+  // to the naive walk: std::map iteration fixes the emission order).
+  std::map<Pattern, std::vector<int>> covered;
+  for (const auto& aggregation : detected) {
+    covered[PatternOf(aggregation)].push_back(aggregation.line);
+  }
+
+  // Row-invariant pattern filtering: the active mask does not vary by row,
+  // so a pattern with an inactive aggregate or any inactive range column can
+  // never validate anywhere — the naive walk re-discovers this per row.
+  std::vector<PatternPlan> plans;
+  plans.reserve(covered.size());
+  size_t range_cells = 0;
+  for (auto& [pattern, rows] : covered) {
+    std::sort(rows.begin(), rows.end());
+    if (!active_columns[pattern.aggregate]) continue;
+    bool all_active = true;
+    for (int col : pattern.range) {
+      if (!active_columns[col]) {
+        all_active = false;
+        break;
+      }
+    }
+    if (!all_active) continue;
+    const FunctionTraits traits = TraitsOf(pattern.function);
+    if (pattern.range.empty()) continue;                         // Apply: nullopt
+    if (traits.pairwise && pattern.range.size() != 2) continue;  // Apply: nullopt
+    PatternPlan plan;
+    plan.pattern = &pattern;
+    plan.covered_rows = &rows;
+    plan.pairwise = traits.pairwise;
+    plan.ascending = std::is_sorted(pattern.range.begin(), pattern.range.end());
+    plans.push_back(std::move(plan));
+    range_cells += pattern.range.size();
+  }
+
+  std::vector<Aggregation> out = detected;
+  if (plans.empty()) return out;
+
+  // Cost model: the indexed path pays one O(columns) compaction per row
+  // (each compacted cell costs roughly 3x a naively gathered one — mask and
+  // kind branches plus prefix/drift bookkeeping) and amortizes it over every
+  // pattern, where it saves that pattern's per-row gather vector allocation
+  // and, on miss rows, its whole range walk. Switch to the index only when
+  // the saved work clearly exceeds the compaction; both paths are
+  // differentially bit-identical, so this is purely about cost, never about
+  // results.
+  const bool use_index = range_cells + 16 * plans.size() >=
+                         3 * static_cast<size_t>(grid.columns());
+  if (!use_index) {
+    return ExtendAggregationsNaive(grid, active_columns, detected, error_level);
+  }
+
+  LineIndex index;
+  for (int row = 0; row < grid.rows(); ++row) {
+    index.Build(grid, active_columns, row);
+    for (PatternPlan& plan : plans) {
+      if (std::binary_search(plan.covered_rows->begin(),
+                             plan.covered_rows->end(), row)) {
+        continue;
+      }
+      if (!grid.IsNumeric(row, plan.pattern->aggregate)) continue;
+      ExtendRowWithIndex(grid, index, row, error_level, plan.pattern->axis,
+                         plan);
+    }
+  }
+
+  // Emit in the naive order: patterns in map order, rows ascending within
+  // each pattern.
+  for (PatternPlan& plan : plans) {
+    out.insert(out.end(), std::make_move_iterator(plan.accepted.begin()),
+               std::make_move_iterator(plan.accepted.end()));
   }
   return out;
 }

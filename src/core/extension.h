@@ -18,10 +18,27 @@ namespace aggrecol::core {
 /// range cells range-usable and active, a defined function value, and an
 /// error level within `error_level`. Returns the union of `detected` and the
 /// newly validated aggregations, without duplicates.
+///
+/// This implementation compacts each candidate row once into a LineIndex
+/// shared by every pattern, screens commutative patterns whose range is
+/// contiguous in compact space with the O(1) prefix-sum certain-miss test,
+/// and screens pairwise patterns with the same division-free bounds as the
+/// window kernel; every possible accept replays the exact reference
+/// arithmetic, so results are bit-identical to ExtendAggregationsNaive
+/// (same aggregations, same order, bit-equal `error`). Pattern sets too
+/// small to amortize the per-row compaction fall through to the naive walk
+/// wholesale — a cost-model switch, never a semantic one.
 std::vector<Aggregation> ExtendAggregations(const numfmt::AxisView& grid,
                                             const std::vector<bool>& active_columns,
                                             const std::vector<Aggregation>& detected,
                                             double error_level);
+
+/// The retained reference implementation: the original per-(pattern, row)
+/// walk over the raw view. Kept for the differential battery and the
+/// extension benchmark; the pipeline runs the screened version above.
+std::vector<Aggregation> ExtendAggregationsNaive(
+    const numfmt::AxisView& grid, const std::vector<bool>& active_columns,
+    const std::vector<Aggregation>& detected, double error_level);
 
 }  // namespace aggrecol::core
 

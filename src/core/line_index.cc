@@ -23,6 +23,7 @@ void LineIndex::Build(const numfmt::AxisView& view,
   prefix_.reserve(static_cast<size_t>(columns) + 1);
   prefix_abs_.reserve(static_cast<size_t>(columns) + 1);
   drift_.reserve(static_cast<size_t>(columns) + 1);
+  pos_of_col_.assign(static_cast<size_t>(columns), -1);
 
   // drift_[p] = gamma_n-style bound on how far PrefixSum can sit from the
   // compensated reference for a span ending at p: gamma_n ~= n*eps covers the
@@ -31,7 +32,18 @@ void LineIndex::Build(const numfmt::AxisView& view,
   // the screen is compared against. The 1.25 headroom keeps the bound safely
   // conservative without inflating it to the point where every candidate
   // falls through to the slow path.
+  //
+  // The bound is floored at n * DBL_MIN (smallest normal): a line whose
+  // usable cells are all exactly zero — or all denormal, where the
+  // proportional term itself underflows — would otherwise publish a bound of
+  // exactly 0, and a screen treating "0 slack" as "the prefix sum is exact"
+  // would certain-miss reject legitimate zero-sum aggregates the moment any
+  // future term picks up sub-DBL_MIN rounding. The floor makes the
+  // never-exactly-zero contract explicit instead of incidental; it is far
+  // below any error-level threshold, so it cannot cost a rejection the
+  // proportional bound would have made.
   constexpr double kEps = std::numeric_limits<double>::epsilon();
+  constexpr double kDriftFloor = std::numeric_limits<double>::min();
   prefix_.push_back(0.0);
   prefix_abs_.push_back(0.0);
   drift_.push_back(0.0);
@@ -41,6 +53,7 @@ void LineIndex::Build(const numfmt::AxisView& view,
     if (!active[static_cast<size_t>(col)]) continue;
     if (!view.IsRangeUsable(line, col)) continue;
     const double value = view.value(line, col);
+    pos_of_col_[static_cast<size_t>(col)] = static_cast<int>(cols_.size());
     cols_.push_back(col);
     values_.push_back(value);
     numeric_.push_back(view.IsNumeric(line, col) ? 1 : 0);
@@ -49,7 +62,9 @@ void LineIndex::Build(const numfmt::AxisView& view,
     prefix_.push_back(running);
     prefix_abs_.push_back(running_abs);
     const double n = static_cast<double>(values_.size());
-    drift_.push_back(kEps * (1.25 * n + 8.0) * 2.0 * running_abs);
+    const double proportional = kEps * (1.25 * n + 8.0) * 2.0 * running_abs;
+    const double floored = kDriftFloor * n;
+    drift_.push_back(proportional > floored ? proportional : floored);
   }
 }
 
@@ -65,6 +80,34 @@ double LineIndex::CompensatedSum(int begin, int end, bool reverse) const {
     }
   }
   return accumulator.Total();
+}
+
+void LineIndex::BuildSpanBounds() {
+  // Standard sparse table, flattened level-major with stride size():
+  // span_min_[l * n + i] = min over values_[i, i + 2^l) (clamped to n).
+  // Build is O(n log n) once per line; each SpanMin/SpanMax query is then two
+  // loads and a compare, which is what lets the window batch screen stay
+  // O(1) per window. Buffers are reused across lines, so after the first
+  // (largest) line of a scan no further allocation happens.
+  const size_t n = values_.size();
+  if (n == 0) return;
+  const int levels = SpanLevel(static_cast<int>(n)) + 1;
+  span_min_.resize(static_cast<size_t>(levels) * n);
+  span_max_.resize(static_cast<size_t>(levels) * n);
+  for (size_t i = 0; i < n; ++i) {
+    span_min_[i] = values_[i];
+    span_max_[i] = values_[i];
+  }
+  for (int level = 1; level < levels; ++level) {
+    const size_t row = static_cast<size_t>(level) * n;
+    const size_t prev = row - n;
+    const size_t half = size_t{1} << (level - 1);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = i + half < n ? i + half : n - 1;
+      span_min_[row + i] = MinOf(span_min_[prev + i], span_min_[prev + j]);
+      span_max_[row + i] = MaxOf(span_max_[prev + i], span_max_[prev + j]);
+    }
+  }
 }
 
 }  // namespace aggrecol::core

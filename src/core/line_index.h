@@ -1,6 +1,7 @@
 #ifndef AGGRECOL_CORE_LINE_INDEX_H_
 #define AGGRECOL_CORE_LINE_INDEX_H_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -26,6 +27,11 @@ namespace aggrecol::core {
 /// subtraction and its worst-case rounding is boundable. Consecutive usable
 /// cells are adjacent in compact space, so every adjacency-list range is a
 /// contiguous [begin, end) span here.
+///
+/// Build() also records the inverse map (PosOfColumn), which the extension
+/// pass uses to locate a detected pattern's columns in another line, and
+/// BuildSpanBounds() optionally adds an O(1) range-min/max table for the
+/// window batch screens.
 class LineIndex {
  public:
   /// Indexes line `line` of `view`, honoring the `active` column mask.
@@ -38,6 +44,10 @@ class LineIndex {
 
   /// Original view column of compact position `pos`.
   int col(int pos) const { return cols_[static_cast<size_t>(pos)]; }
+
+  /// Compact position of original view column `col`, or -1 when that column
+  /// is inactive or not range-usable in the indexed line.
+  int PosOfColumn(int col) const { return pos_of_col_[static_cast<size_t>(col)]; }
 
   double value(int pos) const { return values_[static_cast<size_t>(pos)]; }
 
@@ -59,6 +69,7 @@ class LineIndex {
   /// covers the classic gamma_n forward-error term of n sequential adds, the
   /// final subtraction, and the O(eps) error of a compensated sum. The value
   /// is precomputed per position in Build(), so the hot screens pay one load.
+  /// Never zero for a non-empty span: see the floor note in Build().
   double SumErrorBound(int end) const { return drift_[static_cast<size_t>(end)]; }
 
   /// Compensated (Kahan) sum of values over compact positions [begin, end),
@@ -67,13 +78,50 @@ class LineIndex {
   /// fallback through this path is bit-identical to the reference scan.
   double CompensatedSum(int begin, int end, bool reverse) const;
 
+  /// Builds the O(1) span-min/max table (sparse table over the compacted
+  /// values). Call once after Build() when SpanMin/SpanMax are needed — the
+  /// window batch screens do; the adjacency scan does not and skips the
+  /// O(n log n) build. Buffers are reused across calls.
+  void BuildSpanBounds();
+
+  /// Minimum value over compact positions [begin, end). Requires a prior
+  /// BuildSpanBounds() for this line; the span must be non-empty.
+  double SpanMin(int begin, int end) const {
+    const int level = SpanLevel(end - begin);
+    const size_t stride = values_.size();
+    return MinOf(span_min_[static_cast<size_t>(level) * stride +
+                           static_cast<size_t>(begin)],
+                 span_min_[static_cast<size_t>(level) * stride +
+                           static_cast<size_t>(end - (1 << level))]);
+  }
+
+  /// Maximum value over compact positions [begin, end); same contract as
+  /// SpanMin.
+  double SpanMax(int begin, int end) const {
+    const int level = SpanLevel(end - begin);
+    const size_t stride = values_.size();
+    return MaxOf(span_max_[static_cast<size_t>(level) * stride +
+                           static_cast<size_t>(begin)],
+                 span_max_[static_cast<size_t>(level) * stride +
+                           static_cast<size_t>(end - (1 << level))]);
+  }
+
  private:
+  static int SpanLevel(int length) {
+    return std::bit_width(static_cast<unsigned>(length)) - 1;
+  }
+  static double MinOf(double a, double b) { return a < b ? a : b; }
+  static double MaxOf(double a, double b) { return a > b ? a : b; }
+
   std::vector<int> cols_;
   std::vector<double> values_;
   std::vector<uint8_t> numeric_;
   std::vector<double> prefix_;      // prefix_[p] = sum of values_[0..p)
   std::vector<double> prefix_abs_;  // same over |values_|
   std::vector<double> drift_;       // SumErrorBound(p), precomputed
+  std::vector<int> pos_of_col_;     // view column -> compact position (-1)
+  std::vector<double> span_min_;    // sparse table, level-major, stride size()
+  std::vector<double> span_max_;
 };
 
 }  // namespace aggrecol::core

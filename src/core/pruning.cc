@@ -34,6 +34,33 @@ bool CompletelyIncluded(const Pattern& inner, const Pattern& outer) {
          RangesOverlap(inner.range, outer.range);
 }
 
+// Sorted-range counterparts of the helpers above, for the PatternGroup
+// predicate overloads: membership is a binary search, overlap a two-pointer
+// merge walk. Set questions over the same elements — answers are identical
+// to the linear forms.
+bool SortedContains(const std::vector<int>& sorted, int index) {
+  return std::binary_search(sorted.begin(), sorted.end(), index);
+}
+
+bool SortedOverlap(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool CompletelyIncluded(const PatternGroup& inner, const PatternGroup& outer) {
+  return SortedContains(outer.sorted_range, inner.pattern.aggregate) &&
+         SortedOverlap(inner.sorted_range, outer.sorted_range);
+}
+
 }  // namespace
 
 std::vector<PatternGroup> GroupByPattern(const numfmt::AxisView& grid,
@@ -55,6 +82,20 @@ std::vector<PatternGroup> GroupByPattern(const numfmt::AxisView& grid,
     double total_error = 0.0;
     for (const auto& member : group.members) total_error += member.error;
     group.mean_error = total_error / static_cast<double>(group.members.size());
+    group.sorted_range = pattern.range;
+    std::sort(group.sorted_range.begin(), group.sorted_range.end());
+    group.side = SideOf(pattern);
+    if (pattern.function == AggregationFunction::kDivision) {
+      // Precomputed once here; the stage-1 rank comparator used to rescan
+      // every member on every comparison inside the sort.
+      int ratio_like = 0;
+      for (const auto& member : group.members) {
+        const double value = grid.value(member.line, member.aggregate);
+        if (value > -1.0 && value < 1.0 && value != 0.0) ++ratio_like;
+      }
+      group.ratio_fraction = static_cast<double>(ratio_like) /
+                             static_cast<double>(group.members.size());
+    }
     out.push_back(std::move(group));
   }
   return out;
@@ -88,6 +129,39 @@ bool CompleteInclusion(const Pattern& a, const Pattern& b) {
 bool MutualInclusion(const Pattern& a, const Pattern& b) {
   if (a.axis != b.axis) return false;
   return Contains(b.range, a.aggregate) && Contains(a.range, b.aggregate);
+}
+
+bool SameAggregateOverlappingRange(const Pattern& a, const Pattern& b) {
+  if (a.axis != b.axis) return false;
+  if (a.aggregate != b.aggregate) return false;
+  return RangesOverlap(a.range, b.range);
+}
+
+bool DirectionalDisagreement(const PatternGroup& a, const PatternGroup& b) {
+  if (a.pattern.axis != b.pattern.axis ||
+      a.pattern.function != b.pattern.function) {
+    return false;
+  }
+  if (a.pattern.aggregate != b.pattern.aggregate) return false;
+  if (a.side == RangeSide::kMixed || b.side == RangeSide::kMixed) return true;
+  return a.side != b.side;
+}
+
+bool CompleteInclusion(const PatternGroup& a, const PatternGroup& b) {
+  if (a.pattern.axis != b.pattern.axis) return false;
+  return CompletelyIncluded(a, b) || CompletelyIncluded(b, a);
+}
+
+bool MutualInclusion(const PatternGroup& a, const PatternGroup& b) {
+  if (a.pattern.axis != b.pattern.axis) return false;
+  return SortedContains(b.sorted_range, a.pattern.aggregate) &&
+         SortedContains(a.sorted_range, b.pattern.aggregate);
+}
+
+bool SameAggregateOverlappingRange(const PatternGroup& a, const PatternGroup& b) {
+  if (a.pattern.axis != b.pattern.axis) return false;
+  if (a.pattern.aggregate != b.pattern.aggregate) return false;
+  return SortedOverlap(a.sorted_range, b.sorted_range);
 }
 
 std::vector<Aggregation> PruneIndividual(const numfmt::AxisView& grid,
@@ -128,20 +202,14 @@ std::vector<Aggregation> PruneIndividual(const numfmt::AxisView& grid,
   // ratio-valued aggregate, per the paper's Sec. 3.2 observation that real
   // divisions record "the percentage that a part accounts for in the
   // entirety".
-  auto ratio_fraction = [&grid](const PatternGroup& group) {
-    int ratio_like = 0;
-    for (const auto& member : group.members) {
-      const double value = grid.value(member.line, member.aggregate);
-      if (value > -1.0 && value < 1.0 && value != 0.0) ++ratio_like;
-    }
-    return static_cast<double>(ratio_like) / static_cast<double>(group.members.size());
-  };
-  auto ranks_before = [&ratio_fraction](const PatternGroup& a, const PatternGroup& b) {
+  auto ranks_before = [](const PatternGroup& a, const PatternGroup& b) {
     if (a.pattern.function == AggregationFunction::kDivision &&
         b.pattern.function == AggregationFunction::kDivision) {
-      const double ratio_a = ratio_fraction(a);
-      const double ratio_b = ratio_fraction(b);
-      if (!ApproxEq(ratio_a, ratio_b)) return ratio_a > ratio_b;
+      // ratio_fraction is precomputed by GroupByPattern; the comparator used
+      // to rescan every member's aggregate cell on every sort comparison.
+      if (!ApproxEq(a.ratio_fraction, b.ratio_fraction)) {
+        return a.ratio_fraction > b.ratio_fraction;
+      }
     }
     if (a.members.size() != b.members.size()) {
       return a.members.size() > b.members.size();
@@ -209,14 +277,14 @@ std::vector<Aggregation> PruneIndividual(const numfmt::AxisView& grid,
     // so drops are attributed to exactly one of the three conflict reasons.
     const char* conflict = nullptr;
     for (const PatternGroup* other : accepted) {
+      // Group-overload predicates: same answers as the Pattern forms over the
+      // precomputed sorted ranges and sides (see pruning.h).
       if (rules.directional_disagreement &&
-          DirectionalDisagreement(group.pattern, other->pattern)) {
+          DirectionalDisagreement(group, *other)) {
         conflict = "prune.r4_conflict.directional";
-      } else if (rules.complete_inclusion &&
-                 CompleteInclusion(group.pattern, other->pattern)) {
+      } else if (rules.complete_inclusion && CompleteInclusion(group, *other)) {
         conflict = "prune.r4_conflict.complete_inclusion";
-      } else if (rules.mutual_inclusion &&
-                 MutualInclusion(group.pattern, other->pattern)) {
+      } else if (rules.mutual_inclusion && MutualInclusion(group, *other)) {
         conflict = "prune.r4_conflict.mutual_inclusion";
       }
       if (conflict != nullptr) break;

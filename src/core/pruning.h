@@ -12,6 +12,13 @@ namespace aggrecol::core {
 enum class RangeSide { kLeft, kRight, kMixed };
 
 /// A group of aggregation candidates sharing one pattern (Sec. 3.1).
+///
+/// GroupByPattern also precomputes everything the stage-1/stage-2 ranking and
+/// conflict walks would otherwise rederive per pairwise comparison — the
+/// range in sorted order (for binary-search membership and two-pointer
+/// overlap), the range's side, and the division ratio preference — turning
+/// each predicate evaluation in the O(groups^2) walks from a linear rescan of
+/// members or range cells into O(log k) lookups over shared immutable state.
 struct PatternGroup {
   Pattern pattern;
   std::vector<Aggregation> members;
@@ -19,10 +26,20 @@ struct PatternGroup {
   double sufficiency = 0.0;
   /// Mean observed error level of the members (rank tie-break).
   double mean_error = 0.0;
+  /// `pattern.range` sorted ascending — set semantics for the inclusion and
+  /// overlap predicates, which are order-independent by definition.
+  std::vector<int> sorted_range;
+  /// SideOf(pattern), precomputed.
+  RangeSide side = RangeSide::kRight;
+  /// Fraction of members whose observed aggregate is ratio-like (in (-1, 1),
+  /// nonzero); computed for division groups only, 0 otherwise. Drives the
+  /// part-of-whole rank preference of Sec. 3.2.
+  double ratio_fraction = 0.0;
 };
 
 /// Groups `candidates` by pattern and computes sufficiency scores against
-/// `grid` (the denominator counts numeric cells in the aggregate's column).
+/// `grid` (the denominator counts numeric cells in the aggregate's column),
+/// along with the precomputed predicate state described on PatternGroup.
 std::vector<PatternGroup> GroupByPattern(const numfmt::AxisView& grid,
                                          const std::vector<Aggregation>& candidates);
 
@@ -41,6 +58,22 @@ bool CompleteInclusion(const Pattern& a, const Pattern& b);
 /// Mutual inclusion (Sec. 3.1): each pattern's aggregate lies in the other's
 /// range, a circular calculation that cannot be semantically correct.
 bool MutualInclusion(const Pattern& a, const Pattern& b);
+
+/// Same aggregate with (partly) shared range (Sec. 3.2): a cell acting as the
+/// aggregate of one function should not aggregate an overlapping range with
+/// another.
+bool SameAggregateOverlappingRange(const Pattern& a, const Pattern& b);
+
+/// PatternGroup overloads of the four conflict predicates: identical boolean
+/// results to the Pattern forms above (the predicates are set-membership
+/// questions, so evaluating them over the precomputed sorted ranges and sides
+/// cannot change an answer), but O(log k) / two-pointer instead of nested
+/// linear scans. The stage-1 and stage-2 conflict walks call these; the
+/// Pattern forms are retained as the differential oracles.
+bool DirectionalDisagreement(const PatternGroup& a, const PatternGroup& b);
+bool CompleteInclusion(const PatternGroup& a, const PatternGroup& b);
+bool MutualInclusion(const PatternGroup& a, const PatternGroup& b);
+bool SameAggregateOverlappingRange(const PatternGroup& a, const PatternGroup& b);
 
 /// Toggles for the stage-1 pruning steps; used by the ablation experiments
 /// (bench/ablation_pruning_rules) to quantify each rule's contribution. All

@@ -47,10 +47,109 @@ std::vector<Aggregation> SuppressCanonicalMirrors(std::vector<Aggregation> found
   return kept;
 }
 
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+constexpr double kInflate = 1.0 + 32.0 * kEps;
+// The batch screen's inflation: one extra kInflate's worth of headroom over
+// the per-pair screens whose decisions it has to dominate.
+constexpr double kInflateBatch = 1.0 + 64.0 * kEps;
+
+// O(1) certain-miss rejection of one *whole* window [lo, hi) in compact
+// space against the aggregate `observed`: returns true only when every
+// ordered pair (b, c) drawn from the window would be rejected by the
+// per-pair screens in TestWindows, in which case the O(width^2) pair loop is
+// skipped outright. Built from the window's min/max value bounds
+// (LineIndex::SpanMin/SpanMax — the prefix machinery's range queries):
+// each screen's left-hand side g is *linear* in (b, c), so its exact range
+// over the window box [wmin, wmax]^2 is spanned by the four corner
+// evaluations; `margin` widens that interval by more than the evaluation
+// rounding of any individual pair, and the per-pair right-hand side is
+// replaced by its window-wide maximum. Batch rejection therefore implies
+// per-pair rejection for every pair — it can never suppress an emission, so
+// candidate order (and the mirrored-difference keep-first suppression that
+// depends on it) is untouched.
+//
+// Division and relative change refuse to batch-reject when the window's
+// value range spans zero (wmin <= 0 <= wmax): a ratio bound derived from
+// min/max is invalid once the divisor range crosses 0 — the achievable
+// quotients are unbounded on both sides, and zero or ±denormal divisors sit
+// exactly on that boundary — so those windows fall through to the per-pair
+// screens (which skip b==0 / c==0 exactly like the reference) and their
+// exact replays.
+bool RejectWholeWindow(const LineIndex& index, int lo, int hi,
+                       AggregationFunction function, double observed,
+                       double threshold) {
+  const double wmin = index.SpanMin(lo, hi);
+  const double wmax = index.SpanMax(lo, hi);
+  const double span = wmax - wmin;
+  const double abs_max = std::max(std::fabs(wmin), std::fabs(wmax));
+  const double abs_obs = std::fabs(observed);
+  double g_lo = 0.0;
+  double g_hi = 0.0;
+  double margin = 0.0;
+  double rhs = 0.0;
+  switch (function) {
+    case AggregationFunction::kDifference: {
+      // Pair term g = (b - c) - obs; b - c ranges over [-span, span].
+      g_lo = -span - observed;
+      g_hi = span - observed;
+      margin = kEps * 4.0 * (span + abs_obs);
+      rhs = (threshold + kEps * span) * kInflateBatch;
+      break;
+    }
+    case AggregationFunction::kDivision: {
+      if (wmin <= 0.0 && wmax >= 0.0) return false;  // divisor range spans 0
+      // Pair term g = b - obs*c; per-pair RHS thr*|c| + eps*|obs*c| is
+      // bounded by its value at |c| = abs_max.
+      const double c1 = observed * wmin;
+      const double c2 = observed * wmax;
+      g_lo = std::min(std::min(wmin - c1, wmin - c2),
+                      std::min(wmax - c1, wmax - c2));
+      g_hi = std::max(std::max(wmin - c1, wmin - c2),
+                      std::max(wmax - c1, wmax - c2));
+      margin = kEps * 4.0 * (1.0 + abs_obs) * abs_max;
+      rhs = (threshold * abs_max + kEps * abs_obs * abs_max) * kInflateBatch;
+      break;
+    }
+    case AggregationFunction::kRelativeChange: {
+      if (wmin <= 0.0 && wmax >= 0.0) return false;  // divisor range spans 0
+      // Pair term g = (c - b) - obs*b = c - (1 + obs)*b.
+      const double t = 1.0 + observed;
+      const double b1 = t * wmin;
+      const double b2 = t * wmax;
+      g_lo = std::min(std::min(wmin - b1, wmin - b2),
+                      std::min(wmax - b1, wmax - b2));
+      g_hi = std::max(std::max(wmin - b1, wmin - b2),
+                      std::max(wmax - b1, wmax - b2));
+      margin = kEps * 4.0 * (span + (1.0 + abs_obs) * abs_max);
+      rhs = (threshold * abs_max + kEps * (span + abs_obs * abs_max)) *
+            kInflateBatch;
+      break;
+    }
+    default:
+      return false;  // commutative functions never reach the window scan
+  }
+  // Distance from 0 to the widened interval [g_lo - margin, g_hi + margin].
+  // NaN/inf corners (overflowing obs*c products) fail both comparisons and
+  // fall through to the per-pair path — conservative by construction.
+  const double widened_lo = g_lo - margin;
+  const double widened_hi = g_hi + margin;
+  double distance = 0.0;
+  if (widened_lo > 0.0) {
+    distance = widened_lo;
+  } else if (widened_hi < 0.0) {
+    distance = -widened_hi;
+  } else {
+    return false;  // 0 is achievable: some pair may survive its screen
+  }
+  return distance > rhs;
+}
+
 // Shared pair loop: tests every ordered pair of each side's window against
 // the aggregate at compact position `pos` of `index`.
 //
-// Each pair is first screened division-free: the reference test
+// Each side's window is first screened *as a whole* (RejectWholeWindow
+// above); a surviving window's pairs are then screened division-free: the
+// reference test
 //   ErrorLevel(obs, ApplyPairwise(f, b, c)) <= level + slack
 // is multiplied through by the pairwise function's denominator, turning it
 // into one absolute comparison per pair (no division, no optional, no call).
@@ -63,8 +162,6 @@ std::vector<Aggregation> SuppressCanonicalMirrors(std::vector<Aggregation> found
 void TestWindows(const LineIndex& index, int row, int pos,
                  AggregationFunction function, double error_level,
                  int window_size, std::vector<Aggregation>& found) {
-  constexpr double kEps = std::numeric_limits<double>::epsilon();
-  constexpr double kInflate = 1.0 + 32.0 * kEps;
   const double observed = index.value(pos);
   const double threshold = (error_level + kErrorSlack) *
                            (observed != 0.0 ? std::fabs(observed) : 1.0);
@@ -72,6 +169,14 @@ void TestWindows(const LineIndex& index, int row, int pos,
     // The window in compact space: the nearest usable positions on one side.
     const int available = step > 0 ? index.size() - 1 - pos : pos;
     const int width = std::min(window_size, available);
+    if (width >= 2) {
+      const int window_lo = step > 0 ? pos + 1 : pos - width;
+      const int window_hi = step > 0 ? pos + 1 + width : pos;
+      if (RejectWholeWindow(index, window_lo, window_hi, function, observed,
+                            threshold)) {
+        continue;  // every pair in this window is a certain miss
+      }
+    }
     for (int bi = 1; bi <= width; ++bi) {
       for (int ci = 1; ci <= width; ++ci) {
         if (bi == ci) continue;
@@ -142,6 +247,7 @@ std::vector<Aggregation> DetectWindowPairwise(
   std::vector<Aggregation> found;
   LineIndex index;
   index.Build(view, active_columns, row);
+  index.BuildSpanBounds();  // the batch screen's O(1) window min/max
   for (int pos = 0; pos < index.size(); ++pos) {
     if (!index.is_numeric(pos)) continue;
     TestWindows(index, row, pos, function, error_level, window_size, found);

@@ -272,6 +272,27 @@ TEST(PerformanceDocs, EveryCommittedBenchKeyIsDocumented) {
                              "update docs/PERFORMANCE.md's baseline table";
 }
 
+TEST(PerformanceDocs, ScreeningMatrixNamesEveryStage1Section) {
+  // The screening coverage matrix maps each (stage x function) combination
+  // to the benchmark that guards it, so every comparison section of the
+  // stage-1 bench must be referenced inside the matrix section — a new bench
+  // section without a matrix entry (or a renamed section leaving a stale
+  // entry) fails here.
+  const std::string doc = ReadDoc("docs/PERFORMANCE.md");
+  const size_t matrix = doc.find("## Screening coverage matrix");
+  ASSERT_NE(matrix, std::string::npos)
+      << "docs/PERFORMANCE.md lost its screening coverage matrix";
+  const std::string section =
+      doc.substr(matrix, doc.find("\n## ", matrix + 1) - matrix);
+  for (const char* name :
+       {"wide_adjacency", "column_axis", "window_ratio_columns",
+        "stage2_collective", "extension_screen"}) {
+    EXPECT_NE(section.find(name), std::string::npos)
+        << "the screening coverage matrix does not reference bench section "
+        << name;
+  }
+}
+
 TEST(Docs, CrossReferencedPagesExist) {
   // The pages the README and ALGORITHM link to must exist; their content is
   // checked above and by the CI link checker.

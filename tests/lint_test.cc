@@ -601,7 +601,8 @@ TEST(LintL8, StringConstructionInHotPathFires) {
       "src/core/window_strategy.cc",
       "void WindowStrategy::TestWindows(const Grid& grid) {\n"
       "  std::string copy(grid.at(0, 0));\n"
-      "}\n");
+      "}\n"
+      "bool RejectWholeWindow() { return false; }\n");
   ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L8"});
   EXPECT_EQ(diagnostics[0].line, 2);
 }
@@ -612,7 +613,8 @@ TEST(LintL8, NewAndAllocatingHelpersFire) {
                  "void WindowStrategy::TestWindows(const Grid& grid) {\n"
                  "  int* scratch = new int[8];\n"
                  "  const auto parts = Split(text, ',');\n"
-                 "}\n");
+                 "}\n"
+                 "bool RejectWholeWindow() { return false; }\n");
   EXPECT_EQ(RulesFired(diagnostics), (std::vector<std::string>{"L8", "L8"}));
 }
 
@@ -620,6 +622,7 @@ TEST(LintL8, NonRegisteredFunctionsInHotFilesMayAllocate) {
   EXPECT_TRUE(LintSource(
                   "src/core/window_strategy.cc",
                   "void WindowStrategy::TestWindows(const Grid& g) { Use(g); }\n"
+                  "bool RejectWholeWindow() { return false; }\n"
                   "std::string Describe() { return std::string(\"w\"); }\n")
                   .empty());
 }
@@ -627,8 +630,10 @@ TEST(LintL8, NonRegisteredFunctionsInHotFilesMayAllocate) {
 TEST(LintL8, RenamedHotPathFunctionIsItselfAViolation) {
   // Registered names must keep existing; a rename would silently drop
   // coverage otherwise.
-  const auto diagnostics = LintSource("src/core/window_strategy.cc",
-                                      "void SomethingElse() { int x = 0; }\n");
+  const auto diagnostics =
+      LintSource("src/core/window_strategy.cc",
+                 "void SomethingElse() { int x = 0; }\n"
+                 "bool RejectWholeWindow() { return false; }\n");
   ASSERT_EQ(RulesFired(diagnostics), std::vector<std::string>{"L8"});
   EXPECT_NE(diagnostics[0].message.find("TestWindows"), std::string::npos);
 }
@@ -646,7 +651,8 @@ TEST(LintL8, SuppressionWithReasonCovers) {
                   "void WindowStrategy::TestWindows(const Grid& grid) {\n"
                   "  // aggrecol-lint: allow(L8): one-time setup, not per-cell\n"
                   "  std::string header(grid.at(0, 0));\n"
-                  "}\n")
+                  "}\n"
+                  "bool RejectWholeWindow() { return false; }\n")
                   .empty());
 }
 

@@ -4,11 +4,19 @@
 // sets in the same order, with bitwise-equal observed error levels — on both
 // axes, for all five functions, across every Fig. 7 error level. Also unit
 // coverage for AxisView (the zero-copy transpose) and LineIndex itself.
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <limits>
+#include <random>
+#include <string>
 #include <vector>
 
 #include "core/adjacency_strategy.h"
+#include "core/collective_detector.h"
+#include "core/extension.h"
 #include "core/line_index.h"
+#include "core/pruning.h"
 #include "core/window_strategy.h"
 #include "datagen/corpus.h"
 #include "gtest/gtest.h"
@@ -20,6 +28,18 @@ namespace {
 
 using aggrecol::testing::Figure5Grid;
 using aggrecol::testing::MakeNumeric;
+
+// Scientific notation is not a recognized number shape (ParseShape treats the
+// exponent marker as text), so denormal cells must be spelled out as plain
+// decimals. 400 fraction digits leave the rounding error at ~1e-401, far
+// below the denormal spacing of ~5e-324, so the literal round-trips to the
+// exact double it was printed from (via ParseNumber's long-fraction heap
+// fallback).
+std::string DecimalLiteral(double value) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer), "%.400f", value);
+  return std::string(buffer);
+}
 
 // The Fig. 7 sweep, as in bench/fig7_error_levels.
 const std::vector<double>& Fig7Levels() {
@@ -225,6 +245,117 @@ TEST(LineIndex, CompensatedSumHonorsWalkOrder) {
   EXPECT_EQ(index.CompensatedSum(0, 4, true), backward.Total());
 }
 
+TEST(LineIndex, SpanBoundsMatchBruteForce) {
+  std::mt19937 rng(0x5BA7);
+  std::vector<std::string> row;
+  for (int j = 0; j < 37; ++j) {
+    row.push_back(std::to_string(static_cast<int>(rng() % 2000) - 1000) + "." +
+                  std::to_string(rng() % 100));
+  }
+  const auto grid = numfmt::NumericGrid::FromGrid(
+      csv::Grid(std::vector<std::vector<std::string>>{row}),
+      numfmt::NumberFormat::kCommaDot);
+  const std::vector<bool> active(row.size(), true);
+  LineIndex index;
+  index.Build(grid, active, 0);
+  ASSERT_EQ(index.size(), 37);
+  index.BuildSpanBounds();
+  for (int begin = 0; begin < index.size(); ++begin) {
+    for (int end = begin + 1; end <= index.size(); ++end) {
+      double lo = index.value(begin);
+      double hi = index.value(begin);
+      for (int pos = begin + 1; pos < end; ++pos) {
+        lo = std::min(lo, index.value(pos));
+        hi = std::max(hi, index.value(pos));
+      }
+      EXPECT_EQ(index.SpanMin(begin, end), lo) << begin << ", " << end;
+      EXPECT_EQ(index.SpanMax(begin, end), hi) << begin << ", " << end;
+    }
+  }
+}
+
+TEST(LineIndex, SpanBoundsSurviveBufferReuseAcrossLines) {
+  // BuildSpanBounds reuses its table buffers; a shorter rebuilt line must not
+  // read stale entries from a previous, longer line.
+  const auto wide = MakeNumeric({{"9", "8", "7", "6", "5", "4", "3", "2", "1"}});
+  const auto narrow = MakeNumeric({{"2", "1", "3"}});
+  LineIndex index;
+  index.Build(wide, std::vector<bool>(9, true), 0);
+  index.BuildSpanBounds();
+  EXPECT_EQ(index.SpanMin(0, 9), 1.0);
+  index.Build(narrow, std::vector<bool>(3, true), 0);
+  index.BuildSpanBounds();
+  EXPECT_EQ(index.SpanMin(0, 3), 1.0);
+  EXPECT_EQ(index.SpanMax(0, 3), 3.0);
+  EXPECT_EQ(index.SpanMax(0, 2), 2.0);
+}
+
+TEST(LineIndex, PosOfColumnInvertsCompaction) {
+  const auto grid = MakeNumeric({{"10", "abc", "20", "x", "30"}});
+  std::vector<bool> active(5, true);
+  active[4] = false;
+  LineIndex index;
+  index.Build(grid, active, 0);
+  ASSERT_EQ(index.size(), 3);
+  EXPECT_EQ(index.PosOfColumn(0), 0);
+  EXPECT_EQ(index.PosOfColumn(1), -1);  // text: not range-usable
+  EXPECT_EQ(index.PosOfColumn(2), 1);
+  EXPECT_EQ(index.PosOfColumn(3), 2);   // zero marker: usable
+  EXPECT_EQ(index.PosOfColumn(4), -1);  // masked out
+  for (int pos = 0; pos < index.size(); ++pos) {
+    EXPECT_EQ(index.PosOfColumn(index.col(pos)), pos);
+  }
+}
+
+TEST(LineIndex, SumErrorBoundNeverZeroOnAllZeroLine) {
+  // Satellite regression: a line whose usable cells are all exactly zero used
+  // to publish a drift bound of exactly 0, making the screen treat the prefix
+  // sum as infinitely precise. The floor keeps the bound positive.
+  const auto grid = MakeNumeric({{"0", "0", "0", "0", "0"}});
+  const std::vector<bool> active(5, true);
+  LineIndex index;
+  index.Build(grid, active, 0);
+  ASSERT_EQ(index.size(), 5);
+  for (int end = 1; end <= index.size(); ++end) {
+    EXPECT_GT(index.SumErrorBound(end), 0.0) << "end=" << end;
+  }
+}
+
+TEST(LineIndex, SumErrorBoundNeverZeroOnDenormalLine) {
+  // All-denormal magnitudes underflow the proportional gamma_n term itself;
+  // the n * DBL_MIN floor must take over.
+  const std::vector<std::string> row = {DecimalLiteral(5e-324),
+                                        DecimalLiteral(-5e-324),
+                                        DecimalLiteral(1e-320), "0"};
+  const auto grid = MakeNumeric({row});
+  const std::vector<bool> active(4, true);
+  LineIndex index;
+  index.Build(grid, active, 0);
+  ASSERT_EQ(index.size(), 4);
+  ASSERT_EQ(index.value(0), 5e-324);  // the literal round-trips exactly
+  ASSERT_EQ(index.value(1), -5e-324);
+  for (int end = 1; end <= index.size(); ++end) {
+    EXPECT_GT(index.SumErrorBound(end), 0.0) << "end=" << end;
+    EXPECT_GE(index.SumErrorBound(end),
+              static_cast<double>(end) * std::numeric_limits<double>::min());
+  }
+}
+
+TEST(Stage1Kernel, ZeroSumCancellationStillDetected) {
+  // Sum over a cancelling range: aggregate 0 = 5.5 + (-5.5). With the drift
+  // floor the screen keeps the candidate; both scans must agree bitwise and
+  // actually find it.
+  const auto grid = MakeNumeric({{"0", "5.5", "-5.5"}});
+  const std::vector<bool> active(3, true);
+  const auto kernel = DetectAdjacentCommutative(grid, active, 0,
+                                                AggregationFunction::kSum, 0.0);
+  const auto naive = DetectAdjacentCommutativeNaive(
+      grid, active, 0, AggregationFunction::kSum, 0.0);
+  ExpectIdenticalScan(kernel, naive, "zero-sum");
+  EXPECT_TRUE(aggrecol::testing::Contains(
+      kernel, aggrecol::testing::Agg(0, 0, {1, 2}, AggregationFunction::kSum)));
+}
+
 TEST(LineIndex, SumErrorBoundCoversPrefixDrift) {
   // The bound must dominate the observed |prefix subtraction - compensated
   // sum| discrepancy, including under heavy cancellation.
@@ -240,6 +371,319 @@ TEST(LineIndex, SumErrorBoundCoversPrefixDrift) {
                                      index.CompensatedSum(begin, end, false));
       EXPECT_LE(drift, index.SumErrorBound(end))
           << "span [" << begin << ", " << end << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Divisor boundary cases for the window kernels. The whole-window batch
+// screen must hand windows whose divisor span straddles zero back to the
+// per-pair screens, and those must skip exactly the pairs the reference
+// skips (ApplyPairwise is undefined for c == 0 / b == 0).
+// ---------------------------------------------------------------------------
+
+TEST(WindowBoundary, ZeroDivisorsMatchNaive) {
+  // Planted hits (1.03125 = 1056/1024, 0.03125 = (1056-1024)/1024) sit next
+  // to exact-zero cells, so zero divisors appear inside live windows on both
+  // axes; the "all zeros" row additionally makes every divisor zero.
+  const auto grid = MakeNumeric({
+      {"1.03125", "1056", "1024", "0", "7", "0", "3"},
+      {"2", "8", "0", "4", "0", "-8", "16"},
+      {"0", "0", "0", "0", "0", "0", "0"},
+      {"0.03125", "1024", "1056", "0", "5", "0", "-5"},
+  });
+  ExpectKernelMatchesNaive(grid, "zero-divisor");
+}
+
+TEST(WindowBoundary, DenormalDivisorsMatchNaive) {
+  // +/-denormal divisors: nonzero, so the reference divides by them, and the
+  // screens must not misclassify them as the undefined c == 0 case; their
+  // magnitudes also underflow naive threshold products.
+  const std::string pos = DecimalLiteral(5e-324);
+  const std::string neg = DecimalLiteral(-5e-324);
+  const auto grid = MakeNumeric({
+      {"1", pos, pos, "-1", pos, neg, DecimalLiteral(1e-320), "0", "2"},
+      {"2", DecimalLiteral(1e-320), DecimalLiteral(5e-321), "0", neg, pos, "-1",
+       "3", "4"},
+  });
+  const numfmt::AxisView view = numfmt::AxisView::Rows(grid);
+  // Guard the premise: the spelled-out denormals must classify as numeric and
+  // parse to nonzero denormal doubles, otherwise this test silently
+  // degenerates.
+  ASSERT_TRUE(view.IsNumeric(0, 1));
+  ASSERT_TRUE(view.IsNumeric(0, 5));
+  ASSERT_EQ(view.value(0, 1), 5e-324);
+  ASSERT_EQ(view.value(0, 5), -5e-324);
+  ExpectKernelMatchesNaive(grid, "denormal-divisor");
+}
+
+TEST(WindowBoundary, SignFlipMidWindowMatchesNaive) {
+  // Divisor values flip sign inside every window (-4 = 2 / -0.5 is a planted
+  // division hit; -1.5 = (1 - -2) / -2 a planted relative change),
+  // so the batch screen's divisor span straddles zero and must fall through
+  // to the per-pair screens rather than reject or accept wholesale.
+  const auto grid = MakeNumeric({
+      {"-4", "2", "-0.5", "1", "-8", "0.25", "3", "-1.5"},
+      {"-1.5", "-2", "1", "4", "-0.25", "6", "-3", "0.5"},
+  });
+  ExpectKernelMatchesNaive(grid, "sign-flip");
+}
+
+TEST(WindowBoundary, MirroredDifferenceKeepsFirstOnly) {
+  // 5 = 8 - 3 and 3 = 8 - 5 are mirrored differences over the same cells;
+  // the scan suppresses the mirror and keeps the first-emitted candidate.
+  // This pins the emitted order as a regression guard: the screened kernel
+  // must preserve the keep-first suppression exactly.
+  const auto grid = MakeNumeric({{"5", "8", "3"}});
+  const std::vector<bool> active(3, true);
+  for (double level : Fig7Levels()) {
+    ExpectIdenticalScan(
+        DetectWindowPairwise(grid, active, 0, AggregationFunction::kDifference,
+                             level, 10),
+        DetectWindowPairwiseNaive(grid, active, 0,
+                                  AggregationFunction::kDifference, level, 10),
+        "mirror level=" + std::to_string(level));
+  }
+  const auto kernel = DetectWindowPairwise(
+      grid, active, 0, AggregationFunction::kDifference, 0.0, 10);
+  ASSERT_EQ(kernel.size(), 1u);
+  EXPECT_EQ(kernel[0].aggregate, 0);
+  EXPECT_EQ(kernel[0].range, (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Stage-3 extension: the indexed screened path vs the retained naive walk.
+// ---------------------------------------------------------------------------
+
+TEST(ExtensionScreen, IndexedPathMatchesNaiveOnPlantedGrid) {
+  // Pattern: sum over range {0, 2, 3} -> aggregate column 4. One plan over a
+  // 5-column grid satisfies the cost model (3 + 16 >= 15), so the screened
+  // implementation takes the indexed path.
+  //  - row 0 seeds the pattern (non-contiguous: column 1 is numeric, so the
+  //    compact positions of {0, 2, 3} are 0, 2, 3);
+  //  - row 1 has text in column 1, making the range a contiguous compact
+  //    prefix span -> O(1) prefix screen + compensated replay;
+  //  - row 2 is the non-contiguous trap: an interleaved usable cell outside
+  //    the range means no prefix span exists, and the kernel must replay the
+  //    Kahan walk in range order instead of subtracting prefix sums;
+  //  - row 3 is a certain miss the screen may reject;
+  //  - row 4 has an unusable range cell and must be skipped by both.
+  const auto grid = MakeNumeric({
+      {"1", "9", "2", "3", "6"},
+      {"1.5", "abc", "2.5", "3.5", "7.5"},
+      {"2", "100", "3", "4", "9"},
+      {"1", "1", "1", "1", "50"},
+      {"1", "1", "abc", "1", "2"},
+  });
+  const std::vector<bool> active(5, true);
+  const std::vector<Aggregation> detected = {
+      aggrecol::testing::Agg(0, 4, {0, 2, 3}, AggregationFunction::kSum)};
+  for (double level : Fig7Levels()) {
+    const auto kernel = ExtendAggregations(grid, active, detected, level);
+    const auto naive = ExtendAggregationsNaive(grid, active, detected, level);
+    ExpectIdenticalScan(kernel, naive,
+                        "extension level=" + std::to_string(level));
+  }
+  const auto kernel = ExtendAggregations(grid, active, detected, 0.0);
+  ASSERT_EQ(kernel.size(), 3u);  // seed + contiguous row 1 + trap row 2
+  EXPECT_TRUE(aggrecol::testing::Contains(
+      kernel,
+      aggrecol::testing::Agg(1, 4, {0, 2, 3}, AggregationFunction::kSum)));
+  EXPECT_TRUE(aggrecol::testing::Contains(
+      kernel,
+      aggrecol::testing::Agg(2, 4, {0, 2, 3}, AggregationFunction::kSum)));
+}
+
+TEST(ExtensionScreen, PairwiseZeroOperandsSkippedIdentically) {
+  // Division pattern col0 = col1 / col2 and relative-change pattern
+  // col3 = (col2 - col1) / col1, both seeded on row 0. Row 1 has a zero
+  // divisor (c == 0: division undefined, relative change fine); row 2 has a
+  // zero base (b == 0: relative change undefined, division fine). The
+  // screened path must skip exactly what the reference skips.
+  const auto grid = MakeNumeric({
+      {"2", "8", "4", "-0.5", "0"},
+      {"9", "8", "0", "-1", "0"},
+      {"0", "0", "5", "7", "0"},
+      {"4", "16", "4", "-0.75", "0"},
+      {"5", "8", "4", "3", "0"},
+  });
+  const std::vector<bool> active(5, true);
+  const std::vector<Aggregation> detected = {
+      aggrecol::testing::Agg(0, 0, {1, 2}, AggregationFunction::kDivision),
+      aggrecol::testing::Agg(0, 3, {1, 2},
+                             AggregationFunction::kRelativeChange)};
+  for (double level : Fig7Levels()) {
+    ExpectIdenticalScan(ExtendAggregations(grid, active, detected, level),
+                        ExtendAggregationsNaive(grid, active, detected, level),
+                        "pairwise-zero level=" + std::to_string(level));
+  }
+  const auto kernel = ExtendAggregations(grid, active, detected, 0.0);
+  // Row 1: relative change extends ((0 - 8) / 8 = -1), division must not.
+  EXPECT_TRUE(aggrecol::testing::Contains(
+      kernel, aggrecol::testing::Agg(1, 3, {1, 2},
+                                     AggregationFunction::kRelativeChange)));
+  EXPECT_FALSE(aggrecol::testing::Contains(
+      kernel,
+      aggrecol::testing::Agg(1, 0, {1, 2}, AggregationFunction::kDivision)));
+  // Row 2: division extends (0 / 5 = 0), relative change must not.
+  EXPECT_TRUE(aggrecol::testing::Contains(
+      kernel,
+      aggrecol::testing::Agg(2, 0, {1, 2}, AggregationFunction::kDivision)));
+  EXPECT_FALSE(aggrecol::testing::Contains(
+      kernel, aggrecol::testing::Agg(2, 3, {1, 2},
+                                     AggregationFunction::kRelativeChange)));
+  // Row 3: both extend.
+  EXPECT_TRUE(aggrecol::testing::Contains(
+      kernel,
+      aggrecol::testing::Agg(3, 0, {1, 2}, AggregationFunction::kDivision)));
+  EXPECT_TRUE(aggrecol::testing::Contains(
+      kernel, aggrecol::testing::Agg(3, 3, {1, 2},
+                                     AggregationFunction::kRelativeChange)));
+}
+
+TEST(ExtensionScreen, MatchesNaiveOnGeneratedCorpus) {
+  // Corpus differential: seed the extension with naive stage-1 detections
+  // from even lines only (leaving the odd lines as extension opportunities)
+  // and require the screened walk to emit the identical result, bit-equal
+  // errors included, on both axes.
+  const auto corpus = datagen::GenerateSmallCorpus(60, 0x5EED);
+  ASSERT_EQ(corpus.size(), 60u);
+  const AggregationFunction functions[] = {AggregationFunction::kSum,
+                                           AggregationFunction::kAverage,
+                                           AggregationFunction::kDivision};
+  for (const auto& file : corpus) {
+    const auto grid = numfmt::NumericGrid::FromGrid(file.grid, file.format);
+    const numfmt::AxisView views[] = {numfmt::AxisView::Rows(grid),
+                                      numfmt::AxisView::Columns(grid)};
+    for (const auto& view : views) {
+      const std::vector<bool> mask(static_cast<size_t>(view.columns()), true);
+      for (double level : {0.0, 0.01}) {
+        std::vector<Aggregation> detected;
+        for (AggregationFunction function : functions) {
+          for (int line = 0; line < view.rows(); line += 2) {
+            const auto found =
+                TraitsOf(function).commutative
+                    ? DetectAdjacentCommutativeNaive(view, mask, line, function,
+                                                     level)
+                    : DetectWindowPairwiseNaive(view, mask, line, function,
+                                                level, 10);
+            detected.insert(detected.end(), found.begin(), found.end());
+          }
+        }
+        ExpectIdenticalScan(
+            ExtendAggregations(view, mask, detected, level),
+            ExtendAggregationsNaive(view, mask, detected, level),
+            file.name + " extension axis=" +
+                (view.transposed() ? "col" : "row") +
+                " level=" + std::to_string(level));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stage-2 collective pruning: precomputed-predicate walk vs naive reference.
+// ---------------------------------------------------------------------------
+
+TEST(Stage2Collective, FastPruneMatchesNaiveOnRandomConflicts) {
+  // Random candidates crammed into a narrow column space, so ranges overlap,
+  // include each other, and share aggregates constantly. Both walks rank with
+  // the shared comparator, so the outputs must be elementwise identical.
+  const auto grid = MakeNumeric({
+      {"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12"},
+      {"2", "4", "6", "8", "10", "12", "14", "16", "18", "20", "22", "24"},
+      {"3", "6", "9", "12", "15", "18", "21", "24", "27", "30", "33", "36"},
+      {"5", "1", "4", "1", "5", "9", "2", "6", "5", "3", "5", "8"},
+  });
+  const numfmt::AxisView view = numfmt::AxisView::Rows(grid);
+  std::mt19937 rng(0xC011EC7);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Aggregation> candidates;
+    for (int i = 0; i < 30; ++i) {
+      const auto function =
+          kAllFunctions[rng() % kAllFunctions.size()];
+      const int aggregate = static_cast<int>(rng() % 12);
+      const int length =
+          TraitsOf(function).pairwise ? 2 : 1 + static_cast<int>(rng() % 4);
+      const int start = static_cast<int>(rng() % 12);
+      std::vector<int> range;
+      for (int k = 0; k < length; ++k) range.push_back((start + k) % 12);
+      candidates.push_back(aggrecol::testing::Agg(
+          static_cast<int>(rng() % 4), aggregate, std::move(range), function));
+    }
+    ExpectIdenticalScan(CollectivePrune(view, candidates),
+                        CollectivePruneNaive(view, candidates),
+                        "stage2 trial " + std::to_string(trial));
+  }
+}
+
+TEST(Stage2Collective, DisjointGroupsAllSurviveBothWalks) {
+  const auto grid = MakeNumeric({
+      {"3", "1", "2", "7", "3", "4", "2", "8", "4", "0.5", "6", "12"},
+  });
+  const numfmt::AxisView view = numfmt::AxisView::Rows(grid);
+  const std::vector<Aggregation> candidates = {
+      aggrecol::testing::Agg(0, 0, {1, 2}, AggregationFunction::kSum),
+      aggrecol::testing::Agg(0, 3, {4, 5}, AggregationFunction::kSum),
+      aggrecol::testing::Agg(0, 7, {6, 8}, AggregationFunction::kDifference),
+      aggrecol::testing::Agg(0, 9, {10, 11}, AggregationFunction::kDivision),
+  };
+  const auto fast = CollectivePrune(view, candidates);
+  const auto naive = CollectivePruneNaive(view, candidates);
+  ExpectIdenticalScan(fast, naive, "disjoint");
+  EXPECT_EQ(fast.size(), candidates.size());
+}
+
+TEST(Stage2Collective, GroupStatsMatchRecomputation) {
+  // GroupByPattern precomputes sorted_range, side, and ratio_fraction; they
+  // must agree with a from-scratch recomputation, and every PatternGroup
+  // predicate overload must agree with its Pattern oracle on all pairs.
+  const auto grid = MakeNumeric({
+      {"0.5", "4", "8", "2", "-0.25", "3"},
+      {"1.5", "3", "2", "0", "7", "-2"},
+  });
+  const numfmt::AxisView view = numfmt::AxisView::Rows(grid);
+  const std::vector<Aggregation> candidates = {
+      // Division group with one ratio-like member (0.5) and one not (1.5).
+      aggrecol::testing::Agg(0, 0, {1, 2}, AggregationFunction::kDivision),
+      aggrecol::testing::Agg(1, 0, {1, 2}, AggregationFunction::kDivision),
+      // Division group whose observed aggregate is 0 (not ratio-like).
+      aggrecol::testing::Agg(1, 3, {4, 5}, AggregationFunction::kDivision),
+      // Unsorted mixed-side sum range.
+      aggrecol::testing::Agg(0, 3, {4, 5, 1}, AggregationFunction::kSum),
+      // Left-side pairwise difference.
+      aggrecol::testing::Agg(0, 5, {1, 2}, AggregationFunction::kDifference),
+      // Overlapping / including patterns to exercise the predicates.
+      aggrecol::testing::Agg(0, 2, {0, 1, 3, 4}, AggregationFunction::kSum),
+      aggrecol::testing::Agg(0, 4, {2, 3}, AggregationFunction::kSum),
+  };
+  const auto groups = GroupByPattern(view, candidates);
+  for (const auto& group : groups) {
+    std::vector<int> expected_sorted = group.pattern.range;
+    std::sort(expected_sorted.begin(), expected_sorted.end());
+    EXPECT_EQ(group.sorted_range, expected_sorted);
+    EXPECT_EQ(group.side, SideOf(group.pattern));
+    if (group.pattern.function == AggregationFunction::kDivision) {
+      int ratio_like = 0;
+      for (const auto& member : group.members) {
+        const double value = view.value(member.line, member.aggregate);
+        if (value > -1.0 && value < 1.0 && value != 0.0) ++ratio_like;
+      }
+      EXPECT_EQ(group.ratio_fraction,
+                static_cast<double>(ratio_like) /
+                    static_cast<double>(group.members.size()));
+    } else {
+      EXPECT_EQ(group.ratio_fraction, 0.0);
+    }
+  }
+  for (const auto& a : groups) {
+    for (const auto& b : groups) {
+      EXPECT_EQ(DirectionalDisagreement(a, b),
+                DirectionalDisagreement(a.pattern, b.pattern));
+      EXPECT_EQ(CompleteInclusion(a, b), CompleteInclusion(a.pattern, b.pattern));
+      EXPECT_EQ(MutualInclusion(a, b), MutualInclusion(a.pattern, b.pattern));
+      EXPECT_EQ(SameAggregateOverlappingRange(a, b),
+                SameAggregateOverlappingRange(a.pattern, b.pattern));
     }
   }
 }

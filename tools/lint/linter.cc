@@ -790,9 +790,10 @@ const std::vector<HotPathEntry>& HotPaths() {
       {"src/csv/scanner.cc",
        {"ScanScalar", "ScanSwar", "ScanSse2", "ScanAvx2", "ScanStructural"}},
       {"src/csv/parser.cc", {"ParseStructural"}},
-      {"src/core/line_index.cc", {"Build", "CompensatedSum"}},
+      {"src/core/line_index.cc", {"Build", "CompensatedSum", "BuildSpanBounds"}},
       {"src/core/adjacency_strategy.cc", {"SearchDirectionIndexed"}},
-      {"src/core/window_strategy.cc", {"TestWindows"}},
+      {"src/core/window_strategy.cc", {"TestWindows", "RejectWholeWindow"}},
+      {"src/core/extension.cc", {"ExtendRowWithIndex"}},
       {"src/numfmt/number_format.cc",
        {"ParseShape", "ParseNumber", "MatchesFormat"}},
       {"src/numfmt/numeric_grid.cc", {"InterpretCell", "FromGrid"}},
